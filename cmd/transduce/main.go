@@ -1,0 +1,109 @@
+// Command transduce runs a transducer network to quiescence: it places
+// one of the paper's transducers on a chosen topology, distributes an
+// input instance over the nodes, executes a fair run and prints the
+// accumulated output with run statistics.
+//
+// Usage:
+//
+//	transduce -t tc -topology ring:4 -facts edges.dl \
+//	          [-partition roundrobin] [-seed 1] [-steps 200000] [-list]
+//
+// Facts files use Datalog syntax: "S(a, b). S(b, c)."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declnet/internal/datalog"
+	"declnet/internal/network"
+	"declnet/internal/registry"
+)
+
+func main() {
+	name := flag.String("t", "tc", "transducer name (see -list)")
+	topo := flag.String("topology", "line:3", "network topology, shape:size")
+	factsPath := flag.String("facts", "", "path to the input facts")
+	partition := flag.String("partition", "roundrobin", "partition strategy: roundrobin|replicate|first|byrelation|random:SEED")
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	steps := flag.Int("steps", 200000, "step budget")
+	list := flag.Bool("list", false, "list available transducers and exit")
+	strict := flag.Bool("strict", false, "strict multiset buffers (no duplicate coalescing)")
+	trace := flag.Bool("trace", false, "print every transition")
+	flag.Parse()
+
+	if *list {
+		for _, n := range registry.Names() {
+			e := registry.Transducers()[n]
+			fmt.Printf("%-12s %-38s input: %s\n", n, e.Paper, e.Input)
+		}
+		return
+	}
+	if *factsPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: transduce -t NAME -topology SHAPE:N -facts FILE (see -list)")
+		os.Exit(2)
+	}
+
+	tr, err := registry.Lookup(*name)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := registry.ParseTopology(*topo)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(*factsPath)
+	if err != nil {
+		fatal(err)
+	}
+	I, err := datalog.ParseFacts(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	part, err := registry.ParsePartition(*partition, I, net)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("transducer %s on %s: oblivious=%v inflationary=%v monotone=%v\n",
+		tr.Name, net, tr.Oblivious(), tr.Inflationary(), tr.Monotone())
+
+	sim, err := network.NewSim(net, tr, part)
+	if err != nil {
+		fatal(err)
+	}
+	sim.CoalesceDuplicates = !*strict
+	if *trace {
+		sim.Trace = func(ev network.TraceEvent) {
+			kind := "heartbeat"
+			if ev.Delivered != nil {
+				kind = "deliver " + ev.Delivered.String()
+			}
+			fmt.Printf("%5d %-4s %-24s sent=%d stateChanged=%v", ev.Step, ev.Node, kind, ev.Sent, ev.StateChanged)
+			if len(ev.NewOutput) > 0 {
+				fmt.Printf(" OUTPUT %v", ev.NewOutput)
+			}
+			fmt.Println()
+		}
+	}
+	res, err := sim.Run(network.NewRandomScheduler(*seed), *steps)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Quiescent {
+		fmt.Fprintf(os.Stderr, "transduce: no quiescence within %d steps\n", res.Steps)
+		os.Exit(1)
+	}
+	fmt.Printf("quiescent after %d steps (%d heartbeats, %d deliveries, %d messages)\n",
+		res.Steps, sim.Heartbeats, sim.Deliveries, res.Sends)
+	fmt.Printf("output (%d tuples):\n", res.Output.Len())
+	for _, t := range res.Output.Tuples() {
+		fmt.Println("  ", t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "transduce:", err)
+	os.Exit(1)
+}

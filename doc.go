@@ -1,0 +1,30 @@
+// Package declnet reproduces "Relational transducers for declarative
+// networking" (Ameloot, Neven, Van den Bussche; PODS 2011) as a Go
+// library: networks of relational transducers with a full operational
+// semantics, the query-language substrates the paper builds on (FO
+// under active-domain semantics, Datalog with stratified negation,
+// the while language, Dedalus), the transducer constructions of every
+// example and proof in the paper, and the analysis machinery of the
+// CALM theorem (consistency, network-topology independence,
+// coordination-freeness, monotonicity).
+//
+// The library lives under internal/:
+//
+//	fact        facts, relations, instances, schemas (the data model)
+//	fo          first-order logic queries, active-domain semantics
+//	datalog     Datalog engine: parser, stratification, semi-naive
+//	while       the while query language (FO + assignment + loops)
+//	query       the Query interface every language implements
+//	transducer  relational transducers (§2.1): schema, queries, Step
+//	network     networks, configurations, buffers, runs, schedulers (§3)
+//	dist        distributed query computation + proof constructions (§4)
+//	calm        coordination-freeness, monotonicity, Theorem 16 (§5-§7)
+//	tm          Turing machines and word structures (§8)
+//	dedalus     Dedalus: temporal Datalog + the Theorem 18 compiler (§8)
+//
+// The benchmark suite in bench_test.go regenerates the experiment
+// index of DESIGN.md (E1-E14); EXPERIMENTS.md records the outcomes
+// against the paper's claims. Three CLIs (cmd/transduce, cmd/datalogi,
+// cmd/calmcheck) and four runnable examples (examples/) exercise the
+// public surface.
+package declnet

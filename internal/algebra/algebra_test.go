@@ -1,0 +1,193 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"declnet/internal/fact"
+	"declnet/internal/fo"
+)
+
+func ff(rel string, args ...fact.Value) fact.Fact { return fact.NewFact(rel, args...) }
+
+func TestBasicOperators(t *testing.T) {
+	I := fact.FromFacts(
+		ff("R", "a", "b"), ff("R", "b", "b"), ff("S", "b"),
+	)
+	// σ[$0=$1](R)
+	sel, err := Select{E: Rel{"R", 2}, Conds: []Cond{{Col: 0, OtherCol: 1}}}.Eval(I)
+	if err != nil || sel.Len() != 1 || !sel.Contains(fact.Tuple{"b", "b"}) {
+		t.Errorf("select = %v, %v", sel, err)
+	}
+	// π[$1](R)
+	proj, err := Project{E: Rel{"R", 2}, Cols: []int{1}}.Eval(I)
+	if err != nil || proj.Len() != 1 || !proj.Contains(fact.Tuple{"b"}) {
+		t.Errorf("project = %v, %v", proj, err)
+	}
+	// R × S
+	prod, err := Product{L: Rel{"R", 2}, R: Rel{"S", 1}}.Eval(I)
+	if err != nil || prod.Len() != 2 || prod.Arity() != 3 {
+		t.Errorf("product = %v, %v", prod, err)
+	}
+	// adom
+	ad, err := Adom{}.Eval(I)
+	if err != nil || ad.Len() != 2 {
+		t.Errorf("adom = %v, %v", ad, err)
+	}
+	// adom² − R
+	diff, err := Diff{L: AdomPower(2), R: Rel{"R", 2}}.Eval(I)
+	if err != nil || diff.Len() != 2 {
+		t.Errorf("diff = %v, %v", diff, err)
+	}
+	// union
+	un, err := Union{L: Rel{"S", 1}, R: Project{E: Rel{"R", 2}, Cols: []int{0}}}.Eval(I)
+	if err != nil || un.Len() != 2 {
+		t.Errorf("union = %v, %v", un, err)
+	}
+}
+
+func TestOperatorErrors(t *testing.T) {
+	I := fact.FromFacts(ff("R", "a", "b"))
+	if _, err := (Union{L: Rel{"R", 2}, R: Rel{"S", 1}}).Eval(I); err == nil {
+		t.Error("arity mismatch union accepted")
+	}
+	if _, err := (Project{E: Rel{"R", 2}, Cols: []int{5}}).Eval(I); err == nil {
+		t.Error("out-of-range projection accepted")
+	}
+	if _, err := (Select{E: Rel{"R", 2}, Conds: []Cond{{Col: 9, IsVal: true}}}).Eval(I); err == nil {
+		t.Error("out-of-range selection accepted")
+	}
+	if _, err := (Rel{"R", 3}).Eval(I); err == nil {
+		t.Error("arity-mismatched scan accepted")
+	}
+}
+
+// translationCases are FO queries covering every translation rule.
+func translationCases() []*fo.Query {
+	return []*fo.Query{
+		fo.MustQuery("atom", []string{"x", "y"}, fo.AtomF("R", "x", "y")),
+		fo.MustQuery("repeat", []string{"x"}, fo.AtomT("R", fo.V("x"), fo.V("x"))),
+		fo.MustQuery("const", []string{"x"}, fo.AtomT("R", fo.V("x"), fo.C("b"))),
+		fo.MustQuery("neg", []string{"x", "y"}, fo.NotF(fo.AtomF("R", "x", "y"))),
+		fo.MustQuery("and", []string{"x"},
+			fo.AndF(fo.AtomF("S", "x"), fo.ExistsF([]string{"y"}, fo.AtomF("R", "x", "y")))),
+		fo.MustQuery("or", []string{"x", "y"},
+			fo.OrF(fo.AtomF("R", "x", "y"), fo.AtomF("R", "y", "x"))),
+		fo.MustQuery("orPad", []string{"x", "y"},
+			fo.OrF(fo.AtomF("R", "x", "y"), fo.AtomF("S", "x"))),
+		fo.MustQuery("exists", []string{"x"},
+			fo.ExistsF([]string{"z"}, fo.AndF(fo.AtomF("R", "x", "z"), fo.AtomF("R", "z", "x")))),
+		fo.MustQuery("forall", []string{"x"},
+			fo.ForallF([]string{"y"}, fo.OrF(fo.NotF(fo.AtomF("R", "x", "y")), fo.AtomF("S", "y")))),
+		fo.MustQuery("eqvv", []string{"x", "y"},
+			fo.AndF(fo.AtomF("S", "x"), fo.AtomF("S", "y"), fo.Eq{L: fo.V("x"), R: fo.V("y")})),
+		fo.MustQuery("neqc", []string{"x"},
+			fo.AndF(fo.AtomF("S", "x"), fo.NotF(fo.Eq{L: fo.V("x"), R: fo.C("a")}))),
+		fo.MustQuery("padHead", []string{"x", "y"}, fo.AtomF("S", "x")),
+		fo.MustQuery("nullary", nil, fo.ExistsF([]string{"x"}, fo.AtomF("S", "x"))),
+		fo.MustQuery("nullaryNeg", nil, fo.NotF(fo.ExistsF([]string{"x"}, fo.AtomF("S", "x")))),
+		fo.MustQuery("dupHead", []string{"x", "x"}, fo.AtomF("S", "x")),
+		fo.MustQuery("unusedExists", []string{"x"},
+			fo.ExistsF([]string{"z"}, fo.AtomF("S", "x"))),
+	}
+}
+
+func TestFromFOEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	vals := []fact.Value{"a", "b", "c", "d"}
+	for trial := 0; trial < 50; trial++ {
+		I := fact.NewInstance()
+		for k := 0; k < r.Intn(8); k++ {
+			I.AddFact(ff("R", vals[r.Intn(4)], vals[r.Intn(4)]))
+		}
+		for k := 0; k < r.Intn(4); k++ {
+			I.AddFact(ff("S", vals[r.Intn(4)]))
+		}
+		for _, q := range translationCases() {
+			e, err := FromFO(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+			if e.Arity() != q.Arity() {
+				t.Fatalf("%s: arity %d vs %d", q.Name, e.Arity(), q.Arity())
+			}
+			ra, err := e.Eval(I)
+			if err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+			want, err := q.Eval(I)
+			if err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+			if !ra.Equal(want) {
+				t.Fatalf("%s: algebra %v != fo %v\nexpr: %s\non %v", q.Name, ra, want, e, I)
+			}
+		}
+	}
+}
+
+// TestFromFORandomFormulas builds random formulas from a small grammar
+// and checks the translation against the FO evaluator.
+func TestFromFORandomFormulas(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	vals := []fact.Value{"a", "b", "c"}
+	varPool := []string{"x", "y", "z"}
+
+	var gen func(depth int) fo.Formula
+	gen = func(depth int) fo.Formula {
+		if depth <= 0 {
+			switch r.Intn(3) {
+			case 0:
+				return fo.AtomF("R", varPool[r.Intn(3)], varPool[r.Intn(3)])
+			case 1:
+				return fo.AtomF("S", varPool[r.Intn(3)])
+			default:
+				return fo.AtomT("R", fo.V(varPool[r.Intn(3)]), fo.C(vals[r.Intn(3)]))
+			}
+		}
+		switch r.Intn(4) {
+		case 0:
+			return fo.AndF(gen(depth-1), gen(depth-1))
+		case 1:
+			return fo.OrF(gen(depth-1), gen(depth-1))
+		case 2:
+			return fo.NotF(gen(depth - 1))
+		default:
+			return gen(depth - 1)
+		}
+	}
+
+	for trial := 0; trial < 150; trial++ {
+		body := gen(2)
+		head := make([]string, 0, 3)
+		for _, v := range fo.FreeVars(body) {
+			head = append(head, string(v))
+		}
+		q, err := fo.NewQuery("rand", head, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := FromFO(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v (%s)", trial, err, body)
+		}
+		I := fact.NewInstance()
+		for k := 0; k < r.Intn(6); k++ {
+			I.AddFact(ff("R", vals[r.Intn(3)], vals[r.Intn(3)]))
+		}
+		for k := 0; k < r.Intn(3); k++ {
+			I.AddFact(ff("S", vals[r.Intn(3)]))
+		}
+		ra, err := e.Eval(I)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := q.Eval(I)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !ra.Equal(want) {
+			t.Fatalf("trial %d: algebra %v != fo %v\nformula: %s\non %v", trial, ra, want, body, I)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package algebra
+
+import (
+	"sort"
+
+	"declnet/internal/fact"
+)
+
+// Query adapts an algebra expression to the query.Query interface, so
+// relational algebra can serve as the local language L of transducers
+// exactly like FO (the two are equivalent; see FromFO).
+type Query struct {
+	Name string
+	E    Expr
+}
+
+// Arity implements query.Query.
+func (q Query) Arity() int { return q.E.Arity() }
+
+// Eval implements query.Query.
+func (q Query) Eval(I *fact.Instance) (*fact.Relation, error) { return q.E.Eval(I) }
+
+// Rels implements query.Query: the base relations scanned anywhere in
+// the expression.
+func (q Query) Rels() []string {
+	set := map[string]bool{}
+	collectRels(q.E, set)
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyntacticallyMonotone implements query.Query: difference-free
+// expressions are monotone. (Adom only grows with the instance, so
+// Adom, selections, projections, products and unions all preserve
+// containment.)
+func (q Query) SyntacticallyMonotone() bool { return diffFree(q.E) }
+
+func collectRels(e Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case Rel:
+		out[x.Name] = true
+	case Select:
+		collectRels(x.E, out)
+	case Project:
+		collectRels(x.E, out)
+	case Product:
+		collectRels(x.L, out)
+		collectRels(x.R, out)
+	case Union:
+		collectRels(x.L, out)
+		collectRels(x.R, out)
+	case Diff:
+		collectRels(x.L, out)
+		collectRels(x.R, out)
+	}
+}
+
+func diffFree(e Expr) bool {
+	switch x := e.(type) {
+	case Diff:
+		return false
+	case Select:
+		for _, c := range x.Conds {
+			if c.Negate {
+				return false
+			}
+		}
+		return diffFree(x.E)
+	case Project:
+		return diffFree(x.E)
+	case Product:
+		return diffFree(x.L) && diffFree(x.R)
+	case Union:
+		return diffFree(x.L) && diffFree(x.R)
+	default:
+		return true
+	}
+}

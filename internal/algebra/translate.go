@@ -1,0 +1,298 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"declnet/internal/fact"
+	"declnet/internal/fo"
+)
+
+// FromFO translates an FO query under the active-domain semantics into
+// an equivalent relational algebra expression — the classical
+// inductive translation (Codd's theorem, active-domain version):
+//
+//	E(R(t̄))   = selections+projections over R, padded with Adom
+//	E(¬φ)     = Adom^k − E(φ)
+//	E(φ ∧ ψ)  = natural join (product + selection + projection)
+//	E(φ ∨ ψ)  = union after padding both sides to the same columns
+//	E(∃x φ)   = projection dropping x
+//	E(x = y)  = selection over Adom²
+//
+// The resulting expression has one column per head variable, in head
+// order.
+func FromFO(q *fo.Query) (Expr, error) {
+	e, cols, err := translate(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Pad with Adom columns for head variables not free in the body
+	// (they range over the whole active domain).
+	colIdx := map[fo.Var]int{}
+	for i, v := range cols {
+		colIdx[v] = i
+	}
+	for _, h := range q.Head {
+		if _, ok := colIdx[h]; !ok {
+			e = Product{L: e, R: Adom{}}
+			colIdx[h] = len(cols)
+			cols = append(cols, h)
+		}
+	}
+	// Project to head order (duplicated head variables are allowed).
+	proj := make([]int, len(q.Head))
+	for i, h := range q.Head {
+		proj[i] = colIdx[h]
+	}
+	return Project{E: e, Cols: proj}, nil
+}
+
+// translate returns an expression together with its column-to-variable
+// assignment (sorted variable order).
+func translate(f fo.Formula) (Expr, []fo.Var, error) {
+	switch g := f.(type) {
+	case fo.Truth:
+		if g.Val {
+			return Unit{}, nil, nil
+		}
+		return Empty{K: 0}, nil, nil
+
+	case fo.Atom:
+		return translateAtom(g)
+
+	case fo.Eq:
+		return translateEq(g)
+
+	case fo.Not:
+		inner, cols, err := translate(g.F)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Diff{L: AdomPower(len(cols)), R: inner}, cols, nil
+
+	case fo.And:
+		if len(g.Fs) == 0 {
+			return Unit{}, nil, nil
+		}
+		e, cols, err := translate(g.Fs[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, sub := range g.Fs[1:] {
+			re, rcols, err := translate(sub)
+			if err != nil {
+				return nil, nil, err
+			}
+			e, cols = naturalJoin(e, cols, re, rcols)
+		}
+		return e, cols, nil
+
+	case fo.Or:
+		if len(g.Fs) == 0 {
+			return Empty{K: 0}, nil, nil
+		}
+		// Collect the union of free variables, pad every disjunct.
+		varSet := map[fo.Var]bool{}
+		for _, sub := range g.Fs {
+			for _, v := range fo.FreeVars(sub) {
+				varSet[v] = true
+			}
+		}
+		cols := sortedVars(varSet)
+		var out Expr
+		for _, sub := range g.Fs {
+			e, ecols, err := translate(sub)
+			if err != nil {
+				return nil, nil, err
+			}
+			padded := padTo(e, ecols, cols)
+			if out == nil {
+				out = padded
+			} else {
+				out = Union{L: out, R: padded}
+			}
+		}
+		return out, cols, nil
+
+	case fo.Exists:
+		inner, cols, err := translate(g.F)
+		if err != nil {
+			return nil, nil, err
+		}
+		drop := map[fo.Var]bool{}
+		for _, v := range g.Vars {
+			drop[v] = true
+		}
+		var keepCols []int
+		var keepVars []fo.Var
+		for i, v := range cols {
+			if !drop[v] {
+				keepCols = append(keepCols, i)
+				keepVars = append(keepVars, v)
+			}
+		}
+		// ∃x φ where x does not occur free in φ still requires a
+		// nonempty active domain; guard with a join against Unit-like
+		// Adom projection.
+		e := Expr(Project{E: inner, Cols: keepCols})
+		for _, v := range g.Vars {
+			if !contains(cols, v) {
+				e, keepVars = naturalJoin(e, keepVars, Project{E: Adom{}, Cols: nil}, nil)
+			}
+		}
+		return e, keepVars, nil
+
+	case fo.Forall:
+		// ∀x φ ≡ ¬∃x ¬φ.
+		return translate(fo.Not{F: fo.Exists{Vars: g.Vars, F: fo.Not{F: g.F}}})
+
+	default:
+		return nil, nil, fmt.Errorf("algebra: cannot translate %T", f)
+	}
+}
+
+func translateAtom(a fo.Atom) (Expr, []fo.Var, error) {
+	base := Rel{Name: a.Rel, K: len(a.Terms)}
+	var conds []Cond
+	firstOf := map[fo.Var]int{}
+	for i, t := range a.Terms {
+		switch x := t.(type) {
+		case fo.Const:
+			conds = append(conds, Cond{Col: i, Val: fact.Value(x), IsVal: true})
+		case fo.Var:
+			if j, seen := firstOf[x]; seen {
+				conds = append(conds, Cond{Col: i, OtherCol: j})
+			} else {
+				firstOf[x] = i
+			}
+		}
+	}
+	var e Expr = base
+	if len(conds) > 0 {
+		e = Select{E: base, Conds: conds}
+	}
+	// Project to sorted distinct variables.
+	cols := sortedVars(toSet(firstOf))
+	proj := make([]int, len(cols))
+	for i, v := range cols {
+		proj[i] = firstOf[v]
+	}
+	return Project{E: e, Cols: proj}, cols, nil
+}
+
+func translateEq(g fo.Eq) (Expr, []fo.Var, error) {
+	lv, lIsVar := g.L.(fo.Var)
+	rv, rIsVar := g.R.(fo.Var)
+	switch {
+	case lIsVar && rIsVar && lv == rv:
+		// x = x over adom.
+		return Adom{}, []fo.Var{lv}, nil
+	case lIsVar && rIsVar:
+		cols := sortedVars(map[fo.Var]bool{lv: true, rv: true})
+		return Select{E: AdomPower(2), Conds: []Cond{{Col: 0, OtherCol: 1}}}, cols, nil
+	case lIsVar:
+		c := g.R.(fo.Const)
+		return Select{E: Adom{}, Conds: []Cond{{Col: 0, Val: fact.Value(c), IsVal: true}}}, []fo.Var{lv}, nil
+	case rIsVar:
+		c := g.L.(fo.Const)
+		return Select{E: Adom{}, Conds: []Cond{{Col: 0, Val: fact.Value(c), IsVal: true}}}, []fo.Var{rv}, nil
+	default:
+		// Constant = constant: Unit or Empty.
+		if g.L.(fo.Const) == g.R.(fo.Const) {
+			return Unit{}, nil, nil
+		}
+		return Empty{K: 0}, nil, nil
+	}
+}
+
+// naturalJoin joins two expressions on their shared variables,
+// returning the joined expression and its (sorted) column variables.
+func naturalJoin(l Expr, lcols []fo.Var, r Expr, rcols []fo.Var) (Expr, []fo.Var) {
+	prod := Product{L: l, R: r}
+	var conds []Cond
+	lIdx := map[fo.Var]int{}
+	for i, v := range lcols {
+		lIdx[v] = i
+	}
+	for j, v := range rcols {
+		if i, shared := lIdx[v]; shared {
+			conds = append(conds, Cond{Col: i, OtherCol: len(lcols) + j})
+		}
+	}
+	var e Expr = prod
+	if len(conds) > 0 {
+		e = Select{E: prod, Conds: conds}
+	}
+	// Output columns: sorted union of variables.
+	varSet := map[fo.Var]bool{}
+	for _, v := range lcols {
+		varSet[v] = true
+	}
+	for _, v := range rcols {
+		varSet[v] = true
+	}
+	cols := sortedVars(varSet)
+	proj := make([]int, len(cols))
+	for i, v := range cols {
+		if j, ok := lIdx[v]; ok {
+			proj[i] = j
+			continue
+		}
+		for j, rv := range rcols {
+			if rv == v {
+				proj[i] = len(lcols) + j
+				break
+			}
+		}
+	}
+	return Project{E: e, Cols: proj}, cols
+}
+
+// padTo extends an expression to the full column list by crossing with
+// Adom for missing variables, then projecting into target order.
+func padTo(e Expr, cols, target []fo.Var) Expr {
+	idx := map[fo.Var]int{}
+	for i, v := range cols {
+		idx[v] = i
+	}
+	cur := e
+	n := len(cols)
+	for _, v := range target {
+		if _, ok := idx[v]; !ok {
+			cur = Product{L: cur, R: Adom{}}
+			idx[v] = n
+			n++
+		}
+	}
+	proj := make([]int, len(target))
+	for i, v := range target {
+		proj[i] = idx[v]
+	}
+	return Project{E: cur, Cols: proj}
+}
+
+func sortedVars(set map[fo.Var]bool) []fo.Var {
+	out := make([]fo.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func toSet(m map[fo.Var]int) map[fo.Var]bool {
+	s := make(map[fo.Var]bool, len(m))
+	for v := range m {
+		s[v] = true
+	}
+	return s
+}
+
+func contains(vs []fo.Var, v fo.Var) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+// Package calm implements the analysis side of the paper: the formal
+// coordination-freeness test of §5, empirical monotonicity testing,
+// syntactic classification of transducers, and the Theorem 16 ring
+// construction. Together these validate the CALM property
+// (Corollary 13): coordination-free ⟺ oblivious ⟺ monotone, and its
+// Corollary 17 refinements for transducers avoiding only Id or only
+// All.
+package calm
+
+import (
+	"fmt"
+
+	"declnet/internal/dist"
+	"declnet/internal/fact"
+	"declnet/internal/network"
+	"declnet/internal/transducer"
+)
+
+// Class is the syntactic classification of a transducer (§4).
+type Class struct {
+	Oblivious    bool
+	UsesId       bool
+	UsesAll      bool
+	Inflationary bool
+	Monotone     bool
+}
+
+// Classify returns the syntactic class of a transducer.
+func Classify(tr *transducer.Transducer) Class {
+	return Class{
+		Oblivious:    tr.Oblivious(),
+		UsesId:       tr.UsesId(),
+		UsesAll:      tr.UsesAll(),
+		Inflationary: tr.Inflationary(),
+		Monotone:     tr.Monotone(),
+	}
+}
+
+func (c Class) String() string {
+	return fmt.Sprintf("oblivious=%v usesId=%v usesAll=%v inflationary=%v monotone=%v",
+		c.Oblivious, c.UsesId, c.UsesAll, c.Inflationary, c.Monotone)
+}
+
+// SplitByRelation assigns each input relation wholly to one node,
+// cycling through the nodes. This is the partition family that
+// witnesses coordination-freeness for transducers like the §5
+// "A or B nonempty" example, where the suitable partition must keep
+// certain relations apart.
+func SplitByRelation(I *fact.Instance, net *network.Network) dist.Partition {
+	nodes := net.Nodes()
+	p := dist.Partition{}
+	for _, v := range nodes {
+		p[v] = fact.NewInstance()
+	}
+	for i, rel := range I.RelNames() {
+		v := nodes[i%len(nodes)]
+		for _, f := range I.Facts() {
+			if f.Rel == rel {
+				p[v].AddFact(f)
+			}
+		}
+	}
+	return p
+}
+
+// witnessPartitions is the partition family searched by the
+// coordination-freeness test: the definition only requires SOME
+// suitable partition to exist.
+func witnessPartitions(I *fact.Instance, net *network.Network) []dist.Partition {
+	ps := []dist.Partition{
+		dist.ReplicateAll(I, net),
+		SplitByRelation(I, net),
+		dist.RoundRobinSplit(I, net),
+	}
+	for _, v := range net.Nodes() {
+		ps = append(ps, dist.AllAtNode(I, v))
+	}
+	for s := 0; s < 3; s++ {
+		ps = append(ps, dist.RandomSplit(I, net, int64(500+s)))
+	}
+	return ps
+}
+
+// FreeWitness is the successful witness of a coordination-freeness
+// test: the partition on which heartbeat transitions alone produced
+// the full output.
+type FreeWitness struct {
+	Partition dist.Partition
+	Rounds    int
+}
+
+// CoordinationFreeOn implements the §5 definition on one network:
+// Π is coordination-free on N for input I iff there EXISTS a
+// horizontal partition H and a run reaching a quiescence point using
+// only heartbeat transitions — operationally, heartbeats alone drive
+// every node to a fixpoint whose accumulated output is already the
+// expected query answer. The expected answer must be supplied (obtain
+// it from a fair run, e.g. dist.RunToQuiescence).
+//
+// The test searches the witness partition family; a positive answer is
+// a proof (the witness run is exhibited), a negative answer means no
+// witness was found among the searched partitions.
+func CoordinationFreeOn(net *network.Network, tr *transducer.Transducer, I *fact.Instance, expected *fact.Relation) (*FreeWitness, error) {
+	const maxRounds = 200
+	for _, p := range witnessPartitions(I, net) {
+		sim, err := network.NewSim(net, tr, p)
+		if err != nil {
+			return nil, err
+		}
+		converged, err := sim.HeartbeatFixpoint(maxRounds)
+		if err != nil {
+			// A failing local query on this partition disqualifies the
+			// witness, not the transducer.
+			continue
+		}
+		if converged && sim.Output().Equal(expected) {
+			return &FreeWitness{Partition: p, Rounds: sim.Heartbeats / net.Size()}, nil
+		}
+	}
+	return nil, nil
+}
+
+// CoordinationFree tests coordination-freeness across a topology zoo:
+// the §5 definition quantifies over ALL networks, which we sample.
+// It returns (free, firstFailingNetwork, error).
+func CoordinationFree(nets map[string]*network.Network, tr *transducer.Transducer, I *fact.Instance, expected *fact.Relation) (bool, string, error) {
+	for name, net := range nets {
+		w, err := CoordinationFreeOn(net, tr, I, expected)
+		if err != nil {
+			return false, name, err
+		}
+		if w == nil {
+			return false, name, nil
+		}
+	}
+	return true, "", nil
+}
+
+// ExpectedOutput computes the reference answer of the query expressed
+// by the transducer network: one fair run on a fixed small network.
+// Callers relying on it should have established consistency first.
+func ExpectedOutput(tr *transducer.Transducer, I *fact.Instance) (*fact.Relation, error) {
+	net := network.Line(2)
+	return dist.RunToQuiescence(net, tr, dist.RoundRobinSplit(I, net), dist.RunOptions{Seed: 1})
+}
+
+// MonotoneOn empirically tests monotonicity of the query computed by
+// the transducer: for every pair I ⊆ J in the given chain of
+// instances, the distributed answers must satisfy Q(I) ⊆ Q(J).
+// It returns the first violating pair, or nil.
+type MonotoneViolation struct {
+	I, J   *fact.Instance
+	QI, QJ *fact.Relation
+}
+
+// CheckMonotone runs the empirical monotonicity test over a chain of
+// growing instances.
+func CheckMonotone(tr *transducer.Transducer, chain []*fact.Instance) (*MonotoneViolation, error) {
+	outs := make([]*fact.Relation, len(chain))
+	for i, inst := range chain {
+		out, err := ExpectedOutput(tr, inst)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+	}
+	for i := 0; i < len(chain); i++ {
+		for j := i + 1; j < len(chain); j++ {
+			if !chain[i].SubsetOf(chain[j]) {
+				continue
+			}
+			if !outs[i].SubsetOf(outs[j]) {
+				return &MonotoneViolation{I: chain[i], J: chain[j], QI: outs[i], QJ: outs[j]}, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// GrowingChain builds a chain I_0 ⊆ I_1 ⊆ ... ⊆ I_n by adding the
+// facts of full one at a time (in deterministic order).
+func GrowingChain(full *fact.Instance) []*fact.Instance {
+	facts := full.Facts()
+	chain := make([]*fact.Instance, 0, len(facts)+1)
+	cur := fact.NewInstance()
+	chain = append(chain, cur.Clone())
+	for _, f := range facts {
+		cur.AddFact(f)
+		chain = append(chain, cur.Clone())
+	}
+	return chain
+}

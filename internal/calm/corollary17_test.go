@@ -1,0 +1,73 @@
+package calm
+
+import (
+	"testing"
+
+	"declnet/internal/dist"
+	"declnet/internal/fact"
+	"declnet/internal/fo"
+	"declnet/internal/network"
+)
+
+// Corollary 17: for a query Q, computability by an oblivious
+// transducer and by a transducer avoiding only Id coincide. We exhibit
+// the identity query on a unary S both ways — the oblivious monotone
+// streaming and the Example 15 ping transducer (uses All, not Id) —
+// and check they compute the same query on every topology. (An
+// oblivious implementation simultaneously witnesses the avoids-Id and
+// avoids-All classes, so two implementations cover all three.)
+func TestCorollary17IdentityThreeWays(t *testing.T) {
+	idQuery := fo.MustQuery("id", []string{"x"}, fo.AtomF("S", "x"))
+	oblivious, err := dist.MonotoneStreaming(fact.Schema{"S": 1}, idQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noId := dist.PingIdentity()
+
+	if oblivious.UsesId() || oblivious.UsesAll() {
+		t.Fatal("streaming identity should be oblivious")
+	}
+	if noId.UsesId() {
+		t.Fatal("ping identity must not use Id")
+	}
+
+	I := fact.FromFacts(
+		fact.NewFact("S", "a"), fact.NewFact("S", "b"), fact.NewFact("S", "c"),
+	)
+	nets := map[string]*network.Network{
+		"single": network.Single(),
+		"line3":  network.Line(3),
+	}
+	var outputs []*fact.Relation
+	for _, tc := range []struct {
+		name string
+		rep  func() (*fact.Relation, error)
+	}{
+		{"oblivious", func() (*fact.Relation, error) {
+			r, err := dist.CheckTopologyIndependence(nets, oblivious, I, dist.SweepOptions{Seeds: 2})
+			if err != nil {
+				return nil, err
+			}
+			return r.TheOutput(), nil
+		}},
+		{"noId", func() (*fact.Relation, error) {
+			r, err := dist.CheckTopologyIndependence(nets, noId, I, dist.SweepOptions{Seeds: 2})
+			if err != nil {
+				return nil, err
+			}
+			return r.TheOutput(), nil
+		}},
+	} {
+		out, err := tc.rep()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		outputs = append(outputs, out)
+	}
+	if !outputs[0].Equal(outputs[1]) {
+		t.Errorf("implementations disagree: %v vs %v", outputs[0], outputs[1])
+	}
+	if outputs[0].Len() != 3 {
+		t.Errorf("identity = %v", outputs[0])
+	}
+}

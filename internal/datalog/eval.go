@@ -1,0 +1,339 @@
+package datalog
+
+import (
+	"fmt"
+
+	"declnet/internal/fact"
+)
+
+// Eval computes the stratified semantics of the program on the given
+// extensional database, using semi-naive evaluation within each
+// stratum. The result contains the input facts plus all derived
+// facts. The input is not modified.
+func (p *Program) Eval(edb *fact.Instance) (*fact.Instance, error) {
+	return p.eval(edb, true)
+}
+
+// EvalNaive is Eval using naive fixpoint iteration (every rule
+// re-evaluated against the full instance each round). It exists for
+// the semi-naive/naive ablation benchmark; results are identical.
+func (p *Program) EvalNaive(edb *fact.Instance) (*fact.Instance, error) {
+	return p.eval(edb, false)
+}
+
+func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, error) {
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	I := edb.Clone()
+	for _, stratum := range strata {
+		inStratum := map[string]bool{}
+		for _, pred := range stratum {
+			inStratum[pred] = true
+		}
+		var rules []Rule
+		for _, r := range p.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+			}
+		}
+		if seminaive {
+			err = evalStratumSemiNaive(rules, inStratum, I)
+		} else {
+			err = evalStratumNaive(rules, I)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return I, nil
+}
+
+func evalStratumNaive(rules []Rule, I *fact.Instance) error {
+	for {
+		changed := false
+		for _, r := range rules {
+			heads, err := fireRule(r, I, -1, nil)
+			if err != nil {
+				return err
+			}
+			for _, h := range heads {
+				if I.AddFact(h) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+func evalStratumSemiNaive(rules []Rule, inStratum map[string]bool, I *fact.Instance) error {
+	// Round 0: fire every rule against the current instance.
+	delta := fact.NewInstance()
+	for _, r := range rules {
+		heads, err := fireRule(r, I, -1, nil)
+		if err != nil {
+			return err
+		}
+		for _, h := range heads {
+			if I.AddFact(h) {
+				delta.AddFact(h)
+			}
+		}
+	}
+	// Delta rounds: each rule fires once per positive body literal
+	// over a stratum predicate, with that literal restricted to the
+	// previous round's delta.
+	for !delta.Empty() {
+		next := fact.NewInstance()
+		for _, r := range rules {
+			for j, l := range r.Body {
+				if l.Kind != LitPos || !inStratum[l.Atom.Pred] {
+					continue
+				}
+				heads, err := fireRule(r, I, j, delta)
+				if err != nil {
+					return err
+				}
+				for _, h := range heads {
+					if !I.HasFact(h) {
+						next.AddFact(h)
+					}
+				}
+			}
+		}
+		for _, h := range next.Facts() {
+			I.AddFact(h)
+		}
+		delta = next
+	}
+	return nil
+}
+
+// TP applies the immediate consequence operator once: every rule is
+// evaluated against I, and the set of derived head facts (including
+// ones already present) is returned as a fresh instance. This is the
+// operator the Theorem 6(5) transducer applies continuously.
+func (p *Program) TP(I *fact.Instance) (*fact.Instance, error) {
+	out := fact.NewInstance()
+	for _, r := range p.Rules {
+		heads, err := fireRule(r, I, -1, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range heads {
+			out.AddFact(h)
+		}
+	}
+	return out, nil
+}
+
+// FireRule evaluates a single (safe) rule against an instance and
+// returns the derived head facts. Package dedalus uses it to fire
+// inductive and asynchronous rules against a completed time slice.
+func FireRule(r Rule, I *fact.Instance) ([]fact.Fact, error) {
+	return fireRule(r, I, -1, nil)
+}
+
+// fireRule evaluates one rule against I and returns the derived head
+// facts. If deltaIdx >= 0, body literal deltaIdx (which must be
+// positive) draws its tuples from delta instead of I (semi-naive
+// evaluation).
+func fireRule(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance) ([]fact.Fact, error) {
+	var out []fact.Fact
+	bind := map[string]fact.Value{}
+
+	// Greedy literal scheduling: at each step pick the first literal
+	// that is resolvable under the current bindings — any positive
+	// atom; an (in)equality whose variables are bound; or a negation
+	// whose variables are bound. Safety guarantees progress.
+	done := make([]bool, len(r.Body))
+	var rec func(remaining int) error
+	rec = func(remaining int) error {
+		if remaining == 0 {
+			t := make(fact.Tuple, len(r.Head.Terms))
+			for i, tm := range r.Head.Terms {
+				if tm.IsVar() {
+					v, ok := bind[tm.Var]
+					if !ok {
+						return fmt.Errorf("datalog: unbound head variable %s in %s", tm.Var, r)
+					}
+					t[i] = v
+				} else {
+					t[i] = tm.Const
+				}
+			}
+			out = append(out, fact.Fact{Rel: r.Head.Pred, Args: t})
+			return nil
+		}
+		idx := pickLiteral(r.Body, done, bind)
+		if idx < 0 {
+			return fmt.Errorf("datalog: no resolvable literal in %s (unsafe rule escaped Check)", r)
+		}
+		done[idx] = true
+		defer func() { done[idx] = false }()
+		l := r.Body[idx]
+		switch l.Kind {
+		case LitPos:
+			rel := I.Relation(l.Atom.Pred)
+			if idx == deltaIdx {
+				rel = delta.Relation(l.Atom.Pred)
+			}
+			if rel == nil {
+				return nil
+			}
+			var err error
+			rel.Each(func(t fact.Tuple) bool {
+				newly, ok := matchTuple(l.Atom.Terms, t, bind)
+				if ok {
+					if e := rec(remaining - 1); e != nil {
+						err = e
+					}
+				}
+				for _, v := range newly {
+					delete(bind, v)
+				}
+				return err == nil
+			})
+			return err
+		case LitNeg:
+			t := make(fact.Tuple, len(l.Atom.Terms))
+			for i, tm := range l.Atom.Terms {
+				t[i] = resolve(tm, bind)
+			}
+			rel := I.Relation(l.Atom.Pred)
+			if rel != nil && rel.Contains(t) {
+				return nil
+			}
+			return rec(remaining - 1)
+		case LitEq, LitNeq:
+			lv, lBound := resolveOK(l.L, bind)
+			rv, rBound := resolveOK(l.R, bind)
+			if l.Kind == LitEq && lBound != rBound {
+				// One side unbound: equality binds it.
+				if lBound {
+					bind[l.R.Var] = lv
+					defer delete(bind, l.R.Var)
+				} else {
+					bind[l.L.Var] = rv
+					defer delete(bind, l.L.Var)
+				}
+				return rec(remaining - 1)
+			}
+			if (l.Kind == LitEq && lv == rv) || (l.Kind == LitNeq && lv != rv) {
+				return rec(remaining - 1)
+			}
+			return nil
+		}
+		return nil
+	}
+	if err := rec(len(r.Body)); err != nil {
+		return nil, err
+	}
+	// In a delta round, a rule with no literal over the delta index
+	// must not fire; callers arrange deltaIdx to point at a positive
+	// literal, so nothing to do here.
+	return out, nil
+}
+
+// pickLiteral returns the index of the next resolvable body literal,
+// or -1. Positive literals are always resolvable; equalities need one
+// bound side; negations and inequalities need all variables bound.
+func pickLiteral(body []Literal, done []bool, bind map[string]fact.Value) int {
+	// Prefer fully bound checks first (cheap filters), then
+	// equalities, then positive scans.
+	best := -1
+	for i, l := range body {
+		if done[i] {
+			continue
+		}
+		switch l.Kind {
+		case LitNeg, LitNeq:
+			if allBound(l, bind) {
+				return i
+			}
+		case LitEq:
+			_, lb := resolveOK(l.L, bind)
+			_, rb := resolveOK(l.R, bind)
+			if lb && rb {
+				return i
+			}
+			if (lb || rb) && best < 0 {
+				best = i
+			}
+		case LitPos:
+			if best < 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+func allBound(l Literal, bind map[string]fact.Value) bool {
+	switch l.Kind {
+	case LitNeg:
+		for _, t := range l.Atom.Terms {
+			if t.IsVar() {
+				if _, ok := bind[t.Var]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	case LitNeq, LitEq:
+		_, lb := resolveOK(l.L, bind)
+		_, rb := resolveOK(l.R, bind)
+		return lb && rb
+	}
+	return true
+}
+
+func resolve(t Term, bind map[string]fact.Value) fact.Value {
+	if t.IsVar() {
+		return bind[t.Var]
+	}
+	return t.Const
+}
+
+func resolveOK(t Term, bind map[string]fact.Value) (fact.Value, bool) {
+	if t.IsVar() {
+		v, ok := bind[t.Var]
+		return v, ok
+	}
+	return t.Const, true
+}
+
+// matchTuple unifies atom terms against a concrete tuple under the
+// current bindings. On success it returns the variables newly bound
+// (for the caller to undo) and true.
+func matchTuple(terms []Term, t fact.Tuple, bind map[string]fact.Value) ([]string, bool) {
+	if len(terms) != len(t) {
+		return nil, false
+	}
+	var newly []string
+	for i, tm := range terms {
+		if tm.IsVar() {
+			if v, ok := bind[tm.Var]; ok {
+				if v != t[i] {
+					for _, n := range newly {
+						delete(bind, n)
+					}
+					return nil, false
+				}
+			} else {
+				bind[tm.Var] = t[i]
+				newly = append(newly, tm.Var)
+			}
+		} else if tm.Const != t[i] {
+			for _, n := range newly {
+				delete(bind, n)
+			}
+			return nil, false
+		}
+	}
+	return newly, true
+}

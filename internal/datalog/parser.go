@@ -1,0 +1,238 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"declnet/internal/fact"
+)
+
+// Parse parses a Datalog program in conventional syntax:
+//
+//	ancestor(X, Y) :- parent(X, Y).
+//	ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+//	orphan(X) :- person(X), not parent(_, X).
+//	diff(X, Y) :- s(X), s(Y), X != Y.
+//
+// Identifiers beginning with an uppercase letter or underscore are
+// variables (each bare "_" is a fresh anonymous variable); identifiers
+// beginning with a lowercase letter, and single-quoted strings, are
+// constants used as predicate arguments. Predicate names are taken
+// verbatim. Lines starting with % or # are comments. Rules end with a
+// period.
+func Parse(src string) (*Program, error) {
+	var rules []Rule
+	freshCounter := 0
+	for lineNo, stmt := range splitStatements(src) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		r, err := parseRule(stmt, &freshCounter)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: statement %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return NewProgram(rules...)
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseRule parses a single rule (without the terminating period) and
+// performs no safety checking — callers with extended variable-binding
+// conventions (package dedalus binds NOW/NEXT externally) do their own.
+func ParseRule(src string) (Rule, error) {
+	fresh := 0
+	return parseRule(strings.TrimSuffix(strings.TrimSpace(src), "."), &fresh)
+}
+
+// SplitStatements splits a program text into period-terminated
+// statements, dropping comment lines (% or #). Exported for syntax
+// front-ends layered on the Datalog reader (package dedalus).
+func SplitStatements(src string) []string {
+	return splitStatements(src)
+}
+
+// splitStatements splits on '.' that terminate rules, skipping
+// comment lines. Quoted constants may not contain periods or quotes.
+func splitStatements(src string) []string {
+	var cleaned strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "%") || strings.HasPrefix(t, "#") {
+			continue
+		}
+		cleaned.WriteString(line)
+		cleaned.WriteByte('\n')
+	}
+	parts := strings.Split(cleaned.String(), ".")
+	// The final segment after the last '.' should be blank.
+	var out []string
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseRule(stmt string, fresh *int) (Rule, error) {
+	var headStr, bodyStr string
+	if i := strings.Index(stmt, ":-"); i >= 0 {
+		headStr, bodyStr = stmt[:i], stmt[i+2:]
+	} else {
+		headStr = stmt
+	}
+	head, err := parseAtom(strings.TrimSpace(headStr), fresh)
+	if err != nil {
+		return Rule{}, fmt.Errorf("head: %w", err)
+	}
+	var body []Literal
+	for _, litStr := range splitTopLevel(bodyStr, ',') {
+		litStr = strings.TrimSpace(litStr)
+		if litStr == "" {
+			continue
+		}
+		l, err := parseLiteral(litStr, fresh)
+		if err != nil {
+			return Rule{}, fmt.Errorf("literal %q: %w", litStr, err)
+		}
+		body = append(body, l)
+	}
+	return Rule{Head: head, Body: body}, nil
+}
+
+// splitTopLevel splits s on sep occurrences outside parentheses.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth := 0
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	out = append(out, s[last:])
+	return out
+}
+
+func parseLiteral(s string, fresh *int) (Literal, error) {
+	if rest, ok := strings.CutPrefix(s, "not "); ok {
+		a, err := parseAtom(strings.TrimSpace(rest), fresh)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitNeg, Atom: a}, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "!"); ok && !strings.Contains(s, "!=") {
+		a, err := parseAtom(strings.TrimSpace(rest), fresh)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitNeg, Atom: a}, nil
+	}
+	// (In)equality?
+	if i := strings.Index(s, "!="); i >= 0 && !strings.Contains(s, "(") {
+		l, err := parseTerm(strings.TrimSpace(s[:i]), fresh)
+		if err != nil {
+			return Literal{}, err
+		}
+		r, err := parseTerm(strings.TrimSpace(s[i+2:]), fresh)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitNeq, L: l, R: r}, nil
+	}
+	if i := strings.Index(s, "="); i >= 0 && !strings.Contains(s, "(") {
+		l, err := parseTerm(strings.TrimSpace(s[:i]), fresh)
+		if err != nil {
+			return Literal{}, err
+		}
+		r, err := parseTerm(strings.TrimSpace(s[i+1:]), fresh)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitEq, L: l, R: r}, nil
+	}
+	a, err := parseAtom(s, fresh)
+	if err != nil {
+		return Literal{}, err
+	}
+	return Literal{Kind: LitPos, Atom: a}, nil
+}
+
+func parseAtom(s string, fresh *int) (Atom, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Atom{}, fmt.Errorf("malformed atom %q", s)
+	}
+	pred := strings.TrimSpace(s[:open])
+	if pred == "" || !isName(pred) {
+		return Atom{}, fmt.Errorf("bad predicate name %q", pred)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	var terms []Term
+	if inner != "" {
+		for _, tStr := range splitTopLevel(inner, ',') {
+			t, err := parseTerm(strings.TrimSpace(tStr), fresh)
+			if err != nil {
+				return Atom{}, err
+			}
+			terms = append(terms, t)
+		}
+	}
+	return Atom{Pred: pred, Terms: terms}, nil
+}
+
+func parseTerm(s string, fresh *int) (Term, error) {
+	if s == "" {
+		return Term{}, fmt.Errorf("empty term")
+	}
+	if s[0] == '\'' {
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return Term{}, fmt.Errorf("unterminated constant %q", s)
+		}
+		return C(fact.Value(s[1 : len(s)-1])), nil
+	}
+	if s == "_" {
+		*fresh++
+		return V(fmt.Sprintf("_anon%d", *fresh)), nil
+	}
+	if !isName(s) {
+		return Term{}, fmt.Errorf("bad term %q", s)
+	}
+	r := rune(s[0])
+	if unicode.IsUpper(r) || r == '_' {
+		return V(s), nil
+	}
+	return C(fact.Value(s)), nil
+}
+
+func isName(s string) bool {
+	for i, r := range s {
+		if i == 0 && !(unicode.IsLetter(r) || r == '_') {
+			return false
+		}
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+			return false
+		}
+	}
+	return s != ""
+}

@@ -1,0 +1,72 @@
+package datalog
+
+import (
+	"fmt"
+
+	"declnet/internal/fact"
+)
+
+// Query adapts a Datalog program to the query.Query interface: running
+// the query evaluates the program on the input instance (as EDB) and
+// returns the relation of the designated answer predicate. It is the
+// concrete form of "a query in (stratified / nonrecursive) Datalog"
+// used by Theorem 6(5) and Corollary 14(3).
+type Query struct {
+	Program *Program
+	Ans     string
+	ansAr   int
+}
+
+// NewQuery builds a Datalog query; the answer predicate must occur in
+// the program and the program must be stratifiable.
+func NewQuery(p *Program, ans string) (*Query, error) {
+	ar := p.Arities().Arity(ans)
+	if ar < 0 {
+		return nil, fmt.Errorf("datalog: answer predicate %s not in program", ans)
+	}
+	if _, err := p.Stratify(); err != nil {
+		return nil, err
+	}
+	return &Query{Program: p, Ans: ans, ansAr: ar}, nil
+}
+
+// MustQuery is NewQuery panicking on error.
+func MustQuery(p *Program, ans string) *Query {
+	q, err := NewQuery(p, ans)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Arity implements query.Query.
+func (q *Query) Arity() int { return q.ansAr }
+
+// Rels implements query.Query: the extensional predicates the program
+// reads.
+func (q *Query) Rels() []string { return q.Program.EDB() }
+
+// SyntacticallyMonotone implements query.Query: positive programs are
+// monotone (classical Datalog least-fixpoint semantics).
+func (q *Query) SyntacticallyMonotone() bool { return q.Program.IsPositive() }
+
+// Eval implements query.Query.
+func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
+	// Evaluate on the restriction to EDB predicates so that stray
+	// relations named like IDB predicates cannot contaminate the
+	// least model.
+	edbSchema := fact.Schema{}
+	arities := q.Program.Arities()
+	for _, e := range q.Program.EDB() {
+		edbSchema[e] = arities[e]
+	}
+	out, err := q.Program.Eval(I.Restrict(edbSchema))
+	if err != nil {
+		return nil, err
+	}
+	return out.RelationOr(q.Ans, q.ansAr).Clone(), nil
+}
+
+func (q *Query) String() string {
+	return fmt.Sprintf("datalog query [%s]:\n%s", q.Ans, q.Program)
+}

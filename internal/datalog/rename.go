@@ -1,0 +1,31 @@
+package datalog
+
+// RenamePreds returns a copy of the program with predicates renamed
+// according to the mapping (predicates absent from the map are kept).
+// It is used by the Theorem 6(5) compilation between transducers and
+// Datalog programs, where each insertion query's answer predicate is
+// renamed to its memory relation.
+func RenamePreds(p *Program, mapping map[string]string) *Program {
+	ren := func(name string) string {
+		if to, ok := mapping[name]; ok {
+			return to
+		}
+		return name
+	}
+	out := &Program{Rules: make([]Rule, len(p.Rules))}
+	for i, r := range p.Rules {
+		nr := Rule{
+			Head: Atom{Pred: ren(r.Head.Pred), Terms: append([]Term(nil), r.Head.Terms...)},
+			Body: make([]Literal, len(r.Body)),
+		}
+		for j, l := range r.Body {
+			nl := l
+			if l.Kind == LitPos || l.Kind == LitNeg {
+				nl.Atom = Atom{Pred: ren(l.Atom.Pred), Terms: append([]Term(nil), l.Atom.Terms...)}
+			}
+			nr.Body[j] = nl
+		}
+		out.Rules[i] = nr
+	}
+	return out
+}

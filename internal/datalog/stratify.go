@@ -1,0 +1,219 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// depEdge records that the head predicate depends on a body predicate,
+// and whether any such dependency is through negation.
+type depEdge struct {
+	from, to string // from = head pred, to = body pred
+	negative bool
+}
+
+// DependencyGraph returns the predicate dependency edges of the
+// program: an edge p→q for every rule with head p and body literal
+// over q, marked negative when the literal is negated. Parallel edges
+// are merged, keeping the negative mark if any occurrence is negative.
+func (p *Program) DependencyGraph() []depEdge {
+	type key struct{ from, to string }
+	merged := map[key]bool{} // value: negative?
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Kind != LitPos && l.Kind != LitNeg {
+				continue
+			}
+			k := key{r.Head.Pred, l.Atom.Pred}
+			if l.Kind == LitNeg {
+				merged[k] = true
+			} else if _, ok := merged[k]; !ok {
+				merged[k] = false
+			}
+		}
+	}
+	edges := make([]depEdge, 0, len(merged))
+	for k, neg := range merged {
+		edges = append(edges, depEdge{k.from, k.to, neg})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	return edges
+}
+
+// IsNonrecursive reports whether the dependency graph restricted to
+// IDB predicates is acyclic (including self-loops). Nonrecursive
+// Datalog with negation has exactly the power of FO (§2).
+func (p *Program) IsNonrecursive() bool {
+	sccs := p.sccs()
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	selfLoop := map[string]bool{}
+	for _, e := range p.DependencyGraph() {
+		if e.from == e.to {
+			selfLoop[e.from] = true
+		}
+	}
+	for _, scc := range sccs {
+		if len(scc) > 1 {
+			return false
+		}
+		if len(scc) == 1 && idb[scc[0]] && selfLoop[scc[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stratify computes a stratification: a partition of the IDB
+// predicates into strata such that positive dependencies stay within
+// or below a stratum and negative dependencies go strictly below. It
+// returns an error when the program is not stratifiable (a cycle
+// through negation).
+//
+// The implementation condenses the dependency graph into strongly
+// connected components (Tarjan) and assigns each component the longest
+// negative-edge-count path below it.
+func (p *Program) Stratify() ([][]string, error) {
+	idbSet := map[string]bool{}
+	for _, r := range p.Rules {
+		idbSet[r.Head.Pred] = true
+	}
+	edges := p.DependencyGraph()
+	sccs := p.sccs()
+
+	comp := map[string]int{}
+	for i, scc := range sccs {
+		for _, pred := range scc {
+			comp[pred] = i
+		}
+	}
+	// Negative edge within an SCC => cycle through negation.
+	for _, e := range edges {
+		if e.negative && comp[e.from] == comp[e.to] {
+			return nil, fmt.Errorf("datalog: not stratifiable: negative cycle through %s and %s", e.from, e.to)
+		}
+	}
+	// Longest-path stratum computation over the condensation.
+	// stratum(c) = max over edges from c to c' of stratum(c') (+1 if
+	// negative). sccs from Tarjan are in reverse topological order:
+	// dependencies (callees) come first.
+	stratum := make([]int, len(sccs))
+	// Build condensation adjacency.
+	type cedge struct {
+		to  int
+		neg bool
+	}
+	adj := make([][]cedge, len(sccs))
+	for _, e := range edges {
+		cf, ct := comp[e.from], comp[e.to]
+		if cf != ct {
+			adj[cf] = append(adj[cf], cedge{ct, e.negative})
+		}
+	}
+	for c := 0; c < len(sccs); c++ { // reverse topological order
+		s := 0
+		for _, e := range adj[c] {
+			need := stratum[e.to]
+			if e.neg {
+				need++
+			}
+			if need > s {
+				s = need
+			}
+		}
+		stratum[c] = s
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]string, maxS+1)
+	for i, scc := range sccs {
+		for _, pred := range scc {
+			if idbSet[pred] {
+				out[stratum[i]] = append(out[stratum[i]], pred)
+			}
+		}
+	}
+	// Drop empty strata (possible when only EDB preds landed there),
+	// keeping relative order.
+	compact := out[:0]
+	for _, s := range out {
+		if len(s) > 0 {
+			sort.Strings(s)
+			compact = append(compact, s)
+		}
+	}
+	if len(compact) == 0 {
+		compact = append(compact, []string{})
+	}
+	return compact, nil
+}
+
+// sccs returns the strongly connected components of the dependency
+// graph (over all predicates) in reverse topological order, via
+// Tarjan's algorithm (iterative-friendly recursion over a small graph).
+func (p *Program) sccs() [][]string {
+	adj := map[string][]string{}
+	nodes := p.Preds()
+	for _, e := range p.DependencyGraph() {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			out = append(out, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package dedalus
+
+import (
+	"fmt"
+
+	"declnet/internal/datalog"
+	"declnet/internal/tm"
+)
+
+// Predicate names used by the Theorem 18 compilation. Simulation
+// predicates are prefixed to keep them apart from the input schema.
+const (
+	predAccept  = "Accept"
+	predWordOK  = "wordOK"
+	predSpur    = "spurious"
+	predStarted = "started"
+	predStart   = "startNow"
+	predExt     = "ext"     // entangled tape extension cells
+	predSucc    = "succ"    // Tape ∪ ext
+	predHasNext = "hasNext" //
+	predHeadAt  = "headAt"
+	predElem    = "elem"
+	predLab     = "lab"
+	predChain   = "chain"
+)
+
+func simPred(sym string) string  { return "sim_" + sym }
+func stPred(state string) string { return "st_" + state }
+func firePred(q, a string) string {
+	return "fire_" + q + "_" + a
+}
+
+// CompileTM builds the Dedalus program of Theorem 18 for machine m:
+// on temporal instances whose accumulated facts form a word structure
+// over m's input alphabet, the program eventually derives Accept iff
+// m accepts the encoded string (or the structure contains spurious
+// facts, which the paper defines to make Q_M monotone). The program
+//
+//   - persists all input facts with inductive rules (facts may arrive
+//     at any timestamp);
+//   - detects word structures with recursive deductive rules and
+//     spurious facts with stratified negation;
+//   - simulates m with one inductive step per machine step, keeping
+//     the machine configuration in st_q/sim_a predicates; and
+//   - extends the tape on demand by creating cells NAMED BY TIMESTAMPS
+//     (the entanglement feature): ext(x, NEXT) links the last cell to
+//     a fresh cell whose identity is the successor timestamp.
+func CompileTM(m *tm.Machine) (*Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for _, a := range m.Alphabet {
+		switch a {
+		case "Tape", "Begin", "End":
+			return nil, fmt.Errorf("dedalus: alphabet symbol %q collides with schema", a)
+		}
+	}
+	var rules []Rule
+	V := datalog.V
+	pos := datalog.Pos
+	neg := datalog.Neg
+
+	inputPreds := []struct {
+		name  string
+		arity int
+	}{{"Begin", 1}, {"End", 1}}
+	for _, a := range m.Alphabet {
+		inputPreds = append(inputPreds, struct {
+			name  string
+			arity int
+		}{a, 1})
+	}
+
+	// 1. Persistence of input facts (inductive), including Tape/2.
+	rules = append(rules, I(Atom("Tape", "X", "Y"), pos("Tape", V("X"), V("Y"))))
+	for _, p := range inputPreds {
+		rules = append(rules, I(Atom(p.name, "X"), pos(p.name, V("X"))))
+	}
+
+	// 2. Word-structure detection (recursive deductive rules).
+	for _, a := range m.Alphabet {
+		rules = append(rules, D(Atom(predLab, "X"), pos(a, V("X"))))
+	}
+	rules = append(rules,
+		D(Atom(predChain, "X"), pos("Begin", V("X")), pos(predLab, V("X"))),
+		D(Atom(predChain, "Y"), pos(predChain, V("X")), pos("Tape", V("X"), V("Y")), pos(predLab, V("Y"))),
+		D(Atom(predWordOK), pos(predChain, V("X")), pos("End", V("X"))),
+	)
+
+	// 3. Spurious-fact detection (stratified negation), §8 item 2.
+	// elem collects the input active domain.
+	rules = append(rules,
+		D(Atom(predElem, "X"), pos("Tape", V("X"), V("Y"))),
+		D(Atom(predElem, "Y"), pos("Tape", V("X"), V("Y"))),
+	)
+	for _, p := range inputPreds {
+		rules = append(rules, D(Atom(predElem, "X"), pos(p.name, V("X"))))
+	}
+	rules = append(rules,
+		// (a) Begin or End not a singleton.
+		D(Atom(predSpur), pos("Begin", V("X")), pos("Begin", V("Y")), datalog.NeqL(V("X"), V("Y"))),
+		D(Atom(predSpur), pos("End", V("X")), pos("End", V("Y")), datalog.NeqL(V("X"), V("Y"))),
+		// (c) Tape not a plain successor chain.
+		D(Atom(predSpur), pos("Tape", V("X"), V("Y")), pos("Tape", V("X"), V("Z")), datalog.NeqL(V("Y"), V("Z"))),
+		D(Atom(predSpur), pos("Tape", V("Y"), V("X")), pos("Tape", V("Z"), V("X")), datalog.NeqL(V("Y"), V("Z"))),
+		D(Atom(predSpur), pos("End", V("X")), pos("Tape", V("X"), V("Y"))),
+		D(Atom(predSpur), pos("Begin", V("Y")), pos("Tape", V("X"), V("Y"))),
+		// (c') element on the tape unreachable from Begin, and
+		// (d) phantom elements: unlabeled or off-chain, once a word
+		// structure has been detected.
+		D(Atom(predSpur), pos(predWordOK), pos(predElem, V("X")), neg(predLab, V("X"))),
+		D(Atom(predSpur), pos(predWordOK), pos(predElem, V("X")), neg(predChain, V("X"))),
+	)
+	// (b) doubly-labeled elements.
+	for i, a := range m.Alphabet {
+		for j, b := range m.Alphabet {
+			if i < j {
+				rules = append(rules, D(Atom(predSpur), pos(a, V("X")), pos(b, V("X"))))
+			}
+		}
+	}
+
+	// 4. Simulation start: exactly once, when a clean word structure is
+	// present. started is a persisted latch.
+	rules = append(rules,
+		D(Atom(predStart), pos(predWordOK), neg(predSpur), neg(predStarted)),
+		I(Atom(predStarted), pos(predStart)),
+		I(Atom(predStarted), pos(predStarted)),
+		// Initial configuration: head on Begin in the start state; the
+		// input labels are copied to the simulation tape predicates.
+		I(Atom(stPred(m.Start), "X"), pos(predStart), pos("Begin", V("X"))),
+	)
+	for _, a := range m.Alphabet {
+		rules = append(rules, I(Atom(simPred(a), "X"), pos(predStart), pos(a, V("X"))))
+	}
+
+	// 5. Tape topology: succ = persisted Tape ∪ entangled extensions.
+	rules = append(rules,
+		I(Atom(predExt, "X", "Y"), pos(predExt, V("X"), V("Y"))), // persistence
+		D(Atom(predSucc, "X", "Y"), pos("Tape", V("X"), V("Y"))),
+		D(Atom(predSucc, "X", "Y"), pos(predExt, V("X"), V("Y"))),
+		D(Atom(predHasNext, "X"), pos(predSucc, V("X"), V("Y"))),
+	)
+
+	// headAt marks the scanned cell.
+	states := map[string]bool{m.Start: true, m.Accept: true}
+	for k, act := range m.Delta {
+		states[k.State] = true
+		states[act.State] = true
+	}
+	for q := range states {
+		rules = append(rules, D(Atom(predHeadAt, "X"), pos(stPred(q), V("X"))))
+	}
+
+	// 6. Machine transitions. For δ(q, a) = (q', b, M):
+	// fire_q_a(X) marks that the transition executes at the scanned
+	// cell X this step (it requires the destination cell to exist for
+	// moves); the write and move rules consume it. A right-mover with
+	// no successor persists its state and requests a tape extension:
+	// ext(X, NEXT) creates a fresh cell named by the next timestamp,
+	// blank-labeled at that timestamp.
+	tapeAlpha := m.TapeAlphabet()
+	willWrite := "willWrite"
+	for k, act := range m.Delta {
+		q, a := k.State, k.Symbol
+		fp := firePred(q, a)
+		base := []datalog.Literal{pos(stPred(q), V("X")), pos(simPred(a), V("X"))}
+		switch act.Move {
+		case tm.Right:
+			rules = append(rules,
+				D(Atom(fp, "X", "Y"), append(append([]datalog.Literal{}, base...), pos(predSucc, V("X"), V("Y")))...),
+				I(Atom(stPred(act.State), "Y"), pos(fp, V("X"), V("Y"))),
+				// Blocked at the tape end: stay put and extend.
+				I(Atom(stPred(q), "X"), append(append([]datalog.Literal{}, base...), neg(predHasNext, V("X")))...),
+				I(Atom(predExt, "X", VarNext), append(append([]datalog.Literal{}, base...), neg(predHasNext, V("X")))...),
+				I(Atom(simPred(tm.Blank), VarNext), append(append([]datalog.Literal{}, base...), neg(predHasNext, V("X")))...),
+			)
+		case tm.Left:
+			rules = append(rules,
+				D(Atom(fp, "X", "Y"), append(append([]datalog.Literal{}, base...), pos(predSucc, V("Y"), V("X")))...),
+				I(Atom(stPred(act.State), "Y"), pos(fp, V("X"), V("Y"))),
+			)
+		case tm.Stay:
+			rules = append(rules,
+				D(Atom(fp, "X", "X"), base...),
+				I(Atom(stPred(act.State), "Y"), pos(fp, V("X"), V("Y"))),
+			)
+		}
+		rules = append(rules,
+			D(Atom(willWrite, "X"), pos(fp, V("X"), V("Y"))),
+			I(Atom(simPred(act.Write), "X"), pos(fp, V("X"), V("Y"))),
+		)
+	}
+	// Tape persistence away from an executing write.
+	for _, c := range tapeAlpha {
+		rules = append(rules, I(Atom(simPred(c), "X"), pos(simPred(c), V("X")), neg(willWrite, V("X"))))
+	}
+
+	// 7. Acceptance: machine acceptance, or spurious word structures
+	// (the monotonicity guard of Q_M's definition). Accept persists.
+	rules = append(rules,
+		D(Atom(predAccept), pos(stPred(m.Accept), V("X"))),
+		D(Atom(predAccept), pos(predWordOK), pos(predSpur)),
+		I(Atom(predAccept), pos(predAccept)),
+	)
+	return New(rules...)
+}
+
+// AcceptPred is the nullary answer predicate of CompileTM programs.
+const AcceptPred = predAccept

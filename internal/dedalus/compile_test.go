@@ -1,0 +1,205 @@
+package dedalus
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/fact"
+	"declnet/internal/tm"
+)
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "")
+}
+
+// runTM compiles the machine and runs the Dedalus program on the word
+// structure of the input string, returning acceptance and convergence.
+func runTM(t *testing.T, m *tm.Machine, word string, seed int64) (accepted, converged bool) {
+	t.Helper()
+	p, err := CompileTM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, err := tm.EncodeWord(split(word))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Run(TemporalInput{0: I}, Options{MaxT: 200, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Holds(AcceptPred), tr.ConvergedAt >= 0
+}
+
+func TestTheorem18AgreesWithDirectRuns(t *testing.T) {
+	// E12: for every library machine and a suite of words, the Dedalus
+	// simulation must agree with the direct TM run.
+	words := []string{"ab", "ba", "aa", "bb", "aab", "abab", "abb", "bab", "aabb", "ababa"}
+	for _, m := range tm.All() {
+		for _, w := range words {
+			want := m.Run(split(w), 10000).Accepted
+			got, converged := runTM(t, m, w, 1)
+			if !converged {
+				t.Errorf("%s(%q): no convergence", m.Name, w)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s(%q): dedalus = %v, direct = %v", m.Name, w, got, want)
+			}
+		}
+	}
+}
+
+func TestTheorem18TapeExtensionUsesTimestamps(t *testing.T) {
+	// CopyExtend writes past the input end: the final slice must
+	// contain ext facts whose target cells are timestamp values.
+	p, err := CompileTM(tm.CopyExtend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, _ := tm.EncodeWord(split("ab"))
+	tr, err := p.Run(TemporalInput{0: I}, Options{MaxT: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Holds(AcceptPred) {
+		t.Fatal("copyExtend should accept")
+	}
+	ext := tr.Final().RelationOr(predExt, 2)
+	if ext.Len() < 2 {
+		t.Errorf("expected ≥ 2 entangled tape extensions, got %v", ext)
+	}
+	ext.Each(func(tp fact.Tuple) bool {
+		for _, c := range tp[1] {
+			if c < '0' || c > '9' {
+				t.Errorf("extension cell %s is not a timestamp value", tp[1])
+			}
+		}
+		return true
+	})
+}
+
+func TestTheorem18SpuriousFactsForceAccept(t *testing.T) {
+	// The monotonicity guard: a word structure plus spurious facts is
+	// accepted regardless of the machine.
+	m := tm.ABStar()
+	p, err := CompileTM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, _ := tm.EncodeWord(split("aa")) // rejected by abStar when clean
+	if got, _ := runTM(t, m, "aa", 1); got {
+		t.Fatal("clean aa should be rejected")
+	}
+	// Add a second Begin: spurious.
+	I.AddFact(fact.NewFact("Begin", "c2"))
+	tr, err := p.Run(TemporalInput{0: I}, Options{MaxT: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Holds(AcceptPred) {
+		t.Error("spurious structure must be accepted")
+	}
+}
+
+func TestTheorem18MonotoneUnderFactAddition(t *testing.T) {
+	// Q_M is monotone: if the program accepts I, it accepts every
+	// J ⊇ I. Take an accepted clean word and add spurious junk.
+	m := tm.EvenLength()
+	p, err := CompileTM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, _ := tm.EncodeWord(split("ab"))
+	tr, err := p.Run(TemporalInput{0: I}, Options{MaxT: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Holds(AcceptPred) {
+		t.Fatal("ab should be accepted")
+	}
+	additions := []fact.Fact{
+		fact.NewFact("a", "c2"),          // double label
+		fact.NewFact("Tape", "c2", "c1"), // edge out of End
+		fact.NewFact("b", "zz"),          // phantom element
+	}
+	for _, add := range additions {
+		J := I.Clone()
+		J.AddFact(add)
+		trJ, err := p.Run(TemporalInput{0: J}, Options{MaxT: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !trJ.Holds(AcceptPred) {
+			t.Errorf("monotonicity violated after adding %v", add)
+		}
+	}
+}
+
+func TestTheorem18LateArrivals(t *testing.T) {
+	// Facts can arrive at any timestamp: stream the word structure in
+	// three installments; the program must converge to the same
+	// verdict.
+	m := tm.EndsWithB()
+	p, err := CompileTM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, _ := tm.EncodeWord(split("ab"))
+	all := I.Facts()
+	in := TemporalInput{}
+	for i, f := range all {
+		tStamp := i % 3 * 2 // arrivals at t = 0, 2, 4
+		if in[tStamp] == nil {
+			in[tStamp] = fact.NewInstance()
+		}
+		in[tStamp].AddFact(f)
+	}
+	tr, err := p.Run(in, Options{MaxT: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ConvergedAt < 0 {
+		t.Fatal("no convergence under streaming input")
+	}
+	if !tr.Holds(AcceptPred) {
+		t.Error("streamed ab should be accepted by endsWithB")
+	}
+}
+
+func TestTheorem18RejectsNonWordStructures(t *testing.T) {
+	// Garbage that never completes a word structure: no acceptance.
+	m := tm.EvenLength()
+	p, err := CompileTM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := fact.FromFacts(
+		fact.NewFact("Tape", "c1", "c2"),
+		fact.NewFact("a", "c1"), // c2 unlabeled: chain never reaches End
+		fact.NewFact("Begin", "c1"),
+	)
+	tr, err := p.Run(TemporalInput{0: garbage}, Options{MaxT: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Holds(AcceptPred) {
+		t.Error("incomplete structure accepted")
+	}
+	if tr.ConvergedAt < 0 {
+		t.Error("program should still converge")
+	}
+}
+
+func TestCompileRejectsCollidingAlphabet(t *testing.T) {
+	m := &tm.Machine{
+		Name: "bad", Start: "q", Accept: "qa", Alphabet: []string{"Tape"},
+		Delta: map[tm.Key]tm.Action{},
+	}
+	if _, err := CompileTM(m); err == nil {
+		t.Error("alphabet colliding with schema accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Package dedalus implements the Dedalus language of §8 of the paper:
+// a temporal version of Datalog with negation in which every predicate
+// implicitly carries a timestamp as its last position. Rules come in
+// three kinds:
+//
+//   - deductive: head timestamp = body timestamp; the deductive rules
+//     of a program must be stratifiable and are evaluated to a
+//     fixpoint within each time slice;
+//   - inductive: head timestamp = body timestamp + 1;
+//   - async: the head is derived at a nondeterministically chosen
+//     later timestamp (modelling asynchronous communication), chosen
+//     here by a seeded scheduler so runs are replayable.
+//
+// Entanglement — the feature that timestamp values can be copied into
+// ordinary data positions — is exposed through the reserved variables
+// NOW and NEXT, which the engine substitutes with the current and
+// successor timestamps (as data values) when a rule fires. No
+// timestamp arithmetic beyond this copying is available, exactly as in
+// the paper.
+//
+// The package also contains the Theorem 18 construction: CompileTM
+// translates any Turing machine into a Dedalus program that simulates
+// it on word-structure inputs in an eventually consistent way,
+// extending the tape with entangled timestamp cells when needed.
+package dedalus
+
+import (
+	"fmt"
+	"strconv"
+
+	"declnet/internal/datalog"
+	"declnet/internal/fact"
+)
+
+// Kind discriminates rule kinds.
+type Kind int
+
+// Rule kinds.
+const (
+	Deductive Kind = iota
+	Inductive
+	Async
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Deductive:
+		return "deductive"
+	case Inductive:
+		return "inductive"
+	case Async:
+		return "async"
+	}
+	return "?"
+}
+
+// Reserved time variables usable in rule terms (entanglement).
+const (
+	VarNow  = "NOW"
+	VarNext = "NEXT"
+)
+
+// Rule is a Dedalus rule. Head and body atoms are written WITHOUT the
+// implicit timestamp argument; the engine manages timestamps according
+// to the rule kind. Terms may use the reserved variables NOW and NEXT
+// to copy timestamps into data positions.
+type Rule struct {
+	Kind Kind
+	Head datalog.Atom
+	Body []datalog.Literal
+}
+
+func (r Rule) String() string {
+	base := datalog.Rule{Head: r.Head, Body: r.Body}.String()
+	return fmt.Sprintf("%s [%s]", base, r.Kind)
+}
+
+// Program is a Dedalus program.
+type Program struct {
+	Rules []Rule
+
+	deductive *datalog.Program // cached stratified slice program
+}
+
+// New validates the program: the deductive subset must be safe and
+// stratifiable (the paper's determinism condition), and inductive and
+// async rules must be safe.
+func New(rules ...Rule) (*Program, error) {
+	p := &Program{Rules: rules}
+	var ded []datalog.Rule
+	for _, r := range p.Rules {
+		dr := datalog.Rule{Head: r.Head, Body: r.Body}
+		// Treat NOW/NEXT as bound for the safety check by appending a
+		// pseudo-positive literal binding them.
+		checkRule := dr
+		checkRule.Body = append([]datalog.Literal{
+			datalog.Pos("dedalus_clock", datalog.V(VarNow), datalog.V(VarNext)),
+		}, dr.Body...)
+		if _, err := datalog.NewProgram(checkRule); err != nil {
+			return nil, fmt.Errorf("dedalus: rule %s: %w", r, err)
+		}
+		if r.Kind == Deductive {
+			if mentionsTimeVar(dr) {
+				return nil, fmt.Errorf("dedalus: rule %s: NOW/NEXT are only available in inductive and async rules", r)
+			}
+			ded = append(ded, dr)
+		}
+	}
+	dedProg, err := datalog.NewProgram(ded...)
+	if err != nil {
+		return nil, fmt.Errorf("dedalus: deductive subset: %w", err)
+	}
+	if _, err := dedProg.Stratify(); err != nil {
+		return nil, fmt.Errorf("dedalus: deductive subset: %w", err)
+	}
+	p.deductive = dedProg
+	return p, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(rules ...Rule) *Program {
+	p, err := New(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TemporalInput assigns to each timestamp the EDB facts arriving then
+// (the paper's temporal instances: input facts can arrive at any
+// timestamp and must be persisted by program rules to stay visible).
+type TemporalInput map[int]*fact.Instance
+
+// Options configure a run.
+type Options struct {
+	// MaxT bounds the simulated timestamps (default 256).
+	MaxT int
+	// Seed drives the async timestamp scheduler.
+	Seed int64
+	// MaxAsyncDelay bounds the extra delay of async deliveries
+	// (default 3: delivery at t+1 .. t+1+3).
+	MaxAsyncDelay int
+}
+
+func (o Options) maxT() int {
+	if o.MaxT <= 0 {
+		return 256
+	}
+	return o.MaxT
+}
+
+// Trace is the result of a run: the computed slice Π(I)|t for each
+// evaluated timestamp and the convergence point.
+type Trace struct {
+	Slices []*fact.Instance
+	// ConvergedAt is the first timestamp n with Π(I)|m = Π(I)|n for
+	// all m ≥ n (eventual consistency), or -1 if not reached within
+	// MaxT.
+	ConvergedAt int
+}
+
+// Final returns the last computed slice.
+func (tr *Trace) Final() *fact.Instance {
+	if len(tr.Slices) == 0 {
+		return fact.NewInstance()
+	}
+	return tr.Slices[len(tr.Slices)-1]
+}
+
+// Holds reports whether the nullary predicate holds in the final slice.
+func (tr *Trace) Holds(pred string) bool {
+	return !tr.Final().RelationOr(pred, 0).Empty()
+}
+
+// Run evaluates the program on the temporal input. Per timestamp t:
+// the slice starts from the facts scheduled for t (by inductive/async
+// rules) plus the EDB facts arriving at t; the deductive rules are
+// evaluated to a stratified fixpoint; then inductive and async rules
+// fire on the completed slice, scheduling their heads at t+1 or at a
+// scheduler-chosen later time respectively.
+//
+// The run stops early at convergence: when a slice equals the previous
+// one, the scheduled facts for the next timestamp equal those that
+// seeded the current one, no input or async deliveries are pending,
+// and no async rule fired — then all later slices are provably
+// identical.
+func (p *Program) Run(in TemporalInput, opt Options) (*Trace, error) {
+	e := NewExec(p, opt.Seed, opt.MaxAsyncDelay)
+	lastInput := -1
+	for t := range in {
+		if t > lastInput {
+			lastInput = t
+		}
+	}
+	trace := &Trace{ConvergedAt: -1}
+	for t := 0; t <= opt.maxT(); t++ {
+		slice, err := e.Step(in[t])
+		if err != nil {
+			return nil, err
+		}
+		trace.Slices = append(trace.Slices, slice)
+		if e.Quiet() && t > lastInput {
+			trace.ConvergedAt = t
+			return trace, nil
+		}
+	}
+	return trace, nil
+}
+
+func seedEqual(a, b *fact.Instance) bool {
+	if a == nil {
+		return b == nil || b.Empty()
+	}
+	if b == nil {
+		return a.Empty()
+	}
+	return a.Equal(b)
+}
+
+// mentionsTimeVar reports whether a rule uses NOW or NEXT anywhere.
+func mentionsTimeVar(r datalog.Rule) bool {
+	isTime := func(tm datalog.Term) bool {
+		return tm.Var == VarNow || tm.Var == VarNext
+	}
+	for _, tm := range r.Head.Terms {
+		if isTime(tm) {
+			return true
+		}
+	}
+	for _, l := range r.Body {
+		switch l.Kind {
+		case datalog.LitPos, datalog.LitNeg:
+			for _, tm := range l.Atom.Terms {
+				if isTime(tm) {
+					return true
+				}
+			}
+		default:
+			if isTime(l.L) || isTime(l.R) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// substTime replaces the reserved variables NOW and NEXT by the
+// timestamp constants t and t+1 in all rule terms.
+func substTime(r datalog.Rule, t int) datalog.Rule {
+	now := fact.Value(strconv.Itoa(t))
+	next := fact.Value(strconv.Itoa(t + 1))
+	substTerm := func(tm datalog.Term) datalog.Term {
+		switch tm.Var {
+		case VarNow:
+			return datalog.C(now)
+		case VarNext:
+			return datalog.C(next)
+		}
+		return tm
+	}
+	substAtom := func(a datalog.Atom) datalog.Atom {
+		terms := make([]datalog.Term, len(a.Terms))
+		for i, tm := range a.Terms {
+			terms[i] = substTerm(tm)
+		}
+		return datalog.Atom{Pred: a.Pred, Terms: terms}
+	}
+	out := datalog.Rule{Head: substAtom(r.Head), Body: make([]datalog.Literal, len(r.Body))}
+	for i, l := range r.Body {
+		nl := l
+		if l.Kind == datalog.LitPos || l.Kind == datalog.LitNeg {
+			nl.Atom = substAtom(l.Atom)
+		} else {
+			nl.L = substTerm(l.L)
+			nl.R = substTerm(l.R)
+		}
+		out.Body[i] = nl
+	}
+	return out
+}
+
+// D is a convenience constructor for deductive rules.
+func D(head datalog.Atom, body ...datalog.Literal) Rule {
+	return Rule{Kind: Deductive, Head: head, Body: body}
+}
+
+// I is a convenience constructor for inductive rules.
+func I(head datalog.Atom, body ...datalog.Literal) Rule {
+	return Rule{Kind: Inductive, Head: head, Body: body}
+}
+
+// A is a convenience constructor for async rules.
+func A(head datalog.Atom, body ...datalog.Literal) Rule {
+	return Rule{Kind: Async, Head: head, Body: body}
+}
+
+// Atom builds an atom from a predicate and variable names; names
+// starting with a quote are constants (e.g. "'x").
+func Atom(pred string, vars ...string) datalog.Atom {
+	terms := make([]datalog.Term, len(vars))
+	for i, v := range vars {
+		if len(v) > 0 && v[0] == '\'' {
+			terms[i] = datalog.C(fact.Value(v[1:]))
+		} else {
+			terms[i] = datalog.V(v)
+		}
+	}
+	return datalog.Atom{Pred: pred, Terms: terms}
+}

@@ -1,0 +1,176 @@
+package dedalus
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/datalog"
+	"declnet/internal/fact"
+)
+
+func ff(rel string, args ...fact.Value) fact.Fact { return fact.NewFact(rel, args...) }
+
+func at(t int, facts ...fact.Fact) TemporalInput {
+	return TemporalInput{t: fact.FromFacts(facts...)}
+}
+
+func TestPersistenceRule(t *testing.T) {
+	// p persists; input arrives at t=0 and t=2.
+	p := MustNew(
+		I(Atom("p", "X"), datalog.Pos("p", datalog.V("X"))),
+	)
+	in := TemporalInput{
+		0: fact.FromFacts(ff("p", "a")),
+		2: fact.FromFacts(ff("p", "b")),
+	}
+	tr, err := p.Run(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ConvergedAt < 0 {
+		t.Fatal("no convergence")
+	}
+	final := tr.Final()
+	if !final.HasFact(ff("p", "a")) || !final.HasFact(ff("p", "b")) {
+		t.Errorf("final = %v", final)
+	}
+	// At t=1, only a is present.
+	if tr.Slices[1].HasFact(ff("p", "b")) {
+		t.Error("b visible before arrival")
+	}
+}
+
+func TestDeductiveFixpointPerSlice(t *testing.T) {
+	// Transitive closure deductively, edges persisted inductively.
+	p := MustNew(
+		I(Atom("e", "X", "Y"), datalog.Pos("e", datalog.V("X"), datalog.V("Y"))),
+		D(Atom("tc", "X", "Y"), datalog.Pos("e", datalog.V("X"), datalog.V("Y"))),
+		D(Atom("tc", "X", "Z"), datalog.Pos("e", datalog.V("X"), datalog.V("Y")), datalog.Pos("tc", datalog.V("Y"), datalog.V("Z"))),
+	)
+	in := TemporalInput{
+		0: fact.FromFacts(ff("e", "a", "b")),
+		3: fact.FromFacts(ff("e", "b", "c")),
+	}
+	tr, err := p.Run(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Final().HasFact(ff("tc", "a", "c")) {
+		t.Errorf("final = %v", tr.Final())
+	}
+	// Eventual consistency: late edge arrival only adds tuples.
+	if tr.Slices[1].HasFact(ff("tc", "a", "c")) {
+		t.Error("tc(a,c) derived before e(b,c) arrived")
+	}
+}
+
+func TestInductiveCounterDoesNotConverge(t *testing.T) {
+	// A program minting a new entangled fact each step never becomes
+	// eventually consistent (the paper's Proposition 1 contrast).
+	p := MustNew(
+		I(Atom("tick", "'go"), datalog.Pos("tick", datalog.V("X"))),
+		I(Atom("seen", VarNow), datalog.Pos("tick", datalog.V("X"))),
+		I(Atom("seen", "X"), datalog.Pos("seen", datalog.V("X"))),
+	)
+	tr, err := p.Run(at(0, ff("tick", "go")), Options{MaxT: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ConvergedAt >= 0 {
+		t.Error("timestamp-minting program reported convergence")
+	}
+	if tr.Final().RelationOr("seen", 1).Len() < 30 {
+		t.Errorf("seen = %v", tr.Final().Relation("seen"))
+	}
+}
+
+func TestEntanglementCopiesTimestamps(t *testing.T) {
+	p := MustNew(
+		I(Atom("stamp", "X", VarNow), datalog.Pos("q", datalog.V("X"))),
+		I(Atom("stamp", "X", "T"), datalog.Pos("stamp", datalog.V("X"), datalog.V("T"))),
+	)
+	tr, err := p.Run(at(2, ff("q", "v")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Final().HasFact(ff("stamp", "v", "2")) {
+		t.Errorf("final = %v", tr.Final())
+	}
+}
+
+func TestAsyncDeliveryIsDelayedButArrives(t *testing.T) {
+	p := MustNew(
+		A(Atom("got", "X"), datalog.Pos("send", datalog.V("X"))),
+		I(Atom("got", "X"), datalog.Pos("got", datalog.V("X"))),
+	)
+	for seed := int64(0); seed < 5; seed++ {
+		tr, err := p.Run(at(0, ff("send", "m")), Options{Seed: seed, MaxAsyncDelay: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ConvergedAt < 0 {
+			t.Fatal("no convergence")
+		}
+		if !tr.Final().HasFact(ff("got", "m")) {
+			t.Errorf("seed %d: message lost", seed)
+		}
+		if tr.Slices[0].HasFact(ff("got", "m")) {
+			t.Errorf("seed %d: async delivered instantly", seed)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	p := MustNew(
+		A(Atom("got", "X"), datalog.Pos("send", datalog.V("X"))),
+		I(Atom("got", "X"), datalog.Pos("got", datalog.V("X"))),
+		I(Atom("send", "X"), datalog.Pos("send", datalog.V("X"))),
+	)
+	run := func() int {
+		tr, err := p.Run(at(0, ff("send", "m")), Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range tr.Slices {
+			if s.HasFact(ff("got", "m")) {
+				return i
+			}
+		}
+		return -1
+	}
+	if run() != run() {
+		t.Error("same seed gave different delivery times")
+	}
+}
+
+func TestValidationRejectsBadRules(t *testing.T) {
+	// Unsafe rule.
+	if _, err := New(D(Atom("p", "X"), datalog.Pos("q", datalog.V("Y")))); err == nil {
+		t.Error("unsafe rule accepted")
+	}
+	// Unstratifiable deductive subset.
+	_, err := New(
+		D(Atom("win", "X"), datalog.Pos("move", datalog.V("X"), datalog.V("Y")), datalog.Neg("win", datalog.V("Y"))),
+	)
+	if err == nil {
+		t.Error("unstratifiable deductive subset accepted")
+	}
+	// NOW in a deductive rule.
+	if _, err := New(D(Atom("p", VarNow), datalog.Pos("q", datalog.V("X")))); err == nil {
+		t.Error("NOW in deductive rule accepted")
+	}
+	// Stratified negation across deductive rules is fine.
+	if _, err := New(
+		D(Atom("p", "X"), datalog.Pos("q", datalog.V("X")), datalog.Neg("r", datalog.V("X"))),
+		D(Atom("r", "X"), datalog.Pos("s", datalog.V("X"))),
+	); err != nil {
+		t.Errorf("stratified program rejected: %v", err)
+	}
+}
+
+func TestRuleStrings(t *testing.T) {
+	r := I(Atom("p", "X", VarNext), datalog.Pos("q", datalog.V("X")))
+	if !strings.Contains(r.String(), "inductive") {
+		t.Errorf("String = %q", r.String())
+	}
+}

@@ -1,0 +1,123 @@
+package dedalus
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/fact"
+	"declnet/internal/network"
+	"declnet/internal/tm"
+)
+
+// partitionFacts deals the facts of I across the nodes round-robin.
+func partitionFacts(I *fact.Instance, net *network.Network) map[fact.Value]*fact.Instance {
+	nodes := net.Nodes()
+	part := map[fact.Value]*fact.Instance{}
+	for _, v := range nodes {
+		part[v] = fact.NewInstance()
+	}
+	for i, f := range I.Facts() {
+		part[nodes[i%len(nodes)]].AddFact(f)
+	}
+	return part
+}
+
+func TestDistributedTMSimulation(t *testing.T) {
+	// §8 closing: peers flood their input fragments; because Q_M is
+	// monotone in the EDB relations, every node converges to the
+	// machine's verdict without coordination.
+	for _, m := range []*tm.Machine{tm.EvenLength(), tm.EndsWithB()} {
+		prog, err := CompileTM(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []string{"ab", "ba", "aab"} {
+			letters := strings.Split(w, "")
+			want := m.Run(letters, 10000).Accepted
+			I, err := tm.EncodeWord(letters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, net := range []*network.Network{network.Line(2), network.Ring(3)} {
+				tr, err := DistRun(prog, net, partitionFacts(I, net), DistOptions{Seed: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.ConvergedAt < 0 {
+					t.Fatalf("%s(%q) on %v: no convergence", m.Name, w, net)
+				}
+				if tr.Holds(AcceptPred) != want {
+					t.Errorf("%s(%q) on %v: distributed=%v direct=%v",
+						m.Name, w, net, tr.Holds(AcceptPred), want)
+				}
+				// Every node must agree (eventual consistency).
+				for v, f := range tr.Finals {
+					if f.RelationOr(AcceptPred, 0).Empty() == want {
+						t.Errorf("%s(%q): node %s disagrees", m.Name, w, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedDeterministicPerSeed(t *testing.T) {
+	prog, err := CompileTM(tm.EvenLength())
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, _ := tm.EncodeWord([]string{"a", "b"})
+	net := network.Line(3)
+	run := func() (int, int) {
+		tr, err := DistRun(prog, net, partitionFacts(I, net), DistOptions{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.ConvergedAt, tr.Messages
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Errorf("seeded runs differ: (%d,%d) vs (%d,%d)", c1, m1, c2, m2)
+	}
+}
+
+func TestDistributedSingleNodeMatchesLocalRun(t *testing.T) {
+	prog, err := CompileTM(tm.ABStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, _ := tm.EncodeWord([]string{"a", "b"})
+	local, err := prog.Run(TemporalInput{0: I}, Options{MaxT: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := network.Single()
+	dist, err := DistRun(prog, net, map[fact.Value]*fact.Instance{"n1": I}, DistOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Holds(AcceptPred) != local.Holds(AcceptPred) {
+		t.Error("single-node distributed run disagrees with local run")
+	}
+}
+
+func TestDistributedSpuriousFragmentStillAccepts(t *testing.T) {
+	// Monotonicity survives distribution: spurious facts at ONE node
+	// flow everywhere and force global acceptance.
+	prog, err := CompileTM(tm.ABStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, _ := tm.EncodeWord([]string{"a", "a"}) // rejected when clean
+	net := network.Line(2)
+	part := partitionFacts(I, net)
+	part["n2"].AddFact(fact.NewFact("Begin", "c2")) // spurious
+	tr, err := DistRun(prog, net, part, DistOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Holds(AcceptPred) {
+		t.Error("spurious fragment did not force acceptance")
+	}
+}

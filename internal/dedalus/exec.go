@@ -1,0 +1,112 @@
+package dedalus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"declnet/internal/datalog"
+	"declnet/internal/fact"
+)
+
+// Exec is a stepwise Dedalus evaluator: one call to Step evaluates one
+// timestamp. It underlies both the single-site Run and the distributed
+// evaluation of §8's closing construction, where peers exchange EDB
+// facts between steps.
+type Exec struct {
+	p   *Program
+	rng *rand.Rand
+
+	maxDelay  int
+	t         int
+	scheduled map[int]*fact.Instance
+
+	prevSlice *fact.Instance
+	prevSeed  *fact.Instance
+	// quiet reports that the last Step changed nothing relative to the
+	// one before and nothing is pending internally; with no further
+	// external input, all future slices are identical.
+	quiet bool
+}
+
+// NewExec creates a stepwise evaluator.
+func NewExec(p *Program, seed int64, maxAsyncDelay int) *Exec {
+	if maxAsyncDelay <= 0 {
+		maxAsyncDelay = 3
+	}
+	return &Exec{
+		p:         p,
+		rng:       rand.New(rand.NewSource(seed)),
+		maxDelay:  maxAsyncDelay,
+		scheduled: map[int]*fact.Instance{},
+	}
+}
+
+// T returns the next timestamp to be evaluated.
+func (e *Exec) T() int { return e.t }
+
+// Quiet reports whether the evaluator has internally converged: absent
+// further external EDB input, every future slice equals the last one.
+func (e *Exec) Quiet() bool { return e.quiet }
+
+// Step evaluates the slice at the current timestamp, taking extraEDB
+// as the facts arriving now (may be nil), and advances the clock. It
+// returns the completed slice (deductive fixpoint included).
+func (e *Exec) Step(extraEDB *fact.Instance) (*fact.Instance, error) {
+	t := e.t
+	seed := fact.NewInstance()
+	if s := e.scheduled[t]; s != nil {
+		seed.UnionWith(s)
+		delete(e.scheduled, t)
+	}
+	externalInput := extraEDB != nil && !extraEDB.Empty()
+	if extraEDB != nil {
+		seed.UnionWith(extraEDB)
+	}
+	slice, err := e.p.deductive.Eval(seed)
+	if err != nil {
+		return nil, fmt.Errorf("dedalus: t=%d: %w", t, err)
+	}
+
+	asyncFired := false
+	for _, r := range e.p.Rules {
+		if r.Kind == Deductive {
+			continue
+		}
+		ground := substTime(datalog.Rule{Head: r.Head, Body: r.Body}, t)
+		heads, err := datalog.FireRule(ground, slice)
+		if err != nil {
+			return nil, fmt.Errorf("dedalus: t=%d rule %s: %w", t, r, err)
+		}
+		target := t + 1
+		if r.Kind == Async {
+			if len(heads) > 0 {
+				asyncFired = true
+			}
+			target = t + 1 + e.rng.Intn(e.maxDelay+1)
+		}
+		for _, h := range heads {
+			if e.scheduled[target] == nil {
+				e.scheduled[target] = fact.NewInstance()
+			}
+			e.scheduled[target].AddFact(h)
+		}
+	}
+
+	pendingBeyond := false
+	for ts := range e.scheduled {
+		if ts > t+1 {
+			pendingBeyond = true
+			break
+		}
+	}
+	e.quiet = e.prevSlice != nil && slice.Equal(e.prevSlice) && !asyncFired &&
+		!pendingBeyond && !externalInput && seedEqual(e.scheduled[t+1], e.prevSeed)
+
+	e.prevSlice = slice
+	e.prevSeed = nil
+	if s := e.scheduled[t+1]; s != nil {
+		e.prevSeed = s.Clone()
+	}
+	e.t++
+	return slice, nil
+}

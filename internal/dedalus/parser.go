@@ -1,0 +1,97 @@
+package dedalus
+
+import (
+	"fmt"
+	"strings"
+
+	"declnet/internal/datalog"
+)
+
+// Parse parses a textual Dedalus program. The syntax is Datalog with a
+// kind annotation on the head:
+//
+//	% deductive rule (same timestamp)
+//	wordOK() :- chain(X), End(X).
+//	% inductive rule (next timestamp) — the paper's p(x, n+1) <- p(x, n)
+//	p(X)@next :- p(X).
+//	% async rule (nondeterministic future timestamp)
+//	got(X)@async :- send(X).
+//	% entanglement: NOW and NEXT denote the rule's timestamps as data
+//	stamp(X, NOW)@next :- q(X).
+//
+// Uppercase identifiers are variables (NOW and NEXT are reserved),
+// lowercase and quoted identifiers are constants, rules end with
+// periods, %- and #-lines are comments.
+func Parse(src string) (*Program, error) {
+	var rules []Rule
+	for i, stmt := range datalog.SplitStatements(src) {
+		r, err := parseRule(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("dedalus: statement %d: %w", i+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return New(rules...)
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseRule(stmt string) (Rule, error) {
+	head := stmt
+	body := ""
+	if i := strings.Index(stmt, ":-"); i >= 0 {
+		head, body = stmt[:i], stmt[i+2:]
+	}
+	head = strings.TrimSpace(head)
+	kind := Deductive
+	switch {
+	case strings.HasSuffix(head, "@next"):
+		kind = Inductive
+		head = strings.TrimSuffix(head, "@next")
+	case strings.HasSuffix(head, "@async"):
+		kind = Async
+		head = strings.TrimSuffix(head, "@async")
+	case strings.Contains(head, "@"):
+		return Rule{}, fmt.Errorf("unknown head annotation in %q (want @next or @async)", head)
+	}
+	full := head
+	if body != "" {
+		full += " :- " + body
+	}
+	dr, err := datalog.ParseRule(full)
+	if err != nil {
+		return Rule{}, err
+	}
+	return Rule{Kind: kind, Head: dr.Head, Body: dr.Body}, nil
+}
+
+// String renders the program in the parseable syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.Head.String())
+		switch r.Kind {
+		case Inductive:
+			b.WriteString("@next")
+		case Async:
+			b.WriteString("@async")
+		}
+		if len(r.Body) > 0 {
+			b.WriteString(" :- ")
+			parts := make([]string, len(r.Body))
+			for i, l := range r.Body {
+				parts[i] = l.String()
+			}
+			b.WriteString(strings.Join(parts, ", "))
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}

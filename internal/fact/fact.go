@@ -1,0 +1,303 @@
+// Package fact implements the relational data model underlying the
+// transducer-network formalism of Ameloot, Neven and Van den Bussche
+// (PODS 2011): atomic data elements from an infinite universe dom,
+// facts R(a1,...,ak), finite relations, database schemas and database
+// instances, together with the operations the paper's definitions rely
+// on (active domain, containment, union, applying permutations of dom).
+//
+// Instances are sets of facts; all set semantics live here. Message
+// buffers, which the paper models as multisets, are implemented in
+// package network on top of the Fact type.
+package fact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an atomic data element of the universe dom. The paper's dom
+// is an arbitrary infinite set equipped only with equality; strings
+// satisfy both requirements. Node identifiers are Values too, since
+// the paper stores nodes in relations (Id, All).
+type Value string
+
+// Tuple is an ordered sequence of Values.
+type Tuple []Value
+
+// Key returns a canonical encoding of the tuple usable as a map key.
+// Values are escaped and the arity is prefixed so that no two distinct
+// tuples share a key (e.g. the empty tuple vs. a tuple of one empty
+// string).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	n := 0
+	for _, v := range t {
+		n += len(v) + 3
+	}
+	b.Grow(n + 4)
+	writeInt(&b, len(t))
+	b.WriteByte(':')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		escapeInto(&b, string(v))
+	}
+	return b.String()
+}
+
+// writeInt appends a non-negative integer without allocating.
+func writeInt(b *strings.Builder, n int) {
+	if n >= 10 {
+		writeInt(b, n/10)
+	}
+	b.WriteByte(byte('0' + n%10))
+}
+
+func escapeInto(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case ',':
+			b.WriteString("\\c")
+		case '\\':
+			b.WriteString("\\\\")
+		case '(':
+			b.WriteString("\\o")
+		case ')':
+			b.WriteString("\\e")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// Equal reports whether two tuples have the same length and elements.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = string(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Fact is an expression R(a1,...,ak): a relation name applied to a
+// tuple of data elements.
+type Fact struct {
+	Rel  string
+	Args Tuple
+}
+
+// NewFact builds a fact from a relation name and values.
+func NewFact(rel string, args ...Value) Fact {
+	return Fact{Rel: rel, Args: Tuple(args).Clone()}
+}
+
+// Key returns a canonical encoding of the fact usable as a map key.
+func (f Fact) Key() string {
+	var b strings.Builder
+	escapeInto(&b, f.Rel)
+	b.WriteByte('(')
+	b.WriteString(f.Args.Key())
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Arity returns the number of arguments of the fact.
+func (f Fact) Arity() int { return len(f.Args) }
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool { return f.Rel == g.Rel && f.Args.Equal(g.Args) }
+
+// Clone returns a deep copy of the fact.
+func (f Fact) Clone() Fact { return Fact{Rel: f.Rel, Args: f.Args.Clone()} }
+
+func (f Fact) String() string { return f.Rel + f.Args.String() }
+
+// Relation is a finite set of tuples of a fixed arity. The zero value
+// is not usable; construct with NewRelation.
+type Relation struct {
+	arity  int
+	tuples map[string]Tuple
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples in the relation.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Add inserts a tuple; it panics if the tuple has the wrong arity.
+// It reports whether the tuple was new.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("fact: adding %d-tuple to %d-ary relation", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	r.tuples[k] = t.Clone()
+	return true
+}
+
+// Remove deletes a tuple, reporting whether it was present.
+func (r *Relation) Remove(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.tuples[k]; !ok {
+		return false
+	}
+	delete(r.tuples, k)
+	return true
+}
+
+// Contains reports whether the tuple is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples in deterministic (sorted-key) order.
+// The returned tuples are the stored ones and must not be modified.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// Each calls fn for every tuple, in unspecified order, stopping early
+// if fn returns false.
+func (r *Relation) Each(fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Clone returns a copy of the relation. Stored tuples are shared:
+// they are immutable by convention (Add stores a private copy and no
+// accessor exposes them for writing).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.arity)
+	for k, t := range r.tuples {
+		c.tuples[k] = t
+	}
+	return c
+}
+
+// UnionWith adds all tuples of s into r; s must have the same arity.
+func (r *Relation) UnionWith(s *Relation) {
+	if s == nil {
+		return
+	}
+	if s.arity != r.arity {
+		panic("fact: union of relations with different arities")
+	}
+	for k, t := range s.tuples {
+		if _, ok := r.tuples[k]; !ok {
+			r.tuples[k] = t
+		}
+	}
+}
+
+// Minus returns r \ s as a new relation.
+func (r *Relation) Minus(s *Relation) *Relation {
+	out := NewRelation(r.arity)
+	for k, t := range r.tuples {
+		if s == nil {
+			out.tuples[k] = t
+			continue
+		}
+		if _, ok := s.tuples[k]; !ok {
+			out.tuples[k] = t
+		}
+	}
+	return out
+}
+
+// Intersect returns r ∩ s as a new relation.
+func (r *Relation) Intersect(s *Relation) *Relation {
+	out := NewRelation(r.arity)
+	if s == nil {
+		return out
+	}
+	for k, t := range r.tuples {
+		if _, ok := s.tuples[k]; ok {
+			out.tuples[k] = t
+		}
+	}
+	return out
+}
+
+// Equal reports whether r and s contain exactly the same tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if s == nil {
+		return r.Len() == 0
+	}
+	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := s.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of r is in s.
+func (r *Relation) SubsetOf(s *Relation) bool {
+	if s == nil {
+		return r.Len() == 0
+	}
+	for k := range r.tuples {
+		if _, ok := s.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Relation) String() string {
+	ts := r.Tuples()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,388 @@
+package fact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is a database schema: a finite map from relation names to
+// arities.
+type Schema map[string]int
+
+// NewSchema builds a schema from alternating name/arity pairs given as
+// a map literal convenience.
+func NewSchema(pairs map[string]int) Schema {
+	s := make(Schema, len(pairs))
+	for k, v := range pairs {
+		s[k] = v
+	}
+	return s
+}
+
+// Has reports whether the schema declares rel.
+func (s Schema) Has(rel string) bool {
+	_, ok := s[rel]
+	return ok
+}
+
+// Arity returns the arity of rel, or -1 if undeclared.
+func (s Schema) Arity(rel string) int {
+	a, ok := s[rel]
+	if !ok {
+		return -1
+	}
+	return a
+}
+
+// Names returns the relation names in sorted order.
+func (s Schema) Names() []string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	c := make(Schema, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Union returns the union of disjoint schemas; it returns an error if
+// the same name appears with different arities.
+func (s Schema) Union(others ...Schema) (Schema, error) {
+	out := s.Clone()
+	for _, o := range others {
+		for k, v := range o {
+			if prev, ok := out[k]; ok && prev != v {
+				return nil, fmt.Errorf("fact: schema union: %s declared with arities %d and %d", k, prev, v)
+			}
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// Disjoint reports whether s shares no relation name with o.
+func (s Schema) Disjoint(o Schema) bool {
+	for k := range s {
+		if _, ok := o[k]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Schema) String() string {
+	parts := make([]string, 0, len(s))
+	for _, n := range s.Names() {
+		parts = append(parts, fmt.Sprintf("%s/%d", n, s[n]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Instance is a database instance: an assignment of finite relations
+// to relation names, equivalently a finite set of facts.
+type Instance struct {
+	rels map[string]*Relation
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{rels: make(map[string]*Relation)}
+}
+
+// FromFacts builds an instance from a list of facts.
+func FromFacts(facts ...Fact) *Instance {
+	i := NewInstance()
+	for _, f := range facts {
+		i.AddFact(f)
+	}
+	return i
+}
+
+// Relation returns the relation stored under rel, or nil if absent.
+func (i *Instance) Relation(rel string) *Relation {
+	return i.rels[rel]
+}
+
+// RelationOr returns the relation under rel, or an empty relation of
+// the given arity if absent. The returned empty relation is not
+// stored in the instance.
+func (i *Instance) RelationOr(rel string, arity int) *Relation {
+	if r, ok := i.rels[rel]; ok {
+		return r
+	}
+	return NewRelation(arity)
+}
+
+// SetRelation installs (a clone of) r under rel, replacing any
+// previous relation.
+func (i *Instance) SetRelation(rel string, r *Relation) {
+	if r == nil {
+		delete(i.rels, rel)
+		return
+	}
+	i.rels[rel] = r.Clone()
+}
+
+// SetRelationOwned installs r under rel without copying; the caller
+// transfers ownership and must not mutate r afterwards. It is the
+// allocation-free counterpart of SetRelation for hot paths.
+func (i *Instance) SetRelationOwned(rel string, r *Relation) {
+	if r == nil {
+		delete(i.rels, rel)
+		return
+	}
+	i.rels[rel] = r
+}
+
+// ShallowClone returns a new instance sharing the relation objects of
+// i. It is safe as long as the shared relations are not mutated in
+// place — replace them with SetRelation/SetRelationOwned instead. The
+// transducer transition uses it to avoid copying the untouched input
+// and system relations on every step.
+func (i *Instance) ShallowClone() *Instance {
+	c := NewInstance()
+	for n, r := range i.rels {
+		c.rels[n] = r
+	}
+	return c
+}
+
+// AddFact inserts a fact, creating the relation as needed. It panics
+// if rel already exists with a different arity. It reports whether
+// the fact was new.
+func (i *Instance) AddFact(f Fact) bool {
+	r, ok := i.rels[f.Rel]
+	if !ok {
+		r = NewRelation(len(f.Args))
+		i.rels[f.Rel] = r
+	}
+	return r.Add(f.Args)
+}
+
+// RemoveFact deletes a fact, reporting whether it was present.
+func (i *Instance) RemoveFact(f Fact) bool {
+	r, ok := i.rels[f.Rel]
+	if !ok {
+		return false
+	}
+	return r.Remove(f.Args)
+}
+
+// HasFact reports whether the fact is present.
+func (i *Instance) HasFact(f Fact) bool {
+	r, ok := i.rels[f.Rel]
+	return ok && r.Contains(f.Args)
+}
+
+// Facts returns all facts in deterministic order (by relation name,
+// then tuple key).
+func (i *Instance) Facts() []Fact {
+	names := make([]string, 0, len(i.rels))
+	for n := range i.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Fact
+	for _, n := range names {
+		for _, t := range i.rels[n].Tuples() {
+			out = append(out, Fact{Rel: n, Args: t})
+		}
+	}
+	return out
+}
+
+// Size returns the total number of facts.
+func (i *Instance) Size() int {
+	n := 0
+	for _, r := range i.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Empty reports whether the instance contains no facts.
+func (i *Instance) Empty() bool { return i.Size() == 0 }
+
+// RelNames returns the names of the (possibly empty) relations stored
+// in the instance, sorted.
+func (i *Instance) RelNames() []string {
+	names := make([]string, 0, len(i.rels))
+	for n := range i.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy.
+func (i *Instance) Clone() *Instance {
+	c := NewInstance()
+	for n, r := range i.rels {
+		c.rels[n] = r.Clone()
+	}
+	return c
+}
+
+// UnionWith adds all facts of o into i.
+func (i *Instance) UnionWith(o *Instance) {
+	if o == nil {
+		return
+	}
+	for n, r := range o.rels {
+		mine, ok := i.rels[n]
+		if !ok {
+			i.rels[n] = r.Clone()
+			continue
+		}
+		mine.UnionWith(r)
+	}
+}
+
+// Union returns a new instance containing the facts of both.
+func Union(a, b *Instance) *Instance {
+	out := a.Clone()
+	out.UnionWith(b)
+	return out
+}
+
+// Restrict returns the sub-instance of i containing only relations
+// declared in the schema.
+func (i *Instance) Restrict(s Schema) *Instance {
+	out := NewInstance()
+	for n, r := range i.rels {
+		if s.Has(n) {
+			out.rels[n] = r.Clone()
+		}
+	}
+	return out
+}
+
+// Equal reports whether two instances contain exactly the same facts.
+// Empty relations are ignored, matching set-of-facts semantics.
+func (i *Instance) Equal(o *Instance) bool {
+	if o == nil {
+		return i.Size() == 0
+	}
+	for n, r := range i.rels {
+		if !r.Equal(o.RelationOr(n, r.Arity())) {
+			return false
+		}
+	}
+	for n, r := range o.rels {
+		if !r.Equal(i.RelationOr(n, r.Arity())) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every fact of i is a fact of o.
+func (i *Instance) SubsetOf(o *Instance) bool {
+	for n, r := range i.rels {
+		if o == nil {
+			if r.Len() > 0 {
+				return false
+			}
+			continue
+		}
+		if !r.SubsetOf(o.RelationOr(n, r.Arity())) {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveDomain returns adom(I): the set of data elements occurring in
+// the instance, in sorted order.
+func (i *Instance) ActiveDomain() []Value {
+	seen := make(map[Value]bool)
+	for _, r := range i.rels {
+		r.Each(func(t Tuple) bool {
+			for _, v := range t {
+				seen[v] = true
+			}
+			return true
+		})
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Conforms checks that every stored relation is declared in the schema
+// with matching arity.
+func (i *Instance) Conforms(s Schema) error {
+	for n, r := range i.rels {
+		a, ok := s[n]
+		if !ok {
+			return fmt.Errorf("fact: relation %s not in schema %s", n, s)
+		}
+		if a != r.Arity() {
+			return fmt.Errorf("fact: relation %s has arity %d, schema declares %d", n, r.Arity(), a)
+		}
+	}
+	return nil
+}
+
+func (i *Instance) String() string {
+	facts := i.Facts()
+	parts := make([]string, len(facts))
+	for j, f := range facts {
+		parts[j] = f.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// ApplyPermutation returns h(I) for a (partial) permutation h of dom;
+// values not in the map are left fixed. Used to check genericity of
+// queries (condition (ii) of the paper's query definition).
+func (i *Instance) ApplyPermutation(h map[Value]Value) *Instance {
+	out := NewInstance()
+	for n, r := range i.rels {
+		nr := NewRelation(r.Arity())
+		r.Each(func(t Tuple) bool {
+			nt := make(Tuple, len(t))
+			for j, v := range t {
+				if w, ok := h[v]; ok {
+					nt[j] = w
+				} else {
+					nt[j] = v
+				}
+			}
+			nr.Add(nt)
+			return true
+		})
+		out.rels[n] = nr
+	}
+	return out
+}
+
+// ApplyPermutationRel returns h(R) for a relation.
+func ApplyPermutationRel(r *Relation, h map[Value]Value) *Relation {
+	out := NewRelation(r.Arity())
+	r.Each(func(t Tuple) bool {
+		nt := make(Tuple, len(t))
+		for j, v := range t {
+			if w, ok := h[v]; ok {
+				nt[j] = w
+			} else {
+				nt[j] = v
+			}
+		}
+		out.Add(nt)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,292 @@
+package fo
+
+import (
+	"fmt"
+
+	"declnet/internal/fact"
+)
+
+// Query is an FO query: an output tuple of head variables together
+// with a formula whose free variables are exactly (a subset of) the
+// head. It implements query.Query.
+type Query struct {
+	Name string
+	Head []Var
+	Body Formula
+
+	// branches is the disjunctive decomposition used by the join-based
+	// fast path; nil when the formula has variable shadowing that
+	// makes the decomposition unsound.
+	branches []branch
+}
+
+// NewQuery builds an FO query and checks that the body's free
+// variables are all listed in the head (safety of output tuples is
+// then guaranteed by the active-domain semantics).
+func NewQuery(name string, head []string, body Formula) (*Query, error) {
+	hv := make([]Var, len(head))
+	seen := make(map[Var]bool, len(head))
+	for i, h := range head {
+		hv[i] = Var(h)
+		seen[Var(h)] = true
+	}
+	for _, v := range FreeVars(body) {
+		if !seen[v] {
+			return nil, fmt.Errorf("fo: query %s: free variable %s not in head %v", name, v, head)
+		}
+	}
+	q := &Query{Name: name, Head: hv, Body: body}
+	if noShadowing(body, seen) {
+		q.branches = normalizeBranches(body)
+	}
+	return q, nil
+}
+
+// noShadowing reports whether no quantifier in f rebinds a head
+// variable or an already-quantified variable; under this condition
+// every variable name denotes one logical variable and the branch
+// decomposition of the fast path is sound.
+func noShadowing(f Formula, bound map[Var]bool) bool {
+	switch g := f.(type) {
+	case Exists, Forall:
+		var vars []Var
+		var inner Formula
+		if e, ok := g.(Exists); ok {
+			vars, inner = e.Vars, e.F
+		} else {
+			fa := g.(Forall)
+			vars, inner = fa.Vars, fa.F
+		}
+		newBound := make(map[Var]bool, len(bound)+len(vars))
+		for v := range bound {
+			newBound[v] = true
+		}
+		for _, v := range vars {
+			if newBound[v] {
+				return false
+			}
+			newBound[v] = true
+		}
+		return noShadowing(inner, newBound)
+	case Not:
+		return noShadowing(g.F, bound)
+	case And:
+		for _, sub := range g.Fs {
+			if !noShadowing(sub, bound) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, sub := range g.Fs {
+			if !noShadowing(sub, bound) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// MustQuery is NewQuery panicking on error; for statically known
+// queries in constructions and tests.
+func MustQuery(name string, head []string, body Formula) *Query {
+	q, err := NewQuery(name, head, body)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Arity implements query.Query.
+func (q *Query) Arity() int { return len(q.Head) }
+
+// Rels implements query.Query.
+func (q *Query) Rels() []string { return RelNames(q.Body) }
+
+// SyntacticallyMonotone implements query.Query: positive formulas are
+// monotone.
+func (q *Query) SyntacticallyMonotone() bool { return IsPositive(q.Body) }
+
+// String renders the query as head :- body.
+func (q *Query) String() string {
+	return fmt.Sprintf("%s(%s) := %s", q.Name, joinVars(q.Head), q.Body)
+}
+
+// Eval implements query.Query with the active-domain semantics.
+// Branches that are positive existential conjunctions of atoms are
+// evaluated by backtracking joins; the rest enumerate adom^k.
+func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
+	if q.branches != nil {
+		var adom []fact.Value
+		adomOf := func() []fact.Value {
+			if adom == nil {
+				adom = I.ActiveDomain()
+			}
+			return adom
+		}
+		out := fact.NewRelation(len(q.Head))
+		for _, b := range q.branches {
+			if b.slow == nil && joinBranch(q.Head, b.atoms, I, out) {
+				continue
+			}
+			f := b.slow
+			if f == nil {
+				f = And{Fs: atomsToFormulas(b.atoms)}
+			}
+			if err := q.enumerate(I, adomOf(), f, out); err != nil {
+				return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
+			}
+		}
+		return out, nil
+	}
+	out := fact.NewRelation(len(q.Head))
+	if err := q.enumerate(I, I.ActiveDomain(), q.Body, out); err != nil {
+		return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
+	}
+	return out, nil
+}
+
+// EvalGeneric evaluates the query with the plain active-domain
+// enumerator, bypassing the join-based fast path. Results are
+// identical to Eval; it exists for the fast-path ablation benchmark
+// and the differential tests.
+func (q *Query) EvalGeneric(I *fact.Instance) (*fact.Relation, error) {
+	out := fact.NewRelation(len(q.Head))
+	if err := q.enumerate(I, I.ActiveDomain(), q.Body, out); err != nil {
+		return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
+	}
+	return out, nil
+}
+
+// Holds evaluates a sentence (formula with no free variables) on I.
+func Holds(f Formula, I *fact.Instance) (bool, error) {
+	if fv := FreeVars(f); len(fv) != 0 {
+		return false, fmt.Errorf("fo: Holds on open formula (free: %v)", fv)
+	}
+	return eval(f, I, I.ActiveDomain(), map[Var]fact.Value{})
+}
+
+func evalTerm(t Term, env map[Var]fact.Value) (fact.Value, error) {
+	switch x := t.(type) {
+	case Var:
+		v, ok := env[x]
+		if !ok {
+			return "", fmt.Errorf("unbound variable %s", x)
+		}
+		return v, nil
+	case Const:
+		return fact.Value(x), nil
+	default:
+		return "", fmt.Errorf("unknown term %T", t)
+	}
+}
+
+func eval(f Formula, I *fact.Instance, adom []fact.Value, env map[Var]fact.Value) (bool, error) {
+	switch g := f.(type) {
+	case Truth:
+		return g.Val, nil
+	case Atom:
+		t := make(fact.Tuple, len(g.Terms))
+		for i, tm := range g.Terms {
+			v, err := evalTerm(tm, env)
+			if err != nil {
+				return false, err
+			}
+			t[i] = v
+		}
+		r := I.Relation(g.Rel)
+		return r != nil && r.Contains(t), nil
+	case Eq:
+		l, err := evalTerm(g.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalTerm(g.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Not:
+		ok, err := eval(g.F, I, adom, env)
+		return !ok, err
+	case And:
+		for _, sub := range g.Fs {
+			ok, err := eval(sub, I, adom, env)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		for _, sub := range g.Fs {
+			ok, err := eval(sub, I, adom, env)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Exists:
+		return evalQuant(g.Vars, g.F, I, adom, env, false)
+	case Forall:
+		return evalQuant(g.Vars, g.F, I, adom, env, true)
+	default:
+		return false, fmt.Errorf("unknown formula %T", f)
+	}
+}
+
+// evalQuant enumerates assignments of vars over adom. For forall it
+// looks for a falsifying assignment, for exists a satisfying one.
+func evalQuant(vars []Var, body Formula, I *fact.Instance, adom []fact.Value, env map[Var]fact.Value, universal bool) (bool, error) {
+	// Save shadowed bindings to restore after enumeration.
+	saved := make(map[Var]fact.Value, len(vars))
+	present := make(map[Var]bool, len(vars))
+	for _, v := range vars {
+		if old, ok := env[v]; ok {
+			saved[v] = old
+			present[v] = true
+		}
+	}
+	defer func() {
+		for _, v := range vars {
+			if present[v] {
+				env[v] = saved[v]
+			} else {
+				delete(env, v)
+			}
+		}
+	}()
+
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(vars) {
+			ok, err := eval(body, I, adom, env)
+			if err != nil {
+				return false, err
+			}
+			if universal {
+				return ok, nil
+			}
+			return ok, nil
+		}
+		for _, a := range adom {
+			env[vars[i]] = a
+			ok, err := rec(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if universal && !ok {
+				return false, nil
+			}
+			if !universal && ok {
+				return true, nil
+			}
+		}
+		return universal, nil
+	}
+	return rec(0)
+}

@@ -1,0 +1,184 @@
+package fo
+
+import (
+	"declnet/internal/fact"
+)
+
+// This file implements a join-based fast path for the common shape of
+// transducer queries: disjunctions of positive existential conjunctions
+// of atoms (e.g. "S(x,y) | R(x,y) | exists z (T(x,z) & T(z,y))").
+// Such branches are evaluated by backtracking joins over the stored
+// relations instead of enumerating adom^k assignments; branches that
+// do not fit the shape (negation, equality, universal quantification)
+// fall back to the generic active-domain evaluator per branch. The
+// semantics is unchanged: positive existential formulas only ever bind
+// variables to values occurring in relations, which are a subset of
+// the active domain.
+
+// branch is either a conjunction of positive atoms (fast) or an
+// arbitrary formula (slow).
+type branch struct {
+	atoms []Atom
+	slow  Formula
+}
+
+// normalizeBranches flattens a formula into disjunctive branches.
+// It returns ok=false when the whole formula is one slow branch and
+// splitting gained nothing.
+func normalizeBranches(f Formula) []branch {
+	switch g := f.(type) {
+	case Or:
+		var out []branch
+		for _, sub := range g.Fs {
+			out = append(out, normalizeBranches(sub)...)
+		}
+		return out
+	case Atom:
+		return []branch{{atoms: []Atom{g}}}
+	case And:
+		// Fast only when every conjunct is itself a pure conjunction
+		// of atoms (no disjunction distribution, to avoid blowup).
+		var atoms []Atom
+		for _, sub := range g.Fs {
+			bs := normalizeBranches(sub)
+			if len(bs) != 1 || bs[0].slow != nil {
+				return []branch{{slow: f}}
+			}
+			atoms = append(atoms, bs[0].atoms...)
+		}
+		return []branch{{atoms: atoms}}
+	case Exists:
+		bs := normalizeBranches(g.F)
+		if len(bs) == 1 && bs[0].slow == nil {
+			// Existential variables are simply projected away by the
+			// join (they are not head variables).
+			return bs
+		}
+		return []branch{{slow: f}}
+	default:
+		return []branch{{slow: f}}
+	}
+}
+
+func atomsToFormulas(atoms []Atom) []Formula {
+	fs := make([]Formula, len(atoms))
+	for i, a := range atoms {
+		fs[i] = a
+	}
+	return fs
+}
+
+// joinBranch evaluates a conjunction of positive atoms by backtracking
+// join and adds the head projections to out. It reports false (no
+// tuples added) when some head variable is not bound by the atoms, in
+// which case the caller must use the generic evaluator.
+func joinBranch(head []Var, atoms []Atom, I *fact.Instance, out *fact.Relation) bool {
+	if len(atoms) == 0 {
+		return false
+	}
+	bound := map[Var]bool{}
+	for _, a := range atoms {
+		for _, t := range a.Terms {
+			if v, ok := t.(Var); ok {
+				bound[v] = true
+			}
+		}
+	}
+	for _, h := range head {
+		if !bound[h] {
+			return false
+		}
+	}
+	bind := map[Var]fact.Value{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(atoms) {
+			t := make(fact.Tuple, len(head))
+			for j, h := range head {
+				t[j] = bind[h]
+			}
+			out.Add(t)
+			return
+		}
+		a := atoms[i]
+		rel := I.Relation(a.Rel)
+		if rel == nil {
+			return
+		}
+		rel.Each(func(tuple fact.Tuple) bool {
+			if len(tuple) != len(a.Terms) {
+				return true
+			}
+			var newly []Var
+			ok := true
+			for j, tm := range a.Terms {
+				switch x := tm.(type) {
+				case Const:
+					if fact.Value(x) != tuple[j] {
+						ok = false
+					}
+				case Var:
+					if v, bound := bind[x]; bound {
+						if v != tuple[j] {
+							ok = false
+						}
+					} else {
+						bind[x] = tuple[j]
+						newly = append(newly, x)
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+			for _, v := range newly {
+				delete(bind, v)
+			}
+			return true
+		})
+	}
+	rec(0)
+	return true
+}
+
+// enumerate adds to out every head assignment over adom satisfying f.
+func (q *Query) enumerate(I *fact.Instance, adom []fact.Value, f Formula, out *fact.Relation) error {
+	env := make(map[Var]fact.Value, len(q.Head)+4)
+	distinct := make([]Var, 0, len(q.Head))
+	seen := make(map[Var]bool, len(q.Head))
+	for _, v := range q.Head {
+		if !seen[v] {
+			seen[v] = true
+			distinct = append(distinct, v)
+		}
+	}
+	var assign func(i int) error
+	assign = func(i int) error {
+		if i == len(distinct) {
+			ok, err := eval(f, I, adom, env)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t := make(fact.Tuple, len(q.Head))
+				for j, v := range q.Head {
+					t[j] = env[v]
+				}
+				out.Add(t)
+			}
+			return nil
+		}
+		for _, a := range adom {
+			env[distinct[i]] = a
+			if err := assign(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, distinct[i])
+		return nil
+	}
+	return assign(0)
+}

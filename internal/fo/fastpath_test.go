@@ -1,0 +1,96 @@
+package fo
+
+import (
+	"math/rand"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+// evalGeneric evaluates the query with the generic active-domain
+// enumerator, bypassing the join fast path.
+func evalGeneric(q *Query, I *fact.Instance) (*fact.Relation, error) {
+	return q.EvalGeneric(I)
+}
+
+func TestFastPathShadowedHeadVariable(t *testing.T) {
+	// Head x, body "exists x S(x)": the quantified x shadows the head.
+	// The query returns adom when S is nonempty — NOT S itself.
+	q := MustQuery("shadow", []string{"x"}, ExistsF([]string{"x"}, AtomF("S", "x")))
+	if q.branches != nil {
+		t.Fatal("shadowed query must not use the fast path")
+	}
+	I := fact.FromFacts(fact.NewFact("S", "a"), fact.NewFact("T", "b"))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("out = %v, want all of adom", out)
+	}
+}
+
+func TestFastPathMatchesGenericOnRandomFormulas(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	vals := []fact.Value{"a", "b", "c", "d"}
+
+	randInstance := func() *fact.Instance {
+		I := fact.NewInstance()
+		for k := 0; k < 2+r.Intn(8); k++ {
+			I.AddFact(fact.NewFact("R", vals[r.Intn(4)], vals[r.Intn(4)]))
+		}
+		for k := 0; k < r.Intn(4); k++ {
+			I.AddFact(fact.NewFact("S", vals[r.Intn(4)]))
+		}
+		return I
+	}
+
+	queries := []*Query{
+		MustQuery("q1", []string{"x", "y"},
+			OrF(AtomF("R", "x", "y"),
+				ExistsF([]string{"z"}, AndF(AtomF("R", "x", "z"), AtomF("R", "z", "y"))))),
+		MustQuery("q2", []string{"x"},
+			OrF(AtomF("S", "x"),
+				ExistsF([]string{"y"}, AndF(AtomF("R", "x", "y"), AtomF("S", "y"))))),
+		MustQuery("q3", []string{"x", "x"}, AtomF("S", "x")),
+		MustQuery("q4", []string{"x"},
+			AndF(AtomF("S", "x"), ExistsF([]string{"y"}, AtomF("R", "x", "y")))),
+		MustQuery("q5", []string{"x"},
+			OrF(AtomF("S", "x"), NotF(ExistsF([]string{"y"}, AtomF("R", "x", "y"))))),
+		MustQuery("q6", nil,
+			ExistsF([]string{"x", "y"}, AndF(AtomF("R", "x", "y"), AtomF("S", "x")))),
+		MustQuery("q7", []string{"x"},
+			AtomT("R", V("x"), C("b"))),
+		// Unconstrained existential alongside an atom.
+		MustQuery("q8", []string{"x"},
+			ExistsF([]string{"z"}, AtomF("S", "x"))),
+	}
+	for trial := 0; trial < 60; trial++ {
+		I := randInstance()
+		for _, q := range queries {
+			fast, err := q.Eval(I)
+			if err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+			slow, err := evalGeneric(q, I)
+			if err != nil {
+				t.Fatalf("%s generic: %v", q.Name, err)
+			}
+			if !fast.Equal(slow) {
+				t.Fatalf("%s: fast %v != generic %v on %v", q.Name, fast, slow, I)
+			}
+		}
+	}
+}
+
+func TestFastPathUsedForPositiveQueries(t *testing.T) {
+	q := MustQuery("tc", []string{"x", "y"},
+		OrF(AtomF("S", "x", "y"),
+			ExistsF([]string{"z"}, AndF(AtomF("T", "x", "z"), AtomF("T", "z", "y")))))
+	if q.branches == nil {
+		t.Fatal("positive query should enable the fast path")
+	}
+	if len(q.branches) != 2 || q.branches[0].slow != nil || q.branches[1].slow != nil {
+		t.Errorf("branches = %+v", q.branches)
+	}
+}

@@ -1,0 +1,359 @@
+// Package fo implements first-order logic as a database query
+// language, evaluated under the active-domain semantics of the paper
+// (§2): an FO formula ϕ(x1,...,xk) expresses the k-ary query
+//
+//	ϕ(I) = {(a1,...,ak) ∈ adom(I)^k | (adom(I), I) ⊨ ϕ[a1,...,ak]}
+//
+// with quantifiers ranging over adom(I). The resulting language is
+// equivalent to relational algebra and to nonrecursive Datalog with
+// negation; it is the default local language of the paper's
+// transducers ("FO-transducers").
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"declnet/internal/fact"
+)
+
+// Term is a variable or a constant appearing in an atom or equality.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Var is a first-order variable.
+type Var string
+
+func (Var) isTerm()          {}
+func (v Var) String() string { return string(v) }
+
+// Const is a constant data element.
+type Const fact.Value
+
+func (Const) isTerm()          {}
+func (c Const) String() string { return "'" + string(c) + "'" }
+
+// V is shorthand for a variable term.
+func V(name string) Var { return Var(name) }
+
+// C is shorthand for a constant term.
+func C(v fact.Value) Const { return Const(v) }
+
+// Formula is an FO formula over a relational vocabulary with equality.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// Atom is R(t1,...,tk).
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// Eq is t1 = t2.
+type Eq struct{ L, R Term }
+
+// Not is ¬ϕ.
+type Not struct{ F Formula }
+
+// And is ϕ ∧ ψ (n-ary for convenience).
+type And struct{ Fs []Formula }
+
+// Or is ϕ ∨ ψ (n-ary for convenience).
+type Or struct{ Fs []Formula }
+
+// Exists is ∃x ϕ.
+type Exists struct {
+	Vars []Var
+	F    Formula
+}
+
+// Forall is ∀x ϕ.
+type Forall struct {
+	Vars []Var
+	F    Formula
+}
+
+// Truth is the constant true (Val=true) or false formula.
+type Truth struct{ Val bool }
+
+func (Atom) isFormula()   {}
+func (Eq) isFormula()     {}
+func (Not) isFormula()    {}
+func (And) isFormula()    {}
+func (Or) isFormula()     {}
+func (Exists) isFormula() {}
+func (Forall) isFormula() {}
+func (Truth) isFormula()  {}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+func (e Eq) String() string  { return e.L.String() + "=" + e.R.String() }
+func (n Not) String() string { return "!" + paren(n.F) }
+func (a And) String() string { return joinFormulas(a.Fs, " & ") }
+func (o Or) String() string  { return joinFormulas(o.Fs, " | ") }
+func (e Exists) String() string {
+	return "exists " + joinVars(e.Vars) + " " + paren(e.F)
+}
+func (f Forall) String() string {
+	return "forall " + joinVars(f.Vars) + " " + paren(f.F)
+}
+func (t Truth) String() string {
+	if t.Val {
+		return "true"
+	}
+	return "false"
+}
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Atom, Eq, Truth, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	if len(fs) == 0 {
+		if sep == " & " {
+			return "true"
+		}
+		return "false"
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = paren(f)
+	}
+	return strings.Join(parts, sep)
+}
+
+func joinVars(vs []Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Convenience constructors.
+
+// AtomF builds an atom whose terms are all variables.
+func AtomF(rel string, vars ...string) Atom {
+	ts := make([]Term, len(vars))
+	for i, v := range vars {
+		ts[i] = Var(v)
+	}
+	return Atom{Rel: rel, Terms: ts}
+}
+
+// AtomT builds an atom from explicit terms.
+func AtomT(rel string, terms ...Term) Atom { return Atom{Rel: rel, Terms: terms} }
+
+// AndF conjoins formulas.
+func AndF(fs ...Formula) Formula {
+	if len(fs) == 1 {
+		return fs[0]
+	}
+	return And{Fs: fs}
+}
+
+// OrF disjoins formulas.
+func OrF(fs ...Formula) Formula {
+	if len(fs) == 1 {
+		return fs[0]
+	}
+	return Or{Fs: fs}
+}
+
+// NotF negates a formula.
+func NotF(f Formula) Formula { return Not{F: f} }
+
+// ExistsF quantifies variables existentially.
+func ExistsF(vars []string, f Formula) Formula {
+	vs := make([]Var, len(vars))
+	for i, v := range vars {
+		vs[i] = Var(v)
+	}
+	return Exists{Vars: vs, F: f}
+}
+
+// ForallF quantifies variables universally.
+func ForallF(vars []string, f Formula) Formula {
+	vs := make([]Var, len(vars))
+	for i, v := range vars {
+		vs[i] = Var(v)
+	}
+	return Forall{Vars: vs, F: f}
+}
+
+// FreeVars returns the free variables of the formula, sorted.
+func FreeVars(f Formula) []Var {
+	set := make(map[Var]bool)
+	collectFree(f, make(map[Var]bool), set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectFree(f Formula, bound map[Var]bool, out map[Var]bool) {
+	switch g := f.(type) {
+	case Atom:
+		for _, t := range g.Terms {
+			if v, ok := t.(Var); ok && !bound[v] {
+				out[v] = true
+			}
+		}
+	case Eq:
+		for _, t := range []Term{g.L, g.R} {
+			if v, ok := t.(Var); ok && !bound[v] {
+				out[v] = true
+			}
+		}
+	case Not:
+		collectFree(g.F, bound, out)
+	case And:
+		for _, sub := range g.Fs {
+			collectFree(sub, bound, out)
+		}
+	case Or:
+		for _, sub := range g.Fs {
+			collectFree(sub, bound, out)
+		}
+	case Exists:
+		inner := cloneBound(bound, g.Vars)
+		collectFree(g.F, inner, out)
+	case Forall:
+		inner := cloneBound(bound, g.Vars)
+		collectFree(g.F, inner, out)
+	case Truth:
+	}
+}
+
+func cloneBound(bound map[Var]bool, extra []Var) map[Var]bool {
+	inner := make(map[Var]bool, len(bound)+len(extra))
+	for v := range bound {
+		inner[v] = true
+	}
+	for _, v := range extra {
+		inner[v] = true
+	}
+	return inner
+}
+
+// RelNames returns the relation names mentioned in the formula, sorted.
+func RelNames(f Formula) []string {
+	set := make(map[string]bool)
+	collectRels(f, set)
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectRels(f Formula, out map[string]bool) {
+	switch g := f.(type) {
+	case Atom:
+		out[g.Rel] = true
+	case Not:
+		collectRels(g.F, out)
+	case And:
+		for _, sub := range g.Fs {
+			collectRels(sub, out)
+		}
+	case Or:
+		for _, sub := range g.Fs {
+			collectRels(sub, out)
+		}
+	case Exists:
+		collectRels(g.F, out)
+	case Forall:
+		collectRels(g.F, out)
+	case Eq, Truth:
+	}
+}
+
+// IsPositive reports whether the formula contains no negation and no
+// universal quantifier; positive formulas express monotone queries
+// (larger instances have larger active domains, which can only help
+// existential quantification and atoms).
+func IsPositive(f Formula) bool {
+	switch g := f.(type) {
+	case Atom, Eq, Truth:
+		return true
+	case Not:
+		return false
+	case Forall:
+		return false
+	case And:
+		for _, sub := range g.Fs {
+			if !IsPositive(sub) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, sub := range g.Fs {
+			if !IsPositive(sub) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return IsPositive(g.F)
+	default:
+		return false
+	}
+}
+
+// Validate checks arity consistency of every atom against the schema
+// (atoms over relations absent from the schema are errors).
+func Validate(f Formula, s fact.Schema) error {
+	switch g := f.(type) {
+	case Atom:
+		a := s.Arity(g.Rel)
+		if a < 0 {
+			return fmt.Errorf("fo: atom %s: relation not in schema %s", g, s)
+		}
+		if a != len(g.Terms) {
+			return fmt.Errorf("fo: atom %s: relation %s has arity %d", g, g.Rel, a)
+		}
+		return nil
+	case Not:
+		return Validate(g.F, s)
+	case And:
+		for _, sub := range g.Fs {
+			if err := Validate(sub, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Or:
+		for _, sub := range g.Fs {
+			if err := Validate(sub, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Exists:
+		return Validate(g.F, s)
+	case Forall:
+		return Validate(g.F, s)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,361 @@
+package fo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+func inst(facts ...fact.Fact) *fact.Instance { return fact.FromFacts(facts...) }
+
+func f(rel string, args ...fact.Value) fact.Fact { return fact.NewFact(rel, args...) }
+
+func TestEvalAtomQuery(t *testing.T) {
+	I := inst(f("R", "a", "b"), f("R", "b", "c"))
+	q := MustQuery("q", []string{"x", "y"}, AtomF("R", "x", "y"))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || !out.Contains(fact.Tuple{"a", "b"}) || !out.Contains(fact.Tuple{"b", "c"}) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestEvalEqualitySelection(t *testing.T) {
+	// Example 3's local step: σ$1=$2(S).
+	I := inst(f("S", "a", "a"), f("S", "a", "b"), f("S", "c", "c"))
+	q := MustQuery("q", []string{"x"}, AtomT("S", V("x"), V("x")))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || !out.Contains(fact.Tuple{"a"}) || !out.Contains(fact.Tuple{"c"}) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestEvalJoinComposition(t *testing.T) {
+	// T ∘ T: ∃z T(x,z) ∧ T(z,y).
+	I := inst(f("T", "a", "b"), f("T", "b", "c"), f("T", "c", "d"))
+	q := MustQuery("q", []string{"x", "y"},
+		ExistsF([]string{"z"}, AndF(AtomF("T", "x", "z"), AtomF("T", "z", "y"))))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]fact.Value{{"a", "c"}, {"b", "d"}}
+	if out.Len() != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for _, w := range want {
+		if !out.Contains(fact.Tuple{w[0], w[1]}) {
+			t.Errorf("missing %v", w)
+		}
+	}
+}
+
+func TestEvalNegationActiveDomain(t *testing.T) {
+	// Complement: pairs over adom not in R.
+	I := inst(f("R", "a", "b"), f("S", "c"))
+	q := MustQuery("q", []string{"x", "y"}, NotF(AtomF("R", "x", "y")))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// adom = {a,b,c}: 9 pairs minus 1.
+	if out.Len() != 8 {
+		t.Errorf("len = %d, want 8", out.Len())
+	}
+	if out.Contains(fact.Tuple{"a", "b"}) {
+		t.Error("complement contains R-tuple")
+	}
+}
+
+func TestEvalForall(t *testing.T) {
+	// q() := forall x S(x): true iff every adom element is in S.
+	q := MustQuery("q", nil, ForallF([]string{"x"}, AtomF("S", "x")))
+
+	I := inst(f("S", "a"), f("S", "b"))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Errorf("forall should hold: %v", out)
+	}
+
+	J := inst(f("S", "a"), f("T", "b"))
+	out, err = q.Eval(J)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("forall should fail: %v", out)
+	}
+}
+
+func TestEvalNullaryQueries(t *testing.T) {
+	// Emptiness of S (Example 10's condition): q() := !exists x S(x).
+	q := MustQuery("empty", nil, NotF(ExistsF([]string{"x"}, AtomF("S", "x"))))
+	out, err := q.Eval(inst(f("T", "a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Error("S is empty; nullary true expected")
+	}
+	out, err = q.Eval(inst(f("S", "a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("S nonempty; nullary false expected")
+	}
+}
+
+func TestEvalConstants(t *testing.T) {
+	I := inst(f("R", "a", "b"), f("R", "b", "b"))
+	q := MustQuery("q", []string{"x"}, AtomT("R", V("x"), C("b")))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestEvalRepeatedHeadVar(t *testing.T) {
+	I := inst(f("S", "a"), f("S", "b"))
+	q := MustQuery("q", []string{"x", "x"}, AtomF("S", "x"))
+	out, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || !out.Contains(fact.Tuple{"a", "a"}) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestNewQueryRejectsUnsafeHead(t *testing.T) {
+	if _, err := NewQuery("q", []string{"x"}, AtomF("R", "x", "y")); err == nil {
+		t.Error("free variable y outside head should be rejected")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	fm := ExistsF([]string{"z"}, AndF(AtomF("R", "x", "z"), NotF(AtomF("S", "y"))))
+	got := FreeVars(fm)
+	want := []Var{"x", "y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FreeVars = %v, want %v", got, want)
+	}
+	// Shadowing: exists x R(x) has no free variables.
+	if len(FreeVars(ExistsF([]string{"x"}, AtomF("R", "x")))) != 0 {
+		t.Error("bound variable reported free")
+	}
+}
+
+func TestRelNames(t *testing.T) {
+	fm := OrF(AtomF("S", "x"), NotF(ForallF([]string{"y"}, AtomF("R", "y", "x"))))
+	got := RelNames(fm)
+	if !reflect.DeepEqual(got, []string{"R", "S"}) {
+		t.Errorf("RelNames = %v", got)
+	}
+}
+
+func TestIsPositive(t *testing.T) {
+	pos := ExistsF([]string{"z"}, AndF(AtomF("T", "x", "z"), AtomF("T", "z", "y")))
+	if !IsPositive(pos) {
+		t.Error("positive formula misclassified")
+	}
+	if IsPositive(NotF(AtomF("R", "x"))) {
+		t.Error("negation classified positive")
+	}
+	if IsPositive(ForallF([]string{"x"}, AtomF("R", "x"))) {
+		t.Error("forall classified positive (not adom-monotone)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := fact.Schema{"R": 2}
+	if err := Validate(AtomF("R", "x", "y"), s); err != nil {
+		t.Errorf("unexpected: %v", err)
+	}
+	if err := Validate(AtomF("R", "x"), s); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := Validate(AtomF("S", "x"), s); err == nil {
+		t.Error("undeclared relation accepted")
+	}
+}
+
+func TestHolds(t *testing.T) {
+	I := inst(f("S", "a"))
+	ok, err := Holds(ExistsF([]string{"x"}, AtomF("S", "x")), I)
+	if err != nil || !ok {
+		t.Errorf("Holds = %v, %v", ok, err)
+	}
+	if _, err := Holds(AtomF("S", "x"), I); err == nil {
+		t.Error("open formula accepted by Holds")
+	}
+}
+
+func TestPositiveQueryMonotoneProperty(t *testing.T) {
+	// Property: for random positive queries and random I ⊆ J,
+	// Q(I) ⊆ Q(J). This is the semantic fact underlying CALM.
+	r := rand.New(rand.NewSource(99))
+	queries := []*Query{
+		MustQuery("q1", []string{"x", "y"},
+			ExistsF([]string{"z"}, AndF(AtomF("R", "x", "z"), AtomF("R", "z", "y")))),
+		MustQuery("q2", []string{"x"},
+			OrF(AtomF("S", "x"), ExistsF([]string{"y"}, AtomF("R", "x", "y")))),
+		MustQuery("q3", []string{"x"}, AtomT("R", V("x"), V("x"))),
+	}
+	vals := []fact.Value{"a", "b", "c", "d"}
+	for trial := 0; trial < 60; trial++ {
+		I := fact.NewInstance()
+		J := fact.NewInstance()
+		for k := 0; k < 6; k++ {
+			ft := f("R", vals[r.Intn(4)], vals[r.Intn(4)])
+			J.AddFact(ft)
+			if r.Intn(2) == 0 {
+				I.AddFact(ft)
+			}
+			st := f("S", vals[r.Intn(4)])
+			J.AddFact(st)
+			if r.Intn(2) == 0 {
+				I.AddFact(st)
+			}
+		}
+		for _, q := range queries {
+			qi, err := q.Eval(I)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qj, err := q.Eval(J)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !qi.SubsetOf(qj) {
+				t.Fatalf("monotonicity violated for %s: Q(I)=%v Q(J)=%v", q.Name, qi, qj)
+			}
+		}
+	}
+}
+
+func TestGenericityProperty(t *testing.T) {
+	// Q(h(I)) = h(Q(I)) for permutations h of dom.
+	q := MustQuery("q", []string{"x", "y"},
+		ExistsF([]string{"z"}, AndF(AtomF("R", "x", "z"), AtomF("R", "z", "y"))))
+	I := inst(f("R", "a", "b"), f("R", "b", "c"), f("R", "c", "a"))
+	h := map[fact.Value]fact.Value{"a": "b", "b": "c", "c": "a"}
+
+	qi, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qhi, err := q.Eval(I.ApplyPermutation(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fact.ApplyPermutationRel(qi, h).Equal(qhi) {
+		t.Errorf("genericity violated: h(Q(I))=%v, Q(h(I))=%v", fact.ApplyPermutationRel(qi, h), qhi)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"R(x,y)",
+		"R(x,'a')",
+		"!S(x)",
+		"R(x,y) & S(x) | T(y)",
+		"exists z (R(x,z) & R(z,y))",
+		"forall x S(x)",
+		"x = y",
+		"x != 'b'",
+		"true",
+		"false",
+		"exists x,y (R(x,y) & !(x = y))",
+	}
+	for _, c := range cases {
+		fm, err := Parse(c)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+			continue
+		}
+		// Re-parse the printed form; must parse and print identically.
+		fm2, err := Parse(fm.String())
+		if err != nil {
+			t.Errorf("reparse of %q (%q): %v", c, fm.String(), err)
+			continue
+		}
+		if fm.String() != fm2.String() {
+			t.Errorf("round trip: %q -> %q -> %q", c, fm.String(), fm2.String())
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	fm := MustParse("A() & B() | C()")
+	or, ok := fm.(Or)
+	if !ok || len(or.Fs) != 2 {
+		t.Fatalf("expected top-level Or, got %T %v", fm, fm)
+	}
+	if _, ok := or.Fs[0].(And); !ok {
+		t.Errorf("& should bind tighter than |: %v", fm)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, c := range []string{"R(x", "exists (R(x))", "x =", "R(x,y) &", "@", "R(x))"} {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("ans(x, y) := exists z (R(x,z) & R(z,y))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Arity() != 2 || q.Name != "ans" {
+		t.Errorf("q = %v", q)
+	}
+	if _, err := ParseQuery("ans(x) := R(x,y)"); err == nil {
+		t.Error("unsafe parsed query accepted")
+	}
+	if _, err := ParseQuery("no head here"); err == nil {
+		t.Error("headless query accepted")
+	}
+	// Nullary head.
+	q2, err := ParseQuery("flag() := exists x S(x)")
+	if err != nil || q2.Arity() != 0 {
+		t.Errorf("nullary query: %v, %v", q2, err)
+	}
+}
+
+func TestEvalOnEmptyInstance(t *testing.T) {
+	q := MustQuery("q", []string{"x"}, NotF(AtomF("S", "x")))
+	out, err := q.Eval(fact.NewInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty adom: no tuples even for a "complement" query (safety).
+	if out.Len() != 0 {
+		t.Errorf("out = %v", out)
+	}
+	// Nullary on empty instance still evaluates.
+	q2 := MustQuery("q2", nil, NotF(ExistsF([]string{"x"}, AtomF("S", "x"))))
+	out2, err := q2.Eval(fact.NewInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Len() != 1 {
+		t.Error("emptiness should hold on empty instance")
+	}
+}

@@ -1,0 +1,326 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"declnet/internal/fact"
+)
+
+// Parse parses a textual FO formula. Grammar (precedence low→high):
+//
+//	formula := disj
+//	disj    := conj ("|" conj)*
+//	conj    := unary ("&" unary)*
+//	unary   := "!" unary
+//	        | ("exists"|"forall") var ("," var)* unary
+//	        | "(" formula ")"
+//	        | "true" | "false"
+//	        | atom | term "=" term | term "!=" term
+//	atom    := ident "(" [term ("," term)*] ")"
+//	term    := ident            (a variable)
+//	        | "'" chars "'"     (a constant)
+//
+// Identifiers are letters, digits and underscores starting with a
+// letter. t1 != t2 is sugar for !(t1 = t2).
+func Parse(input string) (Formula, error) {
+	p := &parser{toks: lex(input)}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("fo: unexpected trailing input near %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseQuery parses "name(x, y) := formula" into an FO query.
+func ParseQuery(input string) (*Query, error) {
+	i := strings.Index(input, ":=")
+	if i < 0 {
+		return nil, fmt.Errorf("fo: query must have form head := body")
+	}
+	headStr := strings.TrimSpace(input[:i])
+	body, err := Parse(input[i+2:])
+	if err != nil {
+		return nil, err
+	}
+	open := strings.Index(headStr, "(")
+	if open < 0 || !strings.HasSuffix(headStr, ")") {
+		return nil, fmt.Errorf("fo: malformed head %q", headStr)
+	}
+	name := strings.TrimSpace(headStr[:open])
+	argsStr := strings.TrimSpace(headStr[open+1 : len(headStr)-1])
+	var head []string
+	if argsStr != "" {
+		for _, a := range strings.Split(argsStr, ",") {
+			head = append(head, strings.TrimSpace(a))
+		}
+	}
+	return NewQuery(name, head, body)
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokConst
+	tokLParen
+	tokRParen
+	tokComma
+	tokAmp
+	tokPipe
+	tokBang
+	tokEq
+	tokNeq
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '&':
+			toks = append(toks, token{tokAmp, "&", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokBang, "!", i})
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				toks = append(toks, token{tokConst, s[i+1:], i})
+				i = len(s)
+			} else {
+				toks = append(toks, token{tokConst, s[i+1 : j], i})
+				i = j + 1
+			}
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(s) && isIdentPart(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j], i})
+			i = j
+		default:
+			toks = append(toks, token{tokEOF, string(c), i})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(s)})
+	return toks
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF && p.peek().text == "" }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("fo: expected %s at position %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) formula() (Formula, error) { return p.disj() }
+
+func (p *parser) disj() (Formula, error) {
+	left, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{left}
+	for p.peek().kind == tokPipe {
+		p.next()
+		right, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, right)
+	}
+	return OrF(fs...), nil
+}
+
+func (p *parser) conj() (Formula, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{left}
+	for p.peek().kind == tokAmp {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, right)
+	}
+	return AndF(fs...), nil
+}
+
+func (p *parser) unary() (Formula, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokBang:
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	case t.kind == tokIdent && (t.text == "exists" || t.text == "forall"):
+		p.next()
+		var vars []Var
+		for {
+			v, err := p.expect(tokIdent, "variable")
+			if err != nil {
+				return nil, err
+			}
+			vars = append(vars, Var(v.text))
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		body, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "exists" {
+			return Exists{Vars: vars, F: body}, nil
+		}
+		return Forall{Vars: vars, F: body}, nil
+	case t.kind == tokIdent && t.text == "true":
+		p.next()
+		return Truth{Val: true}, nil
+	case t.kind == tokIdent && t.text == "false":
+		p.next()
+		return Truth{Val: false}, nil
+	case t.kind == tokLParen:
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case t.kind == tokIdent || t.kind == tokConst:
+		return p.atomOrEq()
+	default:
+		return nil, fmt.Errorf("fo: unexpected token %q at position %d", t.text, t.pos)
+	}
+}
+
+// atomOrEq parses R(...), t = t, or t != t, where the lookahead is an
+// identifier or constant.
+func (p *parser) atomOrEq() (Formula, error) {
+	t := p.next()
+	if t.kind == tokIdent && p.peek().kind == tokLParen {
+		p.next() // consume (
+		var terms []Term
+		if p.peek().kind != tokRParen {
+			for {
+				tm, err := p.term()
+				if err != nil {
+					return nil, err
+				}
+				terms = append(terms, tm)
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return Atom{Rel: t.text, Terms: terms}, nil
+	}
+	// Equality or inequality.
+	var left Term
+	if t.kind == tokConst {
+		left = Const(t.text)
+	} else {
+		left = Var(t.text)
+	}
+	op := p.next()
+	if op.kind != tokEq && op.kind != tokNeq {
+		return nil, fmt.Errorf("fo: expected = or != at position %d, got %q", op.pos, op.text)
+	}
+	right, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	eq := Eq{L: left, R: right}
+	if op.kind == tokNeq {
+		return Not{F: eq}, nil
+	}
+	return eq, nil
+}
+
+func (p *parser) term() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		return Var(t.text), nil
+	case tokConst:
+		return Const(fact.Value(t.text)), nil
+	default:
+		return nil, fmt.Errorf("fo: expected term at position %d, got %q", t.pos, t.text)
+	}
+}

@@ -1,0 +1,72 @@
+package fo
+
+// This file recognizes the UCQ¬ fragment referenced by Proposition 7
+// of the paper: unions of conjunctive queries with (safe, atom-level)
+// negation. Proposition 7 states that every query distributedly
+// computable by an FO-transducer is computable by a UCQ¬-transducer,
+// by simulating FO queries with fixed compositions of UCQ¬ queries;
+// the recognizer here classifies which transducer queries already lie
+// in the fragment, and the classification is exercised by the tests on
+// the construction library.
+
+// IsUCQNeg reports whether the formula is a union of conjunctive
+// queries with negation: a disjunction of existentially quantified
+// conjunctions of literals, where a literal is an atom, a negated
+// atom, an (in)equality, or a truth constant.
+func IsUCQNeg(f Formula) bool {
+	switch g := f.(type) {
+	case Or:
+		for _, sub := range g.Fs {
+			if !isCQNeg(sub) {
+				return false
+			}
+		}
+		return true
+	default:
+		return isCQNeg(f)
+	}
+}
+
+// isCQNeg recognizes one disjunct: Exists* (lit ∧ ... ∧ lit).
+func isCQNeg(f Formula) bool {
+	for {
+		e, ok := f.(Exists)
+		if !ok {
+			break
+		}
+		f = e.F
+	}
+	switch g := f.(type) {
+	case And:
+		for _, sub := range g.Fs {
+			if !isLiteral(sub) {
+				return false
+			}
+		}
+		return true
+	default:
+		return isLiteral(f)
+	}
+}
+
+func isLiteral(f Formula) bool {
+	switch g := f.(type) {
+	case Atom, Eq, Truth:
+		return true
+	case Not:
+		switch g.F.(type) {
+		case Atom, Eq:
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// IsPositiveUCQ reports whether the formula is a plain union of
+// conjunctive queries (no negation at all) — the monotone core of the
+// fragment.
+func IsPositiveUCQ(f Formula) bool {
+	return IsUCQNeg(f) && IsPositive(f)
+}

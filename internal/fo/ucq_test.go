@@ -1,0 +1,33 @@
+package fo
+
+import "testing"
+
+func TestIsUCQNeg(t *testing.T) {
+	cases := []struct {
+		src  string
+		ucq  bool
+		pucq bool
+	}{
+		{"R(x,y)", true, true},
+		{"R(x,y) | S(x)", true, true},
+		{"exists z (R(x,z) & R(z,y))", true, true},
+		{"exists z (R(x,z) & !S(z))", true, false},
+		{"R(x,y) & x != y", true, false}, // != is ¬(=): in UCQ¬ but not positive
+		{"M(x) & !Done()", true, false},
+		{"!(exists x S(x))", false, false},                  // negated existential
+		{"forall x S(x)", false, false},                     // universal
+		{"exists z (R(x,z) & (S(z) | T(z)))", false, false}, // disjunction under ∃
+		{"!(R(x,y) & S(x))", false, false},                  // negated conjunction
+		{"true", true, true},
+		{"S(x) | exists y (R(x,y) & !R(y,x))", true, false},
+	}
+	for _, c := range cases {
+		f := MustParse(c.src)
+		if got := IsUCQNeg(f); got != c.ucq {
+			t.Errorf("IsUCQNeg(%q) = %v, want %v", c.src, got, c.ucq)
+		}
+		if got := IsPositiveUCQ(f); got != c.pucq {
+			t.Errorf("IsPositiveUCQ(%q) = %v, want %v", c.src, got, c.pucq)
+		}
+	}
+}

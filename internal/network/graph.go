@@ -1,0 +1,207 @@
+// Package network implements the distributed operational semantics of
+// §3 of the paper: networks (finite connected undirected graphs whose
+// vertices are data elements), transducer networks, configurations
+// with multiset message buffers, heartbeat and delivery transitions,
+// runs, fair schedulers, and quiescence detection (Proposition 1).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"declnet/internal/fact"
+)
+
+// Network is a finite, connected, undirected graph over vertices drawn
+// from dom. Connectivity is required by the paper so information can
+// reach every node.
+type Network struct {
+	nodes []fact.Value
+	adj   map[fact.Value]map[fact.Value]bool
+}
+
+// NewNetwork builds a network from nodes and undirected edges, given
+// as pairs. It validates connectivity and rejects self-loops.
+func NewNetwork(nodes []fact.Value, edges [][2]fact.Value) (*Network, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("network: no nodes")
+	}
+	n := &Network{adj: map[fact.Value]map[fact.Value]bool{}}
+	seen := map[fact.Value]bool{}
+	for _, v := range nodes {
+		if seen[v] {
+			return nil, fmt.Errorf("network: duplicate node %s", v)
+		}
+		seen[v] = true
+		n.nodes = append(n.nodes, v)
+		n.adj[v] = map[fact.Value]bool{}
+	}
+	sort.Slice(n.nodes, func(i, j int) bool { return n.nodes[i] < n.nodes[j] })
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a == b {
+			return nil, fmt.Errorf("network: self-loop on %s", a)
+		}
+		if !seen[a] || !seen[b] {
+			return nil, fmt.Errorf("network: edge (%s,%s) references unknown node", a, b)
+		}
+		n.adj[a][b] = true
+		n.adj[b][a] = true
+	}
+	if !n.connected() {
+		return nil, fmt.Errorf("network: not connected")
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork panicking on error.
+func MustNetwork(nodes []fact.Value, edges [][2]fact.Value) *Network {
+	n, err := NewNetwork(nodes, edges)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Network) connected() bool {
+	if len(n.nodes) == 0 {
+		return false
+	}
+	visited := map[fact.Value]bool{}
+	stack := []fact.Value{n.nodes[0]}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		for w := range n.adj[v] {
+			if !visited[w] {
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(visited) == len(n.nodes)
+}
+
+// Nodes returns the vertices in sorted order.
+func (n *Network) Nodes() []fact.Value {
+	return append([]fact.Value(nil), n.nodes...)
+}
+
+// Size returns the number of nodes.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Neighbors returns the neighbors of v in sorted order.
+func (n *Network) Neighbors(v fact.Value) []fact.Value {
+	out := make([]fact.Value, 0, len(n.adj[v]))
+	for w := range n.adj[v] {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasEdge reports whether {a,b} is an edge.
+func (n *Network) HasEdge(a, b fact.Value) bool { return n.adj[a][b] }
+
+func (n *Network) String() string {
+	return fmt.Sprintf("network(%d nodes)", len(n.nodes))
+}
+
+// nodeNames generates node identifiers n1..nk.
+func nodeNames(k int) []fact.Value {
+	out := make([]fact.Value, k)
+	for i := range out {
+		out[i] = fact.Value(fmt.Sprintf("n%d", i+1))
+	}
+	return out
+}
+
+// Single returns the one-node network.
+func Single() *Network {
+	return MustNetwork(nodeNames(1), nil)
+}
+
+// Line returns the path network n1–n2–...–nk.
+func Line(k int) *Network {
+	nodes := nodeNames(k)
+	var edges [][2]fact.Value
+	for i := 0; i+1 < k; i++ {
+		edges = append(edges, [2]fact.Value{nodes[i], nodes[i+1]})
+	}
+	return MustNetwork(nodes, edges)
+}
+
+// Ring returns the cycle network on k ≥ 3 nodes (k = 1, 2 degrade to
+// Single and Line).
+func Ring(k int) *Network {
+	if k <= 2 {
+		return Line(k)
+	}
+	nodes := nodeNames(k)
+	var edges [][2]fact.Value
+	for i := 0; i < k; i++ {
+		edges = append(edges, [2]fact.Value{nodes[i], nodes[(i+1)%k]})
+	}
+	return MustNetwork(nodes, edges)
+}
+
+// Star returns the star network with n1 as the hub.
+func Star(k int) *Network {
+	nodes := nodeNames(k)
+	var edges [][2]fact.Value
+	for i := 1; i < k; i++ {
+		edges = append(edges, [2]fact.Value{nodes[0], nodes[i]})
+	}
+	return MustNetwork(nodes, edges)
+}
+
+// Complete returns the complete network on k nodes.
+func Complete(k int) *Network {
+	nodes := nodeNames(k)
+	var edges [][2]fact.Value
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, [2]fact.Value{nodes[i], nodes[j]})
+		}
+	}
+	return MustNetwork(nodes, edges)
+}
+
+// RandomConnected returns a random connected network on k nodes: a
+// random spanning tree plus extra random edges. Deterministic per
+// seed.
+func RandomConnected(k, extraEdges int, seed int64) *Network {
+	r := rand.New(rand.NewSource(seed))
+	nodes := nodeNames(k)
+	var edges [][2]fact.Value
+	perm := r.Perm(k)
+	for i := 1; i < k; i++ {
+		// Attach each node to a random earlier node in the permutation
+		// (random spanning tree).
+		j := r.Intn(i)
+		edges = append(edges, [2]fact.Value{nodes[perm[i]], nodes[perm[j]]})
+	}
+	for e := 0; e < extraEdges; e++ {
+		a, b := r.Intn(k), r.Intn(k)
+		if a != b {
+			edges = append(edges, [2]fact.Value{nodes[a], nodes[b]})
+		}
+	}
+	return MustNetwork(nodes, edges)
+}
+
+// Topologies returns the standard topology zoo used by the experiment
+// harness: one network of each shape with roughly k nodes.
+func Topologies(k int) map[string]*Network {
+	return map[string]*Network{
+		"line":     Line(k),
+		"ring":     Ring(k),
+		"star":     Star(k),
+		"complete": Complete(k),
+		"random":   RandomConnected(k, k/2, 1234),
+	}
+}

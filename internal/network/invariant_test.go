@@ -1,0 +1,181 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+// TestBufferConservation checks the bookkeeping invariant of the
+// operational semantics: at any point, facts sent = facts delivered +
+// facts still buffered (multiset cardinalities).
+func TestBufferConservation(t *testing.T) {
+	s, err := NewSim(Ring(4), floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a"), ff("S", "b")),
+		"n3": fact.FromFacts(ff("S", "c")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewRandomScheduler(17)
+	for i := 0; i < 400; i++ {
+		ev := sched.Next(s)
+		if ev.Deliver {
+			err = s.DeliverIndex(ev.Node, ev.Index)
+		} else {
+			err = s.Heartbeat(ev.Node)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Sends != s.Deliveries+s.BufferedFacts() {
+			t.Fatalf("step %d: sends %d != deliveries %d + buffered %d",
+				i, s.Sends, s.Deliveries, s.BufferedFacts())
+		}
+		if s.Steps != s.Heartbeats+s.Deliveries {
+			t.Fatalf("step %d: step counters inconsistent", i)
+		}
+	}
+}
+
+// TestConsistentAcrossSchedulers: for a consistent transducer network,
+// every scheduler must produce the same quiescent output.
+func TestConsistentAcrossSchedulers(t *testing.T) {
+	part := map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+		"n2": fact.FromFacts(ff("S", "b"), ff("S", "c")),
+	}
+	outputs := map[string]bool{}
+	scheds := []func() Scheduler{
+		func() Scheduler { return NewRandomScheduler(1) },
+		func() Scheduler { return NewRandomScheduler(99) },
+		func() Scheduler { return NewRoundRobinFIFO() },
+		func() Scheduler { return NewLIFODelay(5, 3) },
+	}
+	for _, mk := range scheds {
+		s, err := NewSim(Line(3), floodEcho(), part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(mk(), 100000)
+		if err != nil || !res.Quiescent {
+			t.Fatalf("%+v %v", res, err)
+		}
+		outputs[res.Output.String()] = true
+	}
+	if len(outputs) != 1 {
+		t.Errorf("schedulers disagree: %v", outputs)
+	}
+}
+
+// TestCoalescingPreservesOutput: with and without duplicate
+// coalescing, quiescent outputs agree (the harness soundness
+// argument).
+func TestCoalescingPreservesOutput(t *testing.T) {
+	part := map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a"), ff("S", "b")),
+	}
+	run := func(coalesce bool) *fact.Relation {
+		s, err := NewSim(Ring(3), floodEcho(), part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.CoalesceDuplicates = coalesce
+		res, err := s.Run(NewRandomScheduler(5), 200000)
+		if err != nil || !res.Quiescent {
+			t.Fatalf("%+v %v", res, err)
+		}
+		return res.Output
+	}
+	if !run(true).Equal(run(false)) {
+		t.Error("coalescing changed the quiescent output")
+	}
+}
+
+// TestQuiescentStable: once the saturation check succeeds, any further
+// fair activity changes nothing.
+func TestQuiescentStable(t *testing.T) {
+	s, err := NewSim(Line(2), floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(NewRandomScheduler(3), 100000)
+	if err != nil || !res.Quiescent {
+		t.Fatal(err)
+	}
+	before := res.Output
+	statesBefore := map[fact.Value]string{}
+	for _, v := range s.Net.Nodes() {
+		statesBefore[v] = s.State(v).String()
+	}
+	// Hammer the quiescent configuration with more activity.
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		v := s.Net.Nodes()[r.Intn(2)]
+		if b := s.Buffer(v); len(b) > 0 && r.Intn(2) == 0 {
+			s.DeliverIndex(v, r.Intn(len(b)))
+		} else {
+			s.Heartbeat(v)
+		}
+	}
+	if !s.Output().Equal(before) {
+		t.Error("output changed after quiescence")
+	}
+	for _, v := range s.Net.Nodes() {
+		if s.State(v).String() != statesBefore[v] {
+			t.Errorf("state of %s changed after quiescence", v)
+		}
+	}
+}
+
+// TestSingleNodeOnlyHeartbeats: on the one-node network no messages
+// are ever delivered (no neighbors), matching the paper's remark that
+// a single-node transducer runs all by itself.
+func TestSingleNodeOnlyHeartbeats(t *testing.T) {
+	s, err := NewSim(Single(), floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(NewRandomScheduler(1), 10000)
+	if err != nil || !res.Quiescent {
+		t.Fatal(err)
+	}
+	if s.Deliveries != 0 || res.Sends != 0 {
+		t.Errorf("single node sent %d delivered %d", res.Sends, s.Deliveries)
+	}
+	if res.Output.Len() != 1 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+// TestHeartbeatOnlyIsNotFair documents that the heartbeat-only
+// scheduler leaves buffered facts undelivered (it exists solely for
+// the coordination-freeness test).
+func TestHeartbeatOnlyIsNotFair(t *testing.T) {
+	s, err := NewSim(Line(2), floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ev := NewHeartbeatOnly().Next(s)
+		if ev.Deliver {
+			t.Fatal("heartbeat-only scheduler delivered")
+		}
+		if err := s.Heartbeat(ev.Node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.BufferedFacts() == 0 {
+		t.Error("expected undelivered facts to pile up")
+	}
+	if s.State("n2").HasFact(ff("R", "a")) {
+		t.Error("fact delivered without a delivery transition")
+	}
+}

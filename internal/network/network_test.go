@@ -1,0 +1,365 @@
+package network
+
+import (
+	"testing"
+
+	"declnet/internal/fact"
+	"declnet/internal/fo"
+	"declnet/internal/transducer"
+)
+
+func ff(rel string, args ...fact.Value) fact.Fact { return fact.NewFact(rel, args...) }
+
+func TestTopologies(t *testing.T) {
+	cases := []struct {
+		name  string
+		net   *Network
+		nodes int
+		check func(*Network) bool
+	}{
+		{"single", Single(), 1, func(n *Network) bool { return len(n.Neighbors("n1")) == 0 }},
+		{"line4", Line(4), 4, func(n *Network) bool {
+			return len(n.Neighbors("n1")) == 1 && len(n.Neighbors("n2")) == 2
+		}},
+		{"ring4", Ring(4), 4, func(n *Network) bool {
+			return n.HasEdge("n1", "n4") && n.HasEdge("n1", "n2") && !n.HasEdge("n1", "n3")
+		}},
+		{"star5", Star(5), 5, func(n *Network) bool {
+			return len(n.Neighbors("n1")) == 4 && len(n.Neighbors("n3")) == 1
+		}},
+		{"complete4", Complete(4), 4, func(n *Network) bool {
+			return len(n.Neighbors("n2")) == 3
+		}},
+		{"random", RandomConnected(8, 4, 7), 8, func(n *Network) bool { return true }},
+	}
+	for _, c := range cases {
+		if c.net.Size() != c.nodes {
+			t.Errorf("%s: size = %d, want %d", c.name, c.net.Size(), c.nodes)
+		}
+		if !c.check(c.net) {
+			t.Errorf("%s: shape check failed", c.name)
+		}
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, nil); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := NewNetwork([]fact.Value{"a", "b"}, nil); err == nil {
+		t.Error("disconnected network accepted")
+	}
+	if _, err := NewNetwork([]fact.Value{"a"}, [][2]fact.Value{{"a", "a"}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := NewNetwork([]fact.Value{"a", "a"}, nil); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewNetwork([]fact.Value{"a"}, [][2]fact.Value{{"a", "z"}}); err == nil {
+		t.Error("edge to unknown node accepted")
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a := RandomConnected(10, 5, 99)
+	b := RandomConnected(10, 5, 99)
+	for _, v := range a.Nodes() {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("seeded networks differ at %s", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("seeded networks differ at %s", v)
+			}
+		}
+	}
+}
+
+// floodEcho: sends its input set S and everything it has received;
+// stores received elements in memory R; outputs R. (This is the
+// Lemma 5(2) flooding transducer for a unary input.)
+func floodEcho() *transducer.Transducer {
+	sOrR := fo.MustQuery("snd", []string{"x"},
+		fo.OrF(fo.AtomF("S", "x"), fo.AtomF("R", "x"), fo.AtomF("M", "x")))
+	return transducer.NewBuilder("floodEcho", fact.Schema{"S": 1}).
+		Msg("M", 1).
+		Mem("R", 1).
+		Snd("M", sOrR).
+		Ins("R", fo.MustQuery("ins", []string{"x"}, fo.OrF(fo.AtomF("M", "x"), fo.AtomF("S", "x")))).
+		Out(1, fo.MustQuery("out", []string{"x"}, fo.OrF(fo.AtomF("R", "x"), fo.AtomF("S", "x")))).
+		MustBuild()
+}
+
+func TestInitialConfiguration(t *testing.T) {
+	net := Line(3)
+	part := map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+		"n3": fact.FromFacts(ff("S", "b")),
+	}
+	s, err := NewSim(net, floodEcho(), part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.State("n1")
+	if !st.HasFact(ff(transducer.SysId, "n1")) {
+		t.Error("Id not set")
+	}
+	for _, v := range net.Nodes() {
+		if !st.HasFact(ff(transducer.SysAll, v)) {
+			t.Errorf("All missing %s", v)
+		}
+	}
+	if !st.HasFact(ff("S", "a")) || st.HasFact(ff("S", "b")) {
+		t.Error("partition misapplied")
+	}
+	// n2 has no input but full system relations.
+	if s.State("n2").Relation("S") != nil && s.State("n2").Relation("S").Len() > 0 {
+		t.Error("n2 should have empty input")
+	}
+	if len(s.Buffer("n1")) != 0 {
+		t.Error("initial buffers must be empty")
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	net := Line(2)
+	// Unknown node in partition.
+	_, err := NewSim(net, floodEcho(), map[fact.Value]*fact.Instance{
+		"zz": fact.FromFacts(ff("S", "a")),
+	})
+	if err == nil {
+		t.Error("unknown partition node accepted")
+	}
+	// Non-input facts in partition.
+	_, err = NewSim(net, floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("R", "a")),
+	})
+	if err == nil {
+		t.Error("partition with non-input relation accepted")
+	}
+}
+
+func TestDeliverySemantics(t *testing.T) {
+	net := Line(2)
+	s, err := NewSim(net, floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeat at n1 sends M(a) to n2 only (its sole neighbor).
+	if err := s.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Buffer("n2")) != 1 || !s.Buffer("n2")[0].Equal(ff("M", "a")) {
+		t.Fatalf("n2 buffer = %v", s.Buffer("n2"))
+	}
+	if len(s.Buffer("n1")) != 0 {
+		t.Error("sender must not receive its own message")
+	}
+	// Deliver at n2: stores R(a), and sends M(a) back to n1.
+	if err := s.DeliverIndex("n2", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.State("n2").HasFact(ff("R", "a")) {
+		t.Error("delivery did not update memory")
+	}
+	if len(s.Buffer("n2")) != 0 {
+		t.Error("delivered fact not removed")
+	}
+	if len(s.Buffer("n1")) != 1 {
+		t.Errorf("n1 buffer = %v", s.Buffer("n1"))
+	}
+	if s.Deliveries != 1 || s.Heartbeats != 1 {
+		t.Errorf("counters: %d deliveries, %d heartbeats", s.Deliveries, s.Heartbeats)
+	}
+}
+
+func TestMultisetBuffers(t *testing.T) {
+	// Two heartbeats at n1 enqueue the same fact twice: multiset.
+	net := Line(2)
+	s, _ := NewSim(net, floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+	})
+	s.Heartbeat("n1")
+	s.Heartbeat("n1")
+	if len(s.Buffer("n2")) != 2 {
+		t.Fatalf("buffer = %v, want duplicate", s.Buffer("n2"))
+	}
+	// Delivering one copy leaves the other.
+	s.DeliverIndex("n2", 0)
+	if len(s.Buffer("n2")) != 1 {
+		t.Error("multiset difference wrong")
+	}
+}
+
+func TestRunFloodReachesEveryone(t *testing.T) {
+	for name, net := range Topologies(5) {
+		s, err := NewSim(net, floodEcho(), map[fact.Value]*fact.Instance{
+			"n1": fact.FromFacts(ff("S", "a")),
+			"n2": fact.FromFacts(ff("S", "b")),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(NewRandomScheduler(42), 100000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Quiescent {
+			t.Fatalf("%s: no quiescence in %d steps", name, res.Steps)
+		}
+		if res.Output.Len() != 2 {
+			t.Fatalf("%s: output = %v", name, res.Output)
+		}
+		// Every node must have received the full input.
+		for _, v := range net.Nodes() {
+			st := s.State(v)
+			has := func(x fact.Value) bool {
+				return st.HasFact(ff("R", x)) || st.HasFact(ff("S", x))
+			}
+			if !has("a") || !has("b") {
+				t.Errorf("%s: node %s lacks full input", name, v)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (*fact.Relation, int) {
+		s, _ := NewSim(Ring(4), floodEcho(), map[fact.Value]*fact.Instance{
+			"n1": fact.FromFacts(ff("S", "a"), ff("S", "b")),
+			"n3": fact.FromFacts(ff("S", "c")),
+		})
+		res, err := s.Run(NewRandomScheduler(seed), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output, res.Steps
+	}
+	o1, s1 := run(7)
+	o2, s2 := run(7)
+	if !o1.Equal(o2) || s1 != s2 {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestSchedulersAreFair(t *testing.T) {
+	scheds := map[string]func() Scheduler{
+		"random":     func() Scheduler { return NewRandomScheduler(3) },
+		"roundrobin": func() Scheduler { return NewRoundRobinFIFO() },
+		"lifodelay":  func() Scheduler { return NewLIFODelay(3, 2) },
+	}
+	for name, mk := range scheds {
+		s, _ := NewSim(Line(3), floodEcho(), map[fact.Value]*fact.Instance{
+			"n1": fact.FromFacts(ff("S", "a")),
+		})
+		res, err := s.Run(mk(), 100000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Quiescent {
+			t.Errorf("%s: not quiescent", name)
+		}
+		// Fairness: the input element reached the far node n3.
+		if !s.State("n3").HasFact(ff("R", "a")) {
+			t.Errorf("%s: fact never reached n3", name)
+		}
+	}
+}
+
+func TestHeartbeatFixpoint(t *testing.T) {
+	// With the full input replicated everywhere, floodEcho outputs
+	// everything by heartbeats alone (it already has S locally).
+	full := fact.FromFacts(ff("S", "a"), ff("S", "b"))
+	part := map[fact.Value]*fact.Instance{}
+	net := Ring(3)
+	for _, v := range net.Nodes() {
+		part[v] = full
+	}
+	s, _ := NewSim(net, floodEcho(), part)
+	converged, err := s.HeartbeatFixpoint(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged {
+		t.Fatal("heartbeat fixpoint not reached")
+	}
+	if s.Output().Len() != 2 {
+		t.Errorf("output = %v", s.Output())
+	}
+}
+
+func TestQuiescentDetectsPendingWork(t *testing.T) {
+	s, _ := NewSim(Line(2), floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+	})
+	// Before any step: n1's heartbeat would output a new tuple, so the
+	// configuration is not quiescent.
+	q, err := s.Quiescent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q {
+		t.Error("fresh configuration misreported quiescent")
+	}
+}
+
+func TestSimClone(t *testing.T) {
+	s, _ := NewSim(Line(2), floodEcho(), map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a")),
+	})
+	s.Heartbeat("n1")
+	c := s.Clone()
+	// Advancing the clone must not affect the original.
+	c.DeliverIndex("n2", 0)
+	if len(s.Buffer("n2")) != 1 {
+		t.Error("clone shares buffers with original")
+	}
+	if s.State("n2").HasFact(ff("R", "a")) {
+		t.Error("clone shares state with original")
+	}
+}
+
+// Example 2 of the paper: each node outputs the first element it
+// receives and nothing afterwards. Different fair runs can produce
+// different outputs: the network is NOT consistent.
+func firstElement() *transducer.Transducer {
+	// Mem Got/1 records received elements; mem Done/0 latches.
+	// Output: the received element when Done is empty.
+	recv := fo.MustQuery("ins", []string{"x"}, fo.AtomF("M", "x"))
+	return transducer.NewBuilder("firstElement", fact.Schema{"S": 1}).
+		Msg("M", 1).
+		Mem("Done", 0).
+		Snd("M", fo.MustQuery("snd", []string{"x"}, fo.AtomF("S", "x"))).
+		Ins("Done", fo.MustQuery("done", nil, fo.ExistsF([]string{"x"}, fo.AtomF("M", "x")))).
+		Out(1, fo.MustQuery("out", []string{"x"},
+			fo.AndF(recv.Body, fo.NotF(fo.AtomF("Done"))))).
+		MustBuild()
+}
+
+func TestExample2Inconsistent(t *testing.T) {
+	// On a 2-node complete network with S = {a, b} held entirely by
+	// n1, node n2 receives a and b in scheduler-dependent order and
+	// outputs only the first: different seeds produce different
+	// outputs.
+	part := map[fact.Value]*fact.Instance{
+		"n1": fact.FromFacts(ff("S", "a"), ff("S", "b")),
+	}
+	outputs := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := NewSim(Complete(2), firstElement(), part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(NewRandomScheduler(seed), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs[res.Output.String()] = true
+	}
+	if len(outputs) < 2 {
+		t.Errorf("Example 2 should be inconsistent; observed outputs: %v", outputs)
+	}
+}

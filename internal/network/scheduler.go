@@ -1,0 +1,133 @@
+package network
+
+import (
+	"math/rand"
+
+	"declnet/internal/fact"
+)
+
+// Event is a scheduled transition: a heartbeat at Node, or the
+// delivery of the buffered fact at Index of Node's buffer.
+type Event struct {
+	Node    fact.Value
+	Deliver bool
+	Index   int
+}
+
+// Scheduler chooses the next transition of a run. Implementations
+// must be fair in the limit: every node heartbeats infinitely often
+// and every buffered fact is eventually delivered (the paper's fair
+// runs). All schedulers here are deterministic given their seed, so
+// every run is replayable.
+type Scheduler interface {
+	Next(s *Sim) Event
+}
+
+// RandomScheduler samples fair runs: each step it chooses uniformly
+// among all heartbeats (one per node) and all buffered facts. Every
+// buffered fact therefore has probability ≥ 1/(nodes+buffered) of
+// delivery each step, which makes runs fair almost surely.
+type RandomScheduler struct {
+	r *rand.Rand
+}
+
+// NewRandomScheduler returns a seeded random scheduler.
+func NewRandomScheduler(seed int64) *RandomScheduler {
+	return &RandomScheduler{r: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (rs *RandomScheduler) Next(s *Sim) Event {
+	nodes := s.Net.Nodes()
+	total := len(nodes) + s.BufferedFacts()
+	k := rs.r.Intn(total)
+	if k < len(nodes) {
+		return Event{Node: nodes[k]}
+	}
+	k -= len(nodes)
+	for _, v := range nodes {
+		b := s.Buffer(v)
+		if k < len(b) {
+			return Event{Node: v, Deliver: true, Index: k}
+		}
+		k -= len(b)
+	}
+	// Unreachable if counts are consistent; fall back to a heartbeat.
+	return Event{Node: nodes[0]}
+}
+
+// RoundRobinFIFO visits nodes cyclically; at each visit it delivers
+// the oldest buffered fact if one exists, and heartbeats otherwise.
+// Message buffers thus behave as FIFO queues. This is the adversarial
+// "most synchronous" scheduler; the Theorem 16 ring construction uses
+// a variant of it.
+type RoundRobinFIFO struct {
+	i int
+}
+
+// NewRoundRobinFIFO returns a round-robin FIFO scheduler.
+func NewRoundRobinFIFO() *RoundRobinFIFO { return &RoundRobinFIFO{} }
+
+// Next implements Scheduler.
+func (rr *RoundRobinFIFO) Next(s *Sim) Event {
+	nodes := s.Net.Nodes()
+	v := nodes[rr.i%len(nodes)]
+	rr.i++
+	if len(s.Buffer(v)) > 0 {
+		return Event{Node: v, Deliver: true, Index: 0}
+	}
+	return Event{Node: v}
+}
+
+// LIFODelay delivers the newest buffered fact (LIFO) and prefers
+// heart-beating delayNodes-many rounds between deliveries, modelling
+// message reordering: an earlier message can be overtaken by a later
+// one, as in the paper's remark about subsequent TCP/IP connections.
+type LIFODelay struct {
+	r     *rand.Rand
+	delay int
+	count int
+}
+
+// NewLIFODelay returns a LIFO scheduler that heartbeats `delay` times
+// between deliveries.
+func NewLIFODelay(seed int64, delay int) *LIFODelay {
+	return &LIFODelay{r: rand.New(rand.NewSource(seed)), delay: delay}
+}
+
+// Next implements Scheduler.
+func (ld *LIFODelay) Next(s *Sim) Event {
+	nodes := s.Net.Nodes()
+	ld.count++
+	if ld.count%(ld.delay+1) != 0 || s.BufferedFacts() == 0 {
+		return Event{Node: nodes[ld.r.Intn(len(nodes))]}
+	}
+	// Deliver the newest fact of a random nonempty buffer.
+	start := ld.r.Intn(len(nodes))
+	for i := 0; i < len(nodes); i++ {
+		v := nodes[(start+i)%len(nodes)]
+		if b := s.Buffer(v); len(b) > 0 {
+			return Event{Node: v, Deliver: true, Index: len(b) - 1}
+		}
+	}
+	return Event{Node: nodes[0]}
+}
+
+// HeartbeatOnly never delivers messages; it drives the
+// coordination-freeness test of §5 (a quiescence point must be
+// reachable by heartbeat transitions alone on a suitable partition).
+// It is NOT fair on configurations with nonempty buffers.
+type HeartbeatOnly struct {
+	i int
+}
+
+// NewHeartbeatOnly returns the heartbeat-only scheduler.
+func NewHeartbeatOnly() *HeartbeatOnly { return &HeartbeatOnly{} }
+
+// Next implements Scheduler.
+func (h *HeartbeatOnly) Next(s *Sim) Event {
+	nodes := s.Net.Nodes()
+	v := nodes[h.i%len(nodes)]
+	h.i++
+	return Event{Node: v}
+}

@@ -1,0 +1,418 @@
+package network
+
+import (
+	"fmt"
+
+	"declnet/internal/fact"
+	"declnet/internal/transducer"
+)
+
+// Sim is a running transducer network (N, Π): a mutable configuration
+// consisting of a state per node and a multiset message buffer per
+// node, together with counters and the accumulated run output
+// out(ρ) = ⋃ out(τ).
+//
+// Buffers are ordered slices of facts: the order is the arrival order
+// (used by FIFO schedulers, e.g. the Theorem 16 construction), and
+// duplicates are retained, matching the paper's multiset semantics.
+type Sim struct {
+	Net *Network
+	Tr  *transducer.Transducer
+
+	state map[fact.Value]*fact.Instance
+	buf   map[fact.Value][]fact.Fact
+	// known tracks, per node, every distinct message fact that was
+	// ever buffered at or delivered to the node. It drives the
+	// saturation-based quiescence check.
+	known map[fact.Value]map[string]fact.Fact
+
+	// clean marks nodes whose last full quiescence probe succeeded and
+	// whose state has not changed since; pendingProbe lists the facts
+	// that became known at a clean node after its probe. Together they
+	// make the quiescence check incremental: conditions (i)-(iii) are
+	// monotone in the sets that can change under a clean node (output
+	// and neighbours' known sets only grow), so cached successes stay
+	// valid.
+	clean        map[fact.Value]bool
+	pendingProbe map[fact.Value][]fact.Fact
+
+	// CoalesceDuplicates, when true, skips enqueueing a message fact
+	// that is already pending in the destination buffer. Every run of
+	// the coalescing system reproduces a fair run of the paper's
+	// multiset semantics in which redundant identical in-flight copies
+	// are delivered after the quiescence point — sound because the
+	// quiescence check verifies that re-delivering any known fact is a
+	// no-op. It bounds buffer growth and is enabled by the experiment
+	// harness; leave false for strict multiset semantics.
+	CoalesceDuplicates bool
+
+	out *fact.Relation
+
+	// Trace, when non-nil, is invoked after every transition with a
+	// description of what happened; used by cmd/transduce -trace and
+	// by debugging sessions.
+	Trace func(TraceEvent)
+
+	// Counters for the experiment harness.
+	Steps      int
+	Heartbeats int
+	Deliveries int
+	Sends      int // total facts appended to buffers
+}
+
+// TraceEvent describes one executed transition.
+type TraceEvent struct {
+	Step int
+	Node fact.Value
+	// Delivered is the fact read by a delivery transition; nil for a
+	// heartbeat.
+	Delivered *fact.Fact
+	// Sent is the number of facts enqueued at neighbours.
+	Sent int
+	// NewOutput lists output tuples first produced by this transition.
+	NewOutput []fact.Tuple
+	// StateChanged reports whether the node's state changed.
+	StateChanged bool
+}
+
+// NewSim creates the initial configuration for a horizontal partition
+// (§4): node v starts with state H(v) ∪ {Id(v)} ∪ {All(w) | w ∈ N},
+// empty memory and an empty message buffer. Nodes absent from the
+// partition start with empty input.
+func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*fact.Instance) (*Sim, error) {
+	s := &Sim{
+		Net:          net,
+		Tr:           tr,
+		state:        map[fact.Value]*fact.Instance{},
+		buf:          map[fact.Value][]fact.Fact{},
+		known:        map[fact.Value]map[string]fact.Fact{},
+		clean:        map[fact.Value]bool{},
+		pendingProbe: map[fact.Value][]fact.Fact{},
+		out:          fact.NewRelation(tr.Schema.OutArity),
+	}
+	nodes := net.Nodes()
+	nodeSet := map[fact.Value]bool{}
+	for _, v := range nodes {
+		nodeSet[v] = true
+	}
+	for v := range partition {
+		if !nodeSet[v] {
+			return nil, fmt.Errorf("network: partition assigns input to unknown node %s", v)
+		}
+	}
+	for _, v := range nodes {
+		st := fact.NewInstance()
+		if h := partition[v]; h != nil {
+			if err := h.Conforms(tr.Schema.In); err != nil {
+				return nil, fmt.Errorf("network: partition at %s: %w", v, err)
+			}
+			st.UnionWith(h)
+		}
+		st.AddFact(fact.NewFact(transducer.SysId, v))
+		for _, w := range nodes {
+			st.AddFact(fact.NewFact(transducer.SysAll, w))
+		}
+		s.state[v] = st
+		s.known[v] = map[string]fact.Fact{}
+	}
+	return s, nil
+}
+
+// State returns the state of node v (not a copy; callers must not
+// mutate it).
+func (s *Sim) State(v fact.Value) *fact.Instance { return s.state[v] }
+
+// Buffer returns the current message buffer of v (not a copy).
+func (s *Sim) Buffer(v fact.Value) []fact.Fact { return s.buf[v] }
+
+// BufferedFacts returns the total number of buffered facts across all
+// nodes.
+func (s *Sim) BufferedFacts() int {
+	n := 0
+	for _, b := range s.buf {
+		n += len(b)
+	}
+	return n
+}
+
+// Output returns the accumulated output relation out(ρ) so far (a
+// clone).
+func (s *Sim) Output() *fact.Relation { return s.out.Clone() }
+
+// Heartbeat performs a heartbeat transition at node v: the node
+// transitions without reading any message.
+func (s *Sim) Heartbeat(v fact.Value) error {
+	return s.transition(v, nil)
+}
+
+// DeliverIndex performs a delivery transition at node v, reading and
+// removing the buffered fact at the given index.
+func (s *Sim) DeliverIndex(v fact.Value, idx int) error {
+	b := s.buf[v]
+	if idx < 0 || idx >= len(b) {
+		return fmt.Errorf("network: delivery index %d out of range at %s (buffer %d)", idx, v, len(b))
+	}
+	f := b[idx]
+	s.buf[v] = append(b[:idx:idx], b[idx+1:]...)
+	rcv := fact.FromFacts(f)
+	return s.transition(v, rcv)
+}
+
+func (s *Sim) transition(v fact.Value, rcv *fact.Instance) error {
+	eff, err := s.Tr.Step(s.state[v], rcv)
+	if err != nil {
+		return err
+	}
+	sendsBefore := s.Sends
+	stateChanged := !eff.State.Equal(s.state[v])
+	if s.clean[v] && stateChanged {
+		s.clean[v] = false
+		s.pendingProbe[v] = nil
+	}
+	s.state[v] = eff.State
+	var newOut []fact.Tuple
+	eff.Out.Each(func(t fact.Tuple) bool {
+		if s.out.Add(t) && s.Trace != nil {
+			newOut = append(newOut, t)
+		}
+		return true
+	})
+	sent := eff.Snd.Facts()
+	for _, w := range s.Net.Neighbors(v) {
+		for _, f := range sent {
+			key := f.Key()
+			if _, seen := s.known[w][key]; !seen {
+				s.known[w][key] = f
+				if s.clean[w] {
+					s.pendingProbe[w] = append(s.pendingProbe[w], f)
+				}
+			} else if s.CoalesceDuplicates && bufferHas(s.buf[w], f) {
+				continue
+			}
+			s.buf[w] = append(s.buf[w], f)
+			s.Sends++
+		}
+	}
+	s.Steps++
+	if rcv == nil {
+		s.Heartbeats++
+	} else {
+		s.Deliveries++
+	}
+	if s.Trace != nil {
+		ev := TraceEvent{Step: s.Steps, Node: v, Sent: s.Sends - sendsBefore,
+			NewOutput: newOut, StateChanged: stateChanged}
+		if rcv != nil {
+			facts := rcv.Facts()
+			if len(facts) == 1 {
+				ev.Delivered = &facts[0]
+			}
+		}
+		s.Trace(ev)
+	}
+	return nil
+}
+
+func bufferHas(buf []fact.Fact, f fact.Fact) bool {
+	for _, g := range buf {
+		if g.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Quiescent performs the saturation check: it reports whether no
+// continuation of the current configuration can change any node state
+// or produce a new output tuple. It holds when, for every node v,
+// a heartbeat and the (re-)delivery of every message fact ever known
+// at v (i) leave the state unchanged, (ii) output only tuples already
+// in out(ρ), and (iii) send only facts already known at the receiving
+// neighbor. Soundness follows from determinism of local transitions:
+// under (i)–(iii) the reachable configurations never leave the checked
+// set. The check does not modify the configuration.
+//
+// This is the operational counterpart of the quiescence point of
+// Proposition 1.
+func (s *Sim) Quiescent() (bool, error) {
+	for _, v := range s.Net.Nodes() {
+		if s.clean[v] {
+			// Only the facts that became known since the last full
+			// probe need checking; the cached successes remain valid
+			// because the sets they depend on only grow.
+			pending := s.pendingProbe[v]
+			for i, f := range pending {
+				ok, err := s.probe(v, fact.FromFacts(f))
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					s.pendingProbe[v] = pending[i:]
+					return false, nil
+				}
+			}
+			s.pendingProbe[v] = nil
+			continue
+		}
+		// Full probe: heartbeat plus every known distinct fact.
+		if ok, err := s.probe(v, nil); err != nil || !ok {
+			return false, err
+		}
+		for _, f := range s.known[v] {
+			if ok, err := s.probe(v, fact.FromFacts(f)); err != nil || !ok {
+				return false, err
+			}
+		}
+		s.clean[v] = true
+		s.pendingProbe[v] = nil
+	}
+	return true, nil
+}
+
+// probe checks conditions (i)-(iii) for one hypothetical transition.
+func (s *Sim) probe(v fact.Value, rcv *fact.Instance) (bool, error) {
+	eff, err := s.Tr.Step(s.state[v], rcv)
+	if err != nil {
+		return false, err
+	}
+	if !eff.State.Equal(s.state[v]) {
+		return false, nil
+	}
+	newOut := false
+	eff.Out.Each(func(t fact.Tuple) bool {
+		if !s.out.Contains(t) {
+			newOut = true
+			return false
+		}
+		return true
+	})
+	if newOut {
+		return false, nil
+	}
+	for _, w := range s.Net.Neighbors(v) {
+		for _, f := range eff.Snd.Facts() {
+			if _, ok := s.known[w][f.Key()]; !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Clone returns an independent deep copy of the configuration
+// (counters included), sharing the immutable network and transducer.
+func (s *Sim) Clone() *Sim {
+	c := &Sim{
+		Net: s.Net, Tr: s.Tr,
+		state:        map[fact.Value]*fact.Instance{},
+		buf:          map[fact.Value][]fact.Fact{},
+		known:        map[fact.Value]map[string]fact.Fact{},
+		clean:        map[fact.Value]bool{},
+		pendingProbe: map[fact.Value][]fact.Fact{},
+		out:          s.out.Clone(),
+		Steps:        s.Steps, Heartbeats: s.Heartbeats,
+		Deliveries: s.Deliveries, Sends: s.Sends,
+		CoalesceDuplicates: s.CoalesceDuplicates,
+	}
+	for v, st := range s.state {
+		c.state[v] = st.Clone()
+	}
+	for v, b := range s.buf {
+		c.buf[v] = append([]fact.Fact(nil), b...)
+	}
+	for v, k := range s.known {
+		m := make(map[string]fact.Fact, len(k))
+		for key, f := range k {
+			m[key] = f
+		}
+		c.known[v] = m
+	}
+	for v, cl := range s.clean {
+		c.clean[v] = cl
+	}
+	for v, p := range s.pendingProbe {
+		c.pendingProbe[v] = append([]fact.Fact(nil), p...)
+	}
+	return c
+}
+
+// HeartbeatFixpoint performs rounds of heartbeat transitions at every
+// node until a full round changes no node state and produces no new
+// output tuple, or maxRounds is exhausted. It reports whether the
+// fixpoint was reached. Because local transitions are deterministic,
+// at the fixpoint further heartbeats can never change anything: the
+// run has reached a quiescence point using heartbeat transitions
+// only — exactly the condition of the coordination-freeness
+// definition (§5).
+func (s *Sim) HeartbeatFixpoint(maxRounds int) (bool, error) {
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, v := range s.Net.Nodes() {
+			before := s.state[v]
+			outBefore := s.out.Len()
+			if err := s.Heartbeat(v); err != nil {
+				return false, err
+			}
+			if !s.state[v].Equal(before) || s.out.Len() != outBefore {
+				changed = true
+			}
+		}
+		if !changed {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// RunResult summarizes a run.
+type RunResult struct {
+	// Output is out(ρ) up to the stopping point.
+	Output *fact.Relation
+	// Quiescent is true when the run stopped because the saturation
+	// check succeeded (a quiescence point was reached), false when the
+	// step budget ran out first.
+	Quiescent bool
+	Steps     int
+	Sends     int
+}
+
+// Run drives the simulation with the given scheduler until the
+// saturation check reports quiescence or maxSteps transitions have
+// been performed. The check is evaluated every |N| steps (and
+// initially), so runs of already-quiescent configurations cost one
+// sweep.
+func (s *Sim) Run(sched Scheduler, maxSteps int) (RunResult, error) {
+	checkEvery := s.Net.Size()
+	if checkEvery < 4 {
+		checkEvery = 4
+	}
+	sinceCheck := checkEvery // force an initial check
+	for s.Steps < maxSteps {
+		if sinceCheck >= checkEvery {
+			sinceCheck = 0
+			q, err := s.Quiescent()
+			if err != nil {
+				return RunResult{}, err
+			}
+			if q {
+				return RunResult{Output: s.Output(), Quiescent: true, Steps: s.Steps, Sends: s.Sends}, nil
+			}
+		}
+		ev := sched.Next(s)
+		var err error
+		if ev.Deliver {
+			err = s.DeliverIndex(ev.Node, ev.Index)
+		} else {
+			err = s.Heartbeat(ev.Node)
+		}
+		if err != nil {
+			return RunResult{}, err
+		}
+		sinceCheck++
+	}
+	q, err := s.Quiescent()
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Output: s.Output(), Quiescent: q, Steps: s.Steps, Sends: s.Sends}, nil
+}

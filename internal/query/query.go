@@ -1,0 +1,161 @@
+// Package query defines the abstract notion of a database query used
+// throughout the reproduction. The paper's transducers are collections
+// of queries over a combined schema; the model is parameterized by the
+// local query language L. Every concrete language in this repository
+// (first-order logic, Datalog fragments, while-programs, and arbitrary
+// Go functions standing in for a computationally complete language)
+// implements the Query interface defined here.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"declnet/internal/fact"
+)
+
+// Query is a k-ary database query over some schema. Eval must be
+// deterministic and generic (commute with permutations of dom) for the
+// paper's definitions to apply; implementations in this repository are.
+type Query interface {
+	// Arity is the arity k of the query's output relation.
+	Arity() int
+
+	// Rels returns the relation names the query may read, sorted.
+	// It is the basis of the syntactic obliviousness check (a
+	// transducer is oblivious if no query mentions Id or All).
+	Rels() []string
+
+	// Eval computes the query on an instance. The result is a k-ary
+	// relation over adom(I) (safety is the implementation's duty).
+	Eval(I *fact.Instance) (*fact.Relation, error)
+
+	// SyntacticallyMonotone reports whether the query is monotone by
+	// construction (e.g. negation-free). False means "unknown", not
+	// "non-monotone".
+	SyntacticallyMonotone() bool
+}
+
+// Empty is the query returning the empty k-ary relation on every
+// input. The paper uses it for deletion queries of inflationary
+// transducers and as the default for unspecified transducer queries.
+type Empty struct{ K int }
+
+// Arity implements Query.
+func (e Empty) Arity() int { return e.K }
+
+// Rels implements Query.
+func (e Empty) Rels() []string { return nil }
+
+// Eval implements Query.
+func (e Empty) Eval(*fact.Instance) (*fact.Relation, error) {
+	return fact.NewRelation(e.K), nil
+}
+
+// SyntacticallyMonotone implements Query; the constant-empty query is
+// trivially monotone.
+func (e Empty) SyntacticallyMonotone() bool { return true }
+
+// Func wraps an arbitrary Go function as a query. This is the
+// "computationally complete query language" of Theorem 6(1): any
+// partial computable query is expressible. Declared relation reads and
+// monotonicity are trusted annotations supplied by the constructor.
+type Func struct {
+	K        int
+	Reads    []string
+	Monotone bool
+	Name     string
+	F        func(I *fact.Instance) (*fact.Relation, error)
+}
+
+// NewFunc builds a Func query. reads lists the relations f consults;
+// it is sorted and deduplicated.
+func NewFunc(name string, arity int, reads []string, monotone bool, f func(*fact.Instance) (*fact.Relation, error)) Func {
+	rs := dedupSorted(reads)
+	return Func{K: arity, Reads: rs, Monotone: monotone, Name: name, F: f}
+}
+
+// Arity implements Query.
+func (q Func) Arity() int { return q.K }
+
+// Rels implements Query.
+func (q Func) Rels() []string { return q.Reads }
+
+// Eval implements Query.
+func (q Func) Eval(I *fact.Instance) (*fact.Relation, error) {
+	r, err := q.F(I)
+	if err != nil {
+		return nil, fmt.Errorf("query %s: %w", q.Name, err)
+	}
+	if r.Arity() != q.K {
+		return nil, fmt.Errorf("query %s: produced arity %d, declared %d", q.Name, r.Arity(), q.K)
+	}
+	return r, nil
+}
+
+// SyntacticallyMonotone implements Query.
+func (q Func) SyntacticallyMonotone() bool { return q.Monotone }
+
+// Copy is the query that returns relation rel verbatim (the identity
+// query on one relation); it is monotone.
+func Copy(rel string, arity int) Func {
+	return NewFunc("copy:"+rel, arity, []string{rel}, true,
+		func(I *fact.Instance) (*fact.Relation, error) {
+			return I.RelationOr(rel, arity).Clone(), nil
+		})
+}
+
+// UnionOf returns the query computing the union of same-arity
+// relations; it is monotone.
+func UnionOf(arity int, rels ...string) Func {
+	names := append([]string(nil), rels...)
+	return NewFunc(fmt.Sprintf("union:%v", names), arity, names, true,
+		func(I *fact.Instance) (*fact.Relation, error) {
+			out := fact.NewRelation(arity)
+			for _, r := range names {
+				out.UnionWith(I.RelationOr(r, arity))
+			}
+			return out, nil
+		})
+}
+
+func dedupSorted(xs []string) []string {
+	if len(xs) == 0 {
+		return nil
+	}
+	cp := append([]string(nil), xs...)
+	sort.Strings(cp)
+	out := cp[:1]
+	for _, x := range cp[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MergeRels unions the Rels of several queries, sorted, deduplicated.
+func MergeRels(qs ...Query) []string {
+	var all []string
+	for _, q := range qs {
+		if q != nil {
+			all = append(all, q.Rels()...)
+		}
+	}
+	return dedupSorted(all)
+}
+
+// Mentions reports whether the query reads any of the given relations.
+func Mentions(q Query, rels ...string) bool {
+	if q == nil {
+		return false
+	}
+	reads := q.Rels()
+	for _, r := range rels {
+		i := sort.SearchStrings(reads, r)
+		if i < len(reads) && reads[i] == r {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+func TestEmptyQuery(t *testing.T) {
+	e := Empty{K: 2}
+	out, err := e.Eval(fact.FromFacts(fact.NewFact("R", "a", "b")))
+	if err != nil || out.Len() != 0 || out.Arity() != 2 {
+		t.Errorf("Empty.Eval = %v, %v", out, err)
+	}
+	if !e.SyntacticallyMonotone() || e.Rels() != nil {
+		t.Error("Empty metadata wrong")
+	}
+}
+
+func TestFuncArityEnforced(t *testing.T) {
+	q := NewFunc("bad", 2, nil, false, func(*fact.Instance) (*fact.Relation, error) {
+		return fact.NewRelation(1), nil // wrong arity
+	})
+	if _, err := q.Eval(fact.NewInstance()); err == nil {
+		t.Error("arity mismatch not caught")
+	}
+}
+
+func TestFuncErrorWrapped(t *testing.T) {
+	sentinel := errors.New("boom")
+	q := NewFunc("failing", 0, nil, false, func(*fact.Instance) (*fact.Relation, error) {
+		return nil, sentinel
+	})
+	if _, err := q.Eval(fact.NewInstance()); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFuncReadsDeduplicated(t *testing.T) {
+	q := NewFunc("q", 0, []string{"b", "a", "b", "a"}, true, nil)
+	if got := q.Rels(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Rels = %v", got)
+	}
+}
+
+func TestCopyAndUnionOf(t *testing.T) {
+	I := fact.FromFacts(
+		fact.NewFact("R", "a"), fact.NewFact("S", "b"), fact.NewFact("S", "a"),
+	)
+	c := Copy("R", 1)
+	out, err := c.Eval(I)
+	if err != nil || out.Len() != 1 {
+		t.Errorf("Copy = %v, %v", out, err)
+	}
+	u := UnionOf(1, "R", "S")
+	out, err = u.Eval(I)
+	if err != nil || out.Len() != 2 {
+		t.Errorf("UnionOf = %v, %v", out, err)
+	}
+	// Missing relation treated as empty.
+	out, err = UnionOf(1, "R", "Z").Eval(I)
+	if err != nil || out.Len() != 1 {
+		t.Errorf("UnionOf with missing = %v, %v", out, err)
+	}
+}
+
+func TestMergeRelsAndMentions(t *testing.T) {
+	a := Copy("R", 1)
+	b := UnionOf(1, "S", "T")
+	got := MergeRels(a, b, nil)
+	if !reflect.DeepEqual(got, []string{"R", "S", "T"}) {
+		t.Errorf("MergeRels = %v", got)
+	}
+	if !Mentions(b, "S") || Mentions(b, "R") || Mentions(nil, "R") {
+		t.Error("Mentions wrong")
+	}
+}

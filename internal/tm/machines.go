@@ -1,0 +1,86 @@
+package tm
+
+// Library machines used by the Theorem 18 experiments. All stay within
+// the simulation's constraints: they never move left of the first
+// cell, and they extend the tape only to the right.
+
+// EvenLength returns a machine accepting strings over {a, b} of even
+// length: it scans right flipping between two parity states and
+// accepts at the first blank in the even state.
+func EvenLength() *Machine {
+	m := &Machine{
+		Name:     "evenLength",
+		Start:    "qe",
+		Accept:   "qacc",
+		Alphabet: []string{"a", "b"},
+		Delta: map[Key]Action{
+			{State: "qe", Symbol: "a"}:   {State: "qo", Write: "a", Move: Right},
+			{State: "qe", Symbol: "b"}:   {State: "qo", Write: "b", Move: Right},
+			{State: "qo", Symbol: "a"}:   {State: "qe", Write: "a", Move: Right},
+			{State: "qo", Symbol: "b"}:   {State: "qe", Write: "b", Move: Right},
+			{State: "qe", Symbol: Blank}: {State: "qacc", Write: Blank, Move: Stay},
+		},
+	}
+	return m
+}
+
+// EndsWithB returns a machine accepting strings over {a, b} ending
+// in b: it scans right remembering the previous symbol and accepts at
+// the blank if the last seen symbol was b.
+func EndsWithB() *Machine {
+	return &Machine{
+		Name:     "endsWithB",
+		Start:    "q0",
+		Accept:   "qacc",
+		Alphabet: []string{"a", "b"},
+		Delta: map[Key]Action{
+			{State: "q0", Symbol: "a"}:   {State: "qa", Write: "a", Move: Right},
+			{State: "q0", Symbol: "b"}:   {State: "qb", Write: "b", Move: Right},
+			{State: "qa", Symbol: "a"}:   {State: "qa", Write: "a", Move: Right},
+			{State: "qa", Symbol: "b"}:   {State: "qb", Write: "b", Move: Right},
+			{State: "qb", Symbol: "a"}:   {State: "qa", Write: "a", Move: Right},
+			{State: "qb", Symbol: "b"}:   {State: "qb", Write: "b", Move: Right},
+			{State: "qb", Symbol: Blank}: {State: "qacc", Write: Blank, Move: Stay},
+		},
+	}
+}
+
+// ABStar returns a machine accepting (ab)+: alternating a, b pairs.
+// It exercises rejection by getting stuck on malformed inputs.
+func ABStar() *Machine {
+	return &Machine{
+		Name:     "abStar",
+		Start:    "qa",
+		Accept:   "qacc",
+		Alphabet: []string{"a", "b"},
+		Delta: map[Key]Action{
+			{State: "qa", Symbol: "a"}:   {State: "qb", Write: "a", Move: Right},
+			{State: "qb", Symbol: "b"}:   {State: "qa", Write: "b", Move: Right},
+			{State: "qa", Symbol: Blank}: {State: "qacc", Write: Blank, Move: Stay},
+		},
+	}
+}
+
+// CopyExtend returns a machine that marks every input cell and then
+// writes one x past the end before accepting — it forces the Dedalus
+// simulation to extend the tape with an entangled timestamp cell
+// (the crux of the Theorem 18 construction).
+func CopyExtend() *Machine {
+	return &Machine{
+		Name:     "copyExtend",
+		Start:    "scan",
+		Accept:   "qacc",
+		Alphabet: []string{"a", "b"},
+		Delta: map[Key]Action{
+			{State: "scan", Symbol: "a"}:   {State: "scan", Write: "a", Move: Right},
+			{State: "scan", Symbol: "b"}:   {State: "scan", Write: "b", Move: Right},
+			{State: "scan", Symbol: Blank}: {State: "mark", Write: "x", Move: Right},
+			{State: "mark", Symbol: Blank}: {State: "qacc", Write: Blank, Move: Stay},
+		},
+	}
+}
+
+// All returns the machine library.
+func All() []*Machine {
+	return []*Machine{EvenLength(), EndsWithB(), ABStar(), CopyExtend()}
+}

@@ -1,0 +1,245 @@
+// Package tm implements the deterministic single-tape Turing machine
+// substrate needed by §8 of the paper (Theorem 18: every Turing
+// machine is simulated by an eventually consistent Dedalus program),
+// together with the word-structure encoding of strings as database
+// instances over the schema SΣ = {Tape/2, Begin/1, End/1} ∪ {a/1}.
+package tm
+
+import (
+	"fmt"
+
+	"declnet/internal/fact"
+)
+
+// Move is a head direction.
+type Move int
+
+// Head movement directions. The simulated machines never move left of
+// the first cell.
+const (
+	Left  Move = -1
+	Right Move = +1
+	Stay  Move = 0
+)
+
+// Blank is the blank tape symbol.
+const Blank = "_"
+
+// Key identifies a transition by state and scanned symbol.
+type Key struct {
+	State  string
+	Symbol string
+}
+
+// Action is the effect of a transition: next state, written symbol,
+// and head movement.
+type Action struct {
+	State string
+	Write string
+	Move  Move
+}
+
+// Machine is a deterministic single-tape Turing machine. A missing
+// transition halts the machine (rejecting unless in Accept).
+type Machine struct {
+	Name   string
+	Start  string
+	Accept string
+	// Alphabet is the input alphabet (excluding Blank).
+	Alphabet []string
+	Delta    map[Key]Action
+}
+
+// TapeAlphabet returns every symbol that can appear on the tape: the
+// input alphabet, the blank, and every written symbol.
+func (m *Machine) TapeAlphabet() []string {
+	seen := map[string]bool{Blank: true}
+	out := []string{Blank}
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, a := range m.Alphabet {
+		add(a)
+	}
+	for _, act := range m.Delta {
+		add(act.Write)
+	}
+	return out
+}
+
+// Validate checks basic well-formedness.
+func (m *Machine) Validate() error {
+	if m.Start == "" || m.Accept == "" {
+		return fmt.Errorf("tm: machine %s missing start or accept state", m.Name)
+	}
+	if len(m.Alphabet) == 0 {
+		return fmt.Errorf("tm: machine %s has empty alphabet", m.Name)
+	}
+	for k, a := range m.Delta {
+		if k.State == m.Accept {
+			return fmt.Errorf("tm: machine %s has transition out of accept state %s", m.Name, k.State)
+		}
+		if a.State == "" || a.Write == "" {
+			return fmt.Errorf("tm: machine %s has malformed action for %v", m.Name, k)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a direct machine run.
+type Result struct {
+	Accepted bool
+	Halted   bool
+	Steps    int
+}
+
+// Run executes the machine directly on the input string (sequence of
+// alphabet symbols) for at most maxSteps steps. The tape extends to
+// the right with blanks on demand; moving left of the first cell
+// halts and rejects.
+func (m *Machine) Run(input []string, maxSteps int) Result {
+	tape := append([]string(nil), input...)
+	if len(tape) == 0 {
+		tape = []string{Blank}
+	}
+	pos := 0
+	state := m.Start
+	for step := 0; step < maxSteps; step++ {
+		if state == m.Accept {
+			return Result{Accepted: true, Halted: true, Steps: step}
+		}
+		act, ok := m.Delta[Key{State: state, Symbol: tape[pos]}]
+		if !ok {
+			return Result{Halted: true, Steps: step}
+		}
+		tape[pos] = act.Write
+		state = act.State
+		switch act.Move {
+		case Right:
+			pos++
+			if pos == len(tape) {
+				tape = append(tape, Blank)
+			}
+		case Left:
+			pos--
+			if pos < 0 {
+				return Result{Halted: true, Steps: step + 1}
+			}
+		}
+	}
+	if state == m.Accept {
+		return Result{Accepted: true, Halted: true, Steps: maxSteps}
+	}
+	return Result{}
+}
+
+// EncodeWord encodes a string s = a1...ap (p ≥ 2) as the word
+// structure of §8: facts Tape(pos1,pos2), ..., Begin(pos1), End(posp)
+// and a(posi) for each letter. Positions are named c1..cp, avoiding
+// collision with the numeric timestamp values Dedalus entangles.
+func EncodeWord(letters []string) (*fact.Instance, error) {
+	if len(letters) < 2 {
+		return nil, fmt.Errorf("tm: word structures require length ≥ 2, got %d", len(letters))
+	}
+	I := fact.NewInstance()
+	pos := func(i int) fact.Value { return fact.Value(fmt.Sprintf("c%d", i+1)) }
+	for i, a := range letters {
+		I.AddFact(fact.NewFact(a, pos(i)))
+		if i+1 < len(letters) {
+			I.AddFact(fact.NewFact("Tape", pos(i), pos(i+1)))
+		}
+	}
+	I.AddFact(fact.NewFact("Begin", pos(0)))
+	I.AddFact(fact.NewFact("End", pos(len(letters)-1)))
+	return I, nil
+}
+
+// DecodeWord extracts the string from a word structure, verifying the
+// §8 well-formedness conditions (single Begin/End, unique labels, Tape
+// a successor relation covering the active domain). It returns an
+// error describing the spurious condition otherwise.
+func DecodeWord(I *fact.Instance, alphabet []string) ([]string, error) {
+	begin := I.RelationOr("Begin", 1)
+	end := I.RelationOr("End", 1)
+	if begin.Len() != 1 || end.Len() != 1 {
+		return nil, fmt.Errorf("tm: Begin/End not singletons")
+	}
+	label := map[fact.Value]string{}
+	for _, a := range alphabet {
+		rel := I.Relation(a)
+		if rel == nil {
+			continue
+		}
+		var err error
+		rel.Each(func(t fact.Tuple) bool {
+			if prev, dup := label[t[0]]; dup && prev != a {
+				err = fmt.Errorf("tm: element %s labeled %s and %s", t[0], prev, a)
+				return false
+			}
+			label[t[0]] = a
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	next := map[fact.Value]fact.Value{}
+	indeg := map[fact.Value]int{}
+	tape := I.RelationOr("Tape", 2)
+	var err error
+	tape.Each(func(t fact.Tuple) bool {
+		if _, dup := next[t[0]]; dup {
+			err = fmt.Errorf("tm: out-degree > 1 at %s", t[0])
+			return false
+		}
+		next[t[0]] = t[1]
+		indeg[t[1]]++
+		if indeg[t[1]] > 1 {
+			err = fmt.Errorf("tm: in-degree > 1 at %s", t[1])
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cur fact.Value
+	begin.Each(func(t fact.Tuple) bool { cur = t[0]; return false })
+	var endV fact.Value
+	end.Each(func(t fact.Tuple) bool { endV = t[0]; return false })
+
+	var word []string
+	seen := map[fact.Value]bool{}
+	for {
+		if seen[cur] {
+			return nil, fmt.Errorf("tm: cycle in Tape at %s", cur)
+		}
+		seen[cur] = true
+		a, ok := label[cur]
+		if !ok {
+			return nil, fmt.Errorf("tm: unlabeled element %s", cur)
+		}
+		word = append(word, a)
+		if cur == endV {
+			break
+		}
+		nxt, ok := next[cur]
+		if !ok {
+			return nil, fmt.Errorf("tm: chain breaks at %s before End", cur)
+		}
+		cur = nxt
+	}
+	// Phantom elements: anything in the active domain not on the chain.
+	for _, v := range I.ActiveDomain() {
+		if !seen[v] {
+			return nil, fmt.Errorf("tm: phantom element %s", v)
+		}
+	}
+	if len(word) < 2 {
+		return nil, fmt.Errorf("tm: word shorter than 2")
+	}
+	return word, nil
+}

@@ -1,0 +1,150 @@
+package tm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "")
+}
+
+func TestMachinesValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := &Machine{Name: "bad", Start: "q", Accept: "q", Alphabet: []string{"a"},
+		Delta: map[Key]Action{{State: "q", Symbol: "a"}: {State: "q", Write: "a"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("transition out of accept state accepted")
+	}
+}
+
+func TestEvenLength(t *testing.T) {
+	m := EvenLength()
+	cases := map[string]bool{
+		"ab": true, "aabb": true, "ba": true, "": true,
+		"a": false, "aba": false, "babab": false,
+	}
+	for in, want := range cases {
+		res := m.Run(split(in), 1000)
+		if res.Accepted != want {
+			t.Errorf("evenLength(%q) = %v, want %v", in, res.Accepted, want)
+		}
+		if !res.Halted && want {
+			t.Errorf("evenLength(%q) did not halt", in)
+		}
+	}
+}
+
+func TestEndsWithB(t *testing.T) {
+	m := EndsWithB()
+	cases := map[string]bool{"ab": true, "b": true, "aab": true, "ba": false, "a": false, "": false}
+	for in, want := range cases {
+		if got := m.Run(split(in), 1000).Accepted; got != want {
+			t.Errorf("endsWithB(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestABStarRejectsByStalling(t *testing.T) {
+	m := ABStar()
+	cases := map[string]bool{"ab": true, "abab": true, "aa": false, "ba": false, "aba": false}
+	for in, want := range cases {
+		res := m.Run(split(in), 1000)
+		if res.Accepted != want {
+			t.Errorf("abStar(%q) = %v, want %v", in, res.Accepted, want)
+		}
+		if !want && !res.Halted {
+			t.Errorf("abStar(%q) should halt by stalling", in)
+		}
+	}
+}
+
+func TestCopyExtendGrowsTape(t *testing.T) {
+	m := CopyExtend()
+	res := m.Run(split("ab"), 1000)
+	if !res.Accepted {
+		t.Error("copyExtend should accept ab")
+	}
+	alpha := m.TapeAlphabet()
+	found := false
+	for _, s := range alpha {
+		if s == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tape alphabet %v missing written symbol x", alpha)
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	// A machine that loops forever on the first cell.
+	loop := &Machine{
+		Name: "loop", Start: "q", Accept: "qacc", Alphabet: []string{"a"},
+		Delta: map[Key]Action{{State: "q", Symbol: "a"}: {State: "q", Write: "a", Move: Stay}},
+	}
+	res := loop.Run(split("a"), 50)
+	if res.Halted || res.Accepted {
+		t.Errorf("looping machine reported %+v", res)
+	}
+}
+
+func TestEncodeDecodeWordRoundTrip(t *testing.T) {
+	for _, w := range []string{"ab", "aabba", "bb"} {
+		I, err := EncodeWord(split(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeWord(I, []string{"a", "b"})
+		if err != nil {
+			t.Fatalf("decode %q: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, split(w)) {
+			t.Errorf("round trip %q -> %v", w, got)
+		}
+	}
+	if _, err := EncodeWord(split("a")); err == nil {
+		t.Error("length-1 word accepted")
+	}
+}
+
+func TestDecodeWordSpuriousConditions(t *testing.T) {
+	mk := func() *fact.Instance {
+		I, _ := EncodeWord(split("ab"))
+		return I
+	}
+	cases := []struct {
+		name string
+		mut  func(*fact.Instance)
+	}{
+		{"two begins", func(I *fact.Instance) { I.AddFact(fact.NewFact("Begin", "c2")) }},
+		{"double label", func(I *fact.Instance) { I.AddFact(fact.NewFact("b", "c1")) }},
+		{"outdegree", func(I *fact.Instance) {
+			I.AddFact(fact.NewFact("Tape", "c1", "zz"))
+			I.AddFact(fact.NewFact("a", "zz"))
+		}},
+		{"phantom", func(I *fact.Instance) { I.AddFact(fact.NewFact("a", "ghost")) }},
+		{"cycle", func(I *fact.Instance) {
+			I.RemoveFact(fact.NewFact("End", "c2"))
+			I.AddFact(fact.NewFact("Tape", "c2", "c1"))
+			I.AddFact(fact.NewFact("End", "c1"))
+		}},
+	}
+	for _, c := range cases {
+		I := mk()
+		c.mut(I)
+		if _, err := DecodeWord(I, []string{"a", "b"}); err == nil {
+			t.Errorf("%s: spurious structure decoded successfully", c.name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package transducer
+
+import (
+	"declnet/internal/fact"
+	"declnet/internal/query"
+)
+
+// Builder assembles a transducer incrementally; it is the ergonomic
+// front door used by the proof-construction library in package dist
+// and by examples.
+type Builder struct {
+	name   string
+	schema Schema
+	snd    map[string]query.Query
+	ins    map[string]query.Query
+	del    map[string]query.Query
+	out    query.Query
+}
+
+// NewBuilder starts a builder for a transducer with the given name and
+// input schema.
+func NewBuilder(name string, in fact.Schema) *Builder {
+	return &Builder{
+		name:   name,
+		schema: Schema{In: in.Clone(), Msg: fact.Schema{}, Mem: fact.Schema{}},
+		snd:    map[string]query.Query{},
+		ins:    map[string]query.Query{},
+		del:    map[string]query.Query{},
+	}
+}
+
+// Msg declares a message relation.
+func (b *Builder) Msg(rel string, arity int) *Builder {
+	b.schema.Msg[rel] = arity
+	return b
+}
+
+// Mem declares a memory relation.
+func (b *Builder) Mem(rel string, arity int) *Builder {
+	b.schema.Mem[rel] = arity
+	return b
+}
+
+// Snd sets the send query for a declared message relation.
+func (b *Builder) Snd(rel string, q query.Query) *Builder {
+	b.snd[rel] = q
+	return b
+}
+
+// Ins sets the insertion query for a declared memory relation.
+func (b *Builder) Ins(rel string, q query.Query) *Builder {
+	b.ins[rel] = q
+	return b
+}
+
+// Del sets the deletion query for a declared memory relation.
+func (b *Builder) Del(rel string, q query.Query) *Builder {
+	b.del[rel] = q
+	return b
+}
+
+// Out sets the output query and arity.
+func (b *Builder) Out(arity int, q query.Query) *Builder {
+	b.schema.OutArity = arity
+	b.out = q
+	return b
+}
+
+// Build validates and returns the transducer.
+func (b *Builder) Build() (*Transducer, error) {
+	return New(b.name, b.schema, b.snd, b.ins, b.del, b.out)
+}
+
+// MustBuild is Build panicking on error.
+func (b *Builder) MustBuild() *Transducer {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

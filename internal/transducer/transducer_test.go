@@ -1,0 +1,246 @@
+package transducer
+
+import (
+	"testing"
+
+	"declnet/internal/fact"
+	"declnet/internal/fo"
+	"declnet/internal/query"
+)
+
+func ff(rel string, args ...fact.Value) fact.Fact { return fact.NewFact(rel, args...) }
+
+// echoTransducer: input S/1; message M/1; memory R/1.
+// Sends its input, stores received messages, outputs memory.
+func echoTransducer(t *testing.T) *Transducer {
+	t.Helper()
+	return NewBuilder("echo", fact.Schema{"S": 1}).
+		Msg("M", 1).
+		Mem("R", 1).
+		Snd("M", fo.MustQuery("snd", []string{"x"}, fo.AtomF("S", "x"))).
+		Ins("R", fo.MustQuery("ins", []string{"x"}, fo.AtomF("M", "x"))).
+		Out(1, fo.MustQuery("out", []string{"x"}, fo.AtomF("R", "x"))).
+		MustBuild()
+}
+
+func TestStepBasic(t *testing.T) {
+	tr := echoTransducer(t)
+	state := fact.FromFacts(ff("S", "a"), ff(SysId, "n1"), ff(SysAll, "n1"))
+	eff, err := tr.Step(state, fact.FromFacts(ff("M", "z")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Snd.HasFact(ff("M", "a")) || eff.Snd.Size() != 1 {
+		t.Errorf("Snd = %v", eff.Snd)
+	}
+	if !eff.State.HasFact(ff("R", "z")) {
+		t.Errorf("State = %v", eff.State)
+	}
+	// Output evaluated on I' (memory R still empty in I).
+	if eff.Out.Len() != 0 {
+		t.Errorf("Out = %v", eff.Out)
+	}
+	// Input and system relations untouched.
+	if !eff.State.HasFact(ff("S", "a")) || !eff.State.HasFact(ff(SysId, "n1")) {
+		t.Error("input/system relations modified")
+	}
+	// Received messages are not persisted in state.
+	if eff.State.HasFact(ff("M", "z")) {
+		t.Error("message relation leaked into state")
+	}
+}
+
+func TestStepDeterministic(t *testing.T) {
+	tr := echoTransducer(t)
+	state := fact.FromFacts(ff("S", "a"), ff("S", "b"))
+	rcv := fact.FromFacts(ff("M", "a"))
+	e1, err := tr.Step(state, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := tr.Step(state, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e1.State.Equal(e2.State) || !e1.Snd.Equal(e2.Snd) || !e1.Out.Equal(e2.Out) {
+		t.Error("transitions are not deterministic")
+	}
+}
+
+func TestUpdateFormulaConflictResolution(t *testing.T) {
+	// Memory R; Ins derives {a,b}, Del derives {b,c}.
+	// Old R = {b, c, d}.
+	// (Ins\Del)={a}; (Ins∩Del∩old)={b}; old\(Ins∪Del)={d}.
+	// New R = {a, b, d}.
+	ins := query.NewFunc("ins", 1, nil, true, func(*fact.Instance) (*fact.Relation, error) {
+		r := fact.NewRelation(1)
+		r.Add(fact.Tuple{"a"})
+		r.Add(fact.Tuple{"b"})
+		return r, nil
+	})
+	del := query.NewFunc("del", 1, nil, true, func(*fact.Instance) (*fact.Relation, error) {
+		r := fact.NewRelation(1)
+		r.Add(fact.Tuple{"b"})
+		r.Add(fact.Tuple{"c"})
+		return r, nil
+	})
+	tr := NewBuilder("upd", fact.Schema{}).
+		Mem("R", 1).
+		Ins("R", ins).
+		Del("R", del).
+		Out(0, nil).
+		MustBuild()
+
+	state := fact.FromFacts(ff("R", "b"), ff("R", "c"), ff("R", "d"))
+	eff, err := tr.Step(state, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eff.State.Relation("R")
+	want := fact.NewRelation(1)
+	want.Add(fact.Tuple{"a"})
+	want.Add(fact.Tuple{"b"})
+	want.Add(fact.Tuple{"d"})
+	if !got.Equal(want) {
+		t.Errorf("R = %v, want %v", got, want)
+	}
+}
+
+func TestAssignmentIdiom(t *testing.T) {
+	// R := Q expressed as Ins=Q, Del=R (noted after the update formula
+	// in §2.1).
+	q := fo.MustQuery("q", []string{"x"}, fo.AtomF("S", "x"))
+	delR := fo.MustQuery("d", []string{"x"}, fo.AtomF("R", "x"))
+	tr := NewBuilder("assign", fact.Schema{"S": 1}).
+		Mem("R", 1).
+		Ins("R", q).
+		Del("R", delR).
+		Out(0, nil).
+		MustBuild()
+
+	state := fact.FromFacts(ff("S", "a"), ff("R", "old1"), ff("R", "a"))
+	eff, err := tr.Step(state, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eff.State.Relation("R")
+	// R := {a}: old1 deleted; a is in Ins∩Del∩old so kept.
+	if got.Len() != 1 || !got.Contains(fact.Tuple{"a"}) {
+		t.Errorf("R = %v", got)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	// Overlapping in/mem schemas rejected.
+	s := Schema{In: fact.Schema{"R": 1}, Mem: fact.Schema{"R": 1}, Msg: fact.Schema{}}
+	if err := s.Validate(); err == nil {
+		t.Error("overlapping schemas accepted")
+	}
+	// Redeclaring a system relation rejected.
+	s2 := Schema{In: fact.Schema{SysId: 1}, Mem: fact.Schema{}, Msg: fact.Schema{}}
+	if err := s2.Validate(); err == nil {
+		t.Error("redeclared system relation accepted")
+	}
+}
+
+func TestNewRejectsBadQueries(t *testing.T) {
+	in := fact.Schema{"S": 1}
+	// Send query for undeclared message relation.
+	_, err := New("bad", Schema{In: in, Msg: fact.Schema{}, Mem: fact.Schema{}},
+		map[string]query.Query{"M": query.Empty{K: 1}}, nil, nil, nil)
+	if err == nil {
+		t.Error("undeclared message relation accepted")
+	}
+	// Arity mismatch.
+	_, err = New("bad2", Schema{In: in, Msg: fact.Schema{"M": 2}, Mem: fact.Schema{}},
+		map[string]query.Query{"M": query.Empty{K: 1}}, nil, nil, nil)
+	if err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Query reading outside combined schema.
+	q := fo.MustQuery("q", []string{"x"}, fo.AtomF("Zorp", "x"))
+	_, err = New("bad3", Schema{In: in, Msg: fact.Schema{"M": 1}, Mem: fact.Schema{}},
+		map[string]query.Query{"M": q}, nil, nil, nil)
+	if err == nil {
+		t.Error("out-of-schema read accepted")
+	}
+}
+
+func TestSyntacticClasses(t *testing.T) {
+	obliv := echoTransducer(t)
+	if !obliv.Oblivious() || obliv.UsesId() || obliv.UsesAll() {
+		t.Error("echo should be oblivious")
+	}
+	if !obliv.Inflationary() {
+		t.Error("echo has no deletions: inflationary")
+	}
+	if !obliv.Monotone() {
+		t.Error("echo uses positive queries: monotone")
+	}
+
+	// A transducer reading Id.
+	idReader := NewBuilder("id", fact.Schema{"S": 1}).
+		Msg("M", 1).
+		Snd("M", fo.MustQuery("snd", []string{"x"}, fo.AtomF(SysId, "x"))).
+		Out(0, nil).
+		MustBuild()
+	if idReader.Oblivious() || !idReader.UsesId() || idReader.UsesAll() {
+		t.Error("id reader misclassified")
+	}
+
+	// A transducer with a real deletion is not inflationary.
+	deleter := NewBuilder("del", fact.Schema{"S": 1}).
+		Mem("R", 1).
+		Del("R", fo.MustQuery("d", []string{"x"}, fo.AtomF("R", "x"))).
+		Out(0, nil).
+		MustBuild()
+	if deleter.Inflationary() {
+		t.Error("deleter misclassified inflationary")
+	}
+	// Explicit empty deletion query keeps it inflationary.
+	emptyDel := NewBuilder("del2", fact.Schema{"S": 1}).
+		Mem("R", 1).
+		Del("R", query.Empty{K: 1}).
+		Out(0, nil).
+		MustBuild()
+	if !emptyDel.Inflationary() {
+		t.Error("empty deletion query should be inflationary")
+	}
+
+	// Negation makes it non-monotone.
+	negOut := NewBuilder("neg", fact.Schema{"S": 1}).
+		Out(0, fo.MustQuery("o", nil, fo.NotF(fo.ExistsF([]string{"x"}, fo.AtomF("S", "x"))))).
+		MustBuild()
+	if negOut.Monotone() {
+		t.Error("negation misclassified monotone")
+	}
+}
+
+func TestStepDoesNotMutateArguments(t *testing.T) {
+	tr := echoTransducer(t)
+	state := fact.FromFacts(ff("S", "a"))
+	rcv := fact.FromFacts(ff("M", "z"))
+	sBefore, rBefore := state.Clone(), rcv.Clone()
+	if _, err := tr.Step(state, rcv); err != nil {
+		t.Fatal(err)
+	}
+	if !state.Equal(sBefore) || !rcv.Equal(rBefore) {
+		t.Error("Step mutated its arguments")
+	}
+}
+
+func TestHeartbeatStep(t *testing.T) {
+	// Step with nil received instance = heartbeat transition.
+	tr := echoTransducer(t)
+	state := fact.FromFacts(ff("S", "a"))
+	eff, err := tr.Step(state, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Snd.HasFact(ff("M", "a")) {
+		t.Error("heartbeat should still send")
+	}
+	if !eff.State.Equal(state) {
+		t.Error("heartbeat with no messages should not change echo state")
+	}
+}

@@ -1,0 +1,140 @@
+package while
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"declnet/internal/fo"
+)
+
+// Parse parses a textual while-program:
+//
+//	T(x, y) := E(x, y);
+//	D(x, y) := E(x, y);
+//	while exists x, y D(x, y) {
+//	    N(x, y) := T(x, y) | exists z (T(x, z) & T(z, y));
+//	    D(x, y) := N(x, y) & !T(x, y);
+//	    T(x, y) := N(x, y);
+//	}
+//	output T/2
+//
+// Assignments take an FO formula in the syntax of fo.Parse (the head
+// variables are the assigned relation's columns); loop conditions are
+// FO sentences; `output REL/ARITY` designates the answer. Lines
+// beginning with # are comments.
+func Parse(src string) (*Program, error) {
+	var lines []string
+	for _, l := range strings.Split(src, "\n") {
+		if t := strings.TrimSpace(l); !strings.HasPrefix(t, "#") {
+			lines = append(lines, l)
+		}
+	}
+	p := &whileParser{src: strings.Join(lines, "\n")}
+	stmts, err := p.block(false)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.rest(), "output") {
+		return nil, fmt.Errorf("while: missing `output REL/ARITY` directive")
+	}
+	p.i += len("output")
+	p.skipSpace()
+	spec := strings.TrimSpace(p.rest())
+	rel, arStr, ok := strings.Cut(spec, "/")
+	if !ok {
+		return nil, fmt.Errorf("while: malformed output directive %q", spec)
+	}
+	arity, err := strconv.Atoi(strings.TrimSpace(arStr))
+	if err != nil || arity < 0 {
+		return nil, fmt.Errorf("while: bad output arity %q", arStr)
+	}
+	return New(strings.TrimSpace(rel), arity, stmts...)
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type whileParser struct {
+	src string
+	i   int
+}
+
+func (p *whileParser) rest() string { return p.src[p.i:] }
+
+func (p *whileParser) skipSpace() {
+	for p.i < len(p.src) {
+		switch p.src[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// block parses statements until EOF, the output directive (nested ==
+// false), or a closing brace (nested == true, consumed).
+func (p *whileParser) block(nested bool) ([]Stmt, error) {
+	var stmts []Stmt
+	for {
+		p.skipSpace()
+		r := p.rest()
+		switch {
+		case r == "" || strings.HasPrefix(r, "output"):
+			if nested {
+				return nil, fmt.Errorf("while: unterminated loop body")
+			}
+			return stmts, nil
+		case strings.HasPrefix(r, "}"):
+			if !nested {
+				return nil, fmt.Errorf("while: unexpected }")
+			}
+			p.i++
+			return stmts, nil
+		case strings.HasPrefix(r, "while"):
+			p.i += len("while")
+			open := strings.IndexByte(p.rest(), '{')
+			if open < 0 {
+				return nil, fmt.Errorf("while: loop without body")
+			}
+			condSrc := p.rest()[:open]
+			cond, err := fo.Parse(condSrc)
+			if err != nil {
+				return nil, fmt.Errorf("while: loop condition %q: %w", strings.TrimSpace(condSrc), err)
+			}
+			p.i += open + 1
+			body, err := p.block(true)
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, While{Cond: cond, Body: body})
+		default:
+			semi := strings.IndexByte(r, ';')
+			if semi < 0 {
+				return nil, fmt.Errorf("while: statement without terminating ';' near %q", truncate(r))
+			}
+			q, err := fo.ParseQuery(r[:semi])
+			if err != nil {
+				return nil, fmt.Errorf("while: assignment %q: %w", truncate(r[:semi]), err)
+			}
+			p.i += semi + 1
+			stmts = append(stmts, Assign{Rel: q.Name, Q: q})
+		}
+	}
+}
+
+func truncate(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}
