@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test bench vet check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test
+
+clean:
+	$(GO) clean ./...

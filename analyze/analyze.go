@@ -1,0 +1,118 @@
+// Package analyze is the CALM-theorem analysis toolkit (§4–§7 of the
+// paper): syntactic classification of transducers, empirical
+// consistency and network-topology-independence sweeps, the formal
+// coordination-freeness test of §5, empirical monotonicity testing
+// (Theorem 12), and the Theorem 16 ring construction.
+//
+// The typical question — "does this transducer coordinate, and must
+// it?" — decomposes as:
+//
+//	cls := analyze.Classify(tr)                            // §4 syntax
+//	rep, _ := analyze.CheckConsistency(net, tr, I, opts)   // §4 semantics
+//	expected := rep.TheOutput()
+//	free, _, _ := analyze.CoordinationFree(nets, tr, I, expected) // §5
+//	viol, _ := analyze.CheckMonotone(tr, analyze.GrowingChain(I)) // Thm 12
+//
+// CALM (Corollary 13) ties the answers together: coordination-free ⟺
+// oblivious ⟺ monotone.
+package analyze
+
+import (
+	icalm "declnet/internal/calm"
+	idist "declnet/internal/dist"
+	ifact "declnet/internal/fact"
+	inetwork "declnet/internal/network"
+	itransducer "declnet/internal/transducer"
+)
+
+// Class is the syntactic classification of a transducer (§4).
+type Class = icalm.Class
+
+// Classify returns the syntactic class of a transducer: oblivious,
+// uses-Id, uses-All, inflationary, monotone.
+func Classify(tr *itransducer.Transducer) Class { return icalm.Classify(tr) }
+
+// SweepOptions configures the consistency sweeps.
+type SweepOptions = idist.SweepOptions
+
+// SweepReport is the outcome of a sweep: every distinct output
+// observed across the swept partitions, seeds and (for topology
+// independence) networks.
+type SweepReport = idist.SweepReport
+
+// CheckConsistency sweeps fair runs of (net, tr) on I across a
+// partition family and several scheduler seeds: a consistent
+// transducer network (§4) yields a single output.
+func CheckConsistency(net *inetwork.Network, tr *itransducer.Transducer, I *ifact.Instance, opt SweepOptions) (*SweepReport, error) {
+	return idist.CheckConsistency(net, tr, I, opt)
+}
+
+// CheckTopologyIndependence runs the consistency sweep across several
+// networks at once: a network-topology independent transducer (§4)
+// produces the same single output on all of them.
+func CheckTopologyIndependence(nets map[string]*inetwork.Network, tr *itransducer.Transducer, I *ifact.Instance, opt SweepOptions) (*SweepReport, error) {
+	return idist.CheckTopologyIndependence(nets, tr, I, opt)
+}
+
+// FreeWitness is the successful witness of a coordination-freeness
+// test: the partition on which heartbeats alone produced the full
+// output, and in how many rounds.
+type FreeWitness = icalm.FreeWitness
+
+// CoordinationFreeOn implements the §5 definition on one network:
+// the transducer is coordination-free on net for input I iff SOME
+// horizontal partition lets heartbeat transitions alone reach a
+// quiescence point with the expected output. The witness partition
+// family is searched; a non-nil witness is a proof.
+func CoordinationFreeOn(net *inetwork.Network, tr *itransducer.Transducer, I *ifact.Instance, expected *ifact.Relation) (*FreeWitness, error) {
+	return icalm.CoordinationFreeOn(net, tr, I, expected)
+}
+
+// CoordinationFree tests coordination-freeness across a topology zoo,
+// sampling the §5 quantification over all networks. It returns
+// (free, firstFailingNetwork, error).
+func CoordinationFree(nets map[string]*inetwork.Network, tr *itransducer.Transducer, I *ifact.Instance, expected *ifact.Relation) (bool, string, error) {
+	return icalm.CoordinationFree(nets, tr, I, expected)
+}
+
+// ExpectedOutput computes the reference answer of the query expressed
+// by the transducer network: one fair run on a fixed small network.
+// Establish consistency first if in doubt.
+func ExpectedOutput(tr *itransducer.Transducer, I *ifact.Instance) (*ifact.Relation, error) {
+	return icalm.ExpectedOutput(tr, I)
+}
+
+// MonotoneViolation is a counterexample to monotonicity: I ⊆ J with
+// Q(I) ⊄ Q(J).
+type MonotoneViolation = icalm.MonotoneViolation
+
+// CheckMonotone empirically tests monotonicity of the computed query
+// over a chain of growing instances, returning the first violating
+// pair or nil (Theorem 12's empirical side).
+func CheckMonotone(tr *itransducer.Transducer, chain []*ifact.Instance) (*MonotoneViolation, error) {
+	return icalm.CheckMonotone(tr, chain)
+}
+
+// GrowingChain builds a chain ∅ = I_0 ⊆ I_1 ⊆ ... ⊆ I_n = full by
+// adding facts one at a time in deterministic order.
+func GrowingChain(full *ifact.Instance) []*ifact.Instance { return icalm.GrowingChain(full) }
+
+// ZooEntry packages one of the paper's transducers with the semantic
+// properties the paper claims for it.
+type ZooEntry = icalm.ZooEntry
+
+// Zoo returns the transducer zoo: the test matrix of the CALM
+// experiments.
+func Zoo() []ZooEntry { return icalm.Zoo() }
+
+// RingSimulationResult reports the outcome of the Theorem 16 ring
+// construction.
+type RingSimulationResult = icalm.RingSimulationResult
+
+// SimulateRing runs the Theorem 16 construction for a transducer not
+// using Id and instances I ⊆ J: a lock-step run on the four-node ring
+// with I everywhere, replayed on a chorded ring where one node holds
+// J \ I; monotonicity demands OutputI ⊆ OutputJ.
+func SimulateRing(tr *itransducer.Transducer, I, J *ifact.Instance, maxRounds int) (*RingSimulationResult, error) {
+	return icalm.SimulateRing(tr, I, J, maxRounds)
+}

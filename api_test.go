@@ -1,0 +1,144 @@
+// Tests of the public API surface: everything here imports only the
+// facade packages (declnet, declnet/fo, declnet/datalog, declnet/run,
+// declnet/build, declnet/analyze), exactly like an external consumer.
+package declnet_test
+
+import (
+	"strings"
+	"testing"
+
+	"declnet"
+	"declnet/analyze"
+	"declnet/build"
+	"declnet/datalog"
+	"declnet/fo"
+	"declnet/run"
+)
+
+// TestPublicRoundTrip is the API round-trip: define a transducer from
+// a Datalog source, place it on three topologies with three different
+// partitions, run fair executions to quiescence, and require the one
+// distributed answer everywhere — equal to the centralized engine's.
+func TestPublicRoundTrip(t *testing.T) {
+	prog := datalog.MustParse(`
+		tc(X, Y) :- S(X, Y).
+		tc(X, Z) :- S(X, Y), tc(Y, Z).
+	`)
+	tr, err := build.DatalogStreaming(prog, "tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	I := declnet.FromFacts(
+		declnet.NewFact("S", "a", "b"),
+		declnet.NewFact("S", "b", "c"),
+		declnet.NewFact("S", "c", "d"),
+	)
+	want, err := datalog.MustQuery(prog, "tc").Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, net := range map[string]*run.Network{
+		"single": run.Single(),
+		"line3":  run.Line(3),
+		"ring4":  run.Ring(4),
+	} {
+		for pname, part := range map[string]run.Partition{
+			"roundrobin": run.RoundRobinSplit(I, net),
+			"replicate":  run.ReplicateAll(I, net),
+			"atnode":     run.AllAtNode(I, net.Nodes()[0]),
+		} {
+			out, err := run.ToQuiescence(net, tr, part, run.Options{Seed: 7})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, pname, err)
+			}
+			if !out.Equal(want) {
+				t.Errorf("%s/%s: out = %v, want %v", name, pname, out, want)
+			}
+		}
+	}
+}
+
+// TestPublicBuilder defines a custom transducer with the builder and
+// FO queries through the facade alone and runs it: the identity query
+// on a unary relation, streamed obliviously by hand.
+func TestPublicBuilder(t *testing.T) {
+	tr, err := declnet.NewBuilder("id", declnet.Schema{"S": 1}).
+		Msg("M", 1).
+		Mem("R", 1).
+		Snd("M", fo.MustQuery("snd", []string{"x"},
+			fo.OrF(fo.AtomF("S", "x"), fo.AtomF("R", "x")))).
+		Ins("R", fo.MustQuery("ins", []string{"x"},
+			fo.OrF(fo.AtomF("R", "x"), fo.AtomF("M", "x")))).
+		Out(1, fo.MustQuery("out", []string{"x"},
+			fo.OrF(fo.AtomF("S", "x"), fo.AtomF("R", "x")))).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := analyze.Classify(tr)
+	if !cls.Oblivious || !cls.Inflationary || !cls.Monotone {
+		t.Errorf("class = %v, want oblivious inflationary monotone", cls)
+	}
+	I := declnet.FromFacts(declnet.NewFact("S", "p"), declnet.NewFact("S", "q"))
+	net := run.Line(2)
+	out, err := run.ToQuiescence(net, tr, run.RoundRobinSplit(I, net), run.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("identity output = %v", out)
+	}
+}
+
+// TestPublicAnalyze drives the CALM toolkit through the facade: the
+// oblivious TC transducer must be consistent and coordination-free;
+// emptiness must be neither oblivious nor monotone.
+func TestPublicAnalyze(t *testing.T) {
+	tc := build.TransitiveClosure()
+	I := declnet.FromFacts(declnet.NewFact("S", "a", "b"), declnet.NewFact("S", "b", "c"))
+	rep, err := analyze.CheckConsistency(run.Line(2), tc, I, analyze.SweepOptions{Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent() {
+		t.Fatalf("TC inconsistent: %v", rep.Outputs)
+	}
+	free, failNet, err := analyze.CoordinationFree(
+		map[string]*run.Network{"line2": run.Line(2)}, tc, I, rep.TheOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free {
+		t.Errorf("TC not coordination-free (failed on %s)", failNet)
+	}
+
+	empt := analyze.Classify(build.Emptiness())
+	if empt.Oblivious || !empt.UsesId || !empt.UsesAll {
+		t.Errorf("emptiness class = %v", empt)
+	}
+	viol, err := analyze.CheckMonotone(build.Emptiness(),
+		analyze.GrowingChain(declnet.FromFacts(declnet.NewFact("S", "x"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol == nil {
+		t.Error("emptiness should violate monotonicity on a growing chain")
+	}
+}
+
+// TestCatalogErrorsListAvailable pins the improved unknown-name
+// errors: they must enumerate what IS available.
+func TestCatalogErrorsListAvailable(t *testing.T) {
+	if _, err := build.Lookup("no-such-transducer"); err == nil || !strings.Contains(err.Error(), "tc") {
+		t.Errorf("Lookup error should list available names, got: %v", err)
+	}
+	if _, err := run.ParseTopology("blob:4"); err == nil || !strings.Contains(err.Error(), "ring") {
+		t.Errorf("ParseTopology error should list shapes, got: %v", err)
+	}
+	I := declnet.FromFacts(declnet.NewFact("S", "a"))
+	if _, err := run.ParsePartition("nope", I, run.Line(2)); err == nil || !strings.Contains(err.Error(), "roundrobin") {
+		t.Errorf("ParsePartition error should list strategies, got: %v", err)
+	}
+}

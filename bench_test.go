@@ -9,48 +9,45 @@ import (
 	"fmt"
 	"testing"
 
-	"declnet/internal/calm"
-	"declnet/internal/datalog"
-	"declnet/internal/dedalus"
-	"declnet/internal/dist"
-	"declnet/internal/fact"
-	"declnet/internal/fo"
-	"declnet/internal/network"
-	"declnet/internal/query"
-	"declnet/internal/tm"
-	"declnet/internal/transducer"
+	"declnet"
+	"declnet/analyze"
+	"declnet/build"
+	"declnet/datalog"
+	"declnet/dedalus"
+	"declnet/fo"
+	"declnet/run"
+	"declnet/tm"
 )
 
-func ff(rel string, args ...fact.Value) fact.Fact { return fact.NewFact(rel, args...) }
+func ff(rel string, args ...declnet.Value) declnet.Fact { return declnet.NewFact(rel, args...) }
 
 // chainEdges builds a path instance v0 -> v1 -> ... -> vn over S/2.
-func chainEdges(n int) *fact.Instance {
-	I := fact.NewInstance()
+func chainEdges(n int) *declnet.Instance {
+	I := declnet.NewInstance()
 	for i := 0; i < n; i++ {
-		I.AddFact(ff("S", fact.Value(fmt.Sprintf("v%d", i)), fact.Value(fmt.Sprintf("v%d", i+1))))
+		I.AddFact(ff("S", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+1))))
 	}
 	return I
 }
 
 // unarySet builds {S(e0), ..., S(en-1)}.
-func unarySet(n int) *fact.Instance {
-	I := fact.NewInstance()
+func unarySet(n int) *declnet.Instance {
+	I := declnet.NewInstance()
 	for i := 0; i < n; i++ {
-		I.AddFact(ff("S", fact.Value(fmt.Sprintf("e%d", i))))
+		I.AddFact(ff("S", declnet.Value(fmt.Sprintf("e%d", i))))
 	}
 	return I
 }
 
 // runOnce drives one fair run to quiescence and fails the bench on
 // errors or step exhaustion.
-func runOnce(b *testing.B, net *network.Network, tr *transducer.Transducer, p dist.Partition, seed int64) *network.Sim {
+func runOnce(b *testing.B, net *run.Network, tr *declnet.Transducer, p run.Partition, seed int64) *run.Sim {
 	b.Helper()
-	sim, err := network.NewSim(net, tr, p)
+	sim, err := run.NewSim(net, tr, p, run.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim.CoalesceDuplicates = true
-	res, err := sim.Run(network.NewRandomScheduler(seed), 1000000)
+	res, err := sim.Run(run.NewRandomScheduler(seed), 1000000)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -65,10 +62,10 @@ func runOnce(b *testing.B, net *network.Network, tr *transducer.Transducer, p di
 // more than one distinct output. The distinct_outputs metric must
 // be > 1.
 func BenchmarkE1FirstElement(b *testing.B) {
-	tr := dist.FirstElement()
+	tr := build.FirstElement()
 	I := unarySet(3)
-	net := network.Complete(2)
-	part := dist.AllAtNode(I, "n1")
+	net := run.Complete(2)
+	part := run.AllAtNode(I, "n1")
 	distinct := map[string]bool{}
 	for i := 0; i < b.N; i++ {
 		for seed := 0; seed < 10; seed++ {
@@ -83,7 +80,7 @@ func BenchmarkE1FirstElement(b *testing.B) {
 // distributed TC network is consistent and topology-independent; the
 // bench sweeps instance size × topology and reports run costs.
 func BenchmarkE2TransitiveClosure(b *testing.B) {
-	tr := dist.TransitiveClosure()
+	tr := build.TransitiveClosure()
 	for _, size := range []int{4, 8, 16} {
 		I := chainEdges(size)
 		want, err := datalog.MustQuery(datalog.MustParse(`
@@ -94,11 +91,11 @@ func BenchmarkE2TransitiveClosure(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, topo := range []string{"line", "complete"} {
-			net := network.Topologies(4)[topo]
+			net := run.Topologies(4)[topo]
 			b.Run(fmt.Sprintf("edges=%d/%s", size, topo), func(b *testing.B) {
 				var steps, sends int
 				for i := 0; i < b.N; i++ {
-					sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+					sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 					if !sim.Output().Equal(want) {
 						b.Fatalf("output %v != centralized %v", sim.Output(), want)
 					}
@@ -116,23 +113,23 @@ func BenchmarkE2TransitiveClosure(b *testing.B) {
 // protocol replicates the instance everywhere and raises Ready; its
 // message cost is the coordination overhead compared against E4.
 func BenchmarkE3MulticastReady(b *testing.B) {
-	in := fact.Schema{"S": 2}
-	tr, err := dist.Multicast(in, nil, 0)
+	in := declnet.Schema{"S": 2}
+	tr, err := build.Multicast(in, nil, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, size := range []int{4, 8, 16} {
 		I := chainEdges(size)
-		net := network.Line(4)
+		net := run.Line(4)
 		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
 			var sends int
 			for i := 0; i < b.N; i++ {
-				sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+				sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 				for _, v := range net.Nodes() {
 					if sim.State(v).RelationOr("Ready", 0).Empty() {
 						b.Fatalf("node %s not Ready", v)
 					}
-					if !dist.Collected(sim.State(v), in, true).Equal(I) {
+					if !build.Collected(sim.State(v), in, true).Equal(I) {
 						b.Fatalf("node %s lacks instance", v)
 					}
 				}
@@ -146,20 +143,20 @@ func BenchmarkE3MulticastReady(b *testing.B) {
 // BenchmarkE4Flood regenerates E4 (Lemma 5(2)): the oblivious flood
 // replicates with far fewer messages but cannot raise a Ready flag.
 func BenchmarkE4Flood(b *testing.B) {
-	in := fact.Schema{"S": 2}
-	tr, err := dist.Flood(in, nil, 0)
+	in := declnet.Schema{"S": 2}
+	tr, err := build.Flood(in, nil, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, size := range []int{4, 8, 16} {
 		I := chainEdges(size)
-		net := network.Line(4)
+		net := run.Line(4)
 		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
 			var sends int
 			for i := 0; i < b.N; i++ {
-				sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+				sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 				for _, v := range net.Nodes() {
-					if !dist.Collected(sim.State(v), in, false).Equal(I) {
+					if !build.Collected(sim.State(v), in, false).Equal(I) {
 						b.Fatalf("node %s lacks instance", v)
 					}
 				}
@@ -174,19 +171,19 @@ func BenchmarkE4Flood(b *testing.B) {
 // arbitrary — non-monotone — query (emptiness) computed distributedly
 // by collect-then-compute.
 func BenchmarkE5CollectCompute(b *testing.B) {
-	emptiness := query.NewFunc("emptiness", 0, []string{"S"}, false,
-		func(I *fact.Instance) (*fact.Relation, error) {
-			out := fact.NewRelation(0)
+	emptiness := declnet.NewFunc("emptiness", 0, []string{"S"}, false,
+		func(I *declnet.Instance) (*declnet.Relation, error) {
+			out := declnet.NewRelation(0)
 			if I.RelationOr("S", 1).Empty() {
-				out.Add(fact.Tuple{})
+				out.Add(declnet.Tuple{})
 			}
 			return out, nil
 		})
-	tr, err := dist.CollectThenCompute(fact.Schema{"S": 1}, emptiness)
+	tr, err := build.CollectThenCompute(declnet.Schema{"S": 1}, emptiness)
 	if err != nil {
 		b.Fatal(err)
 	}
-	net := network.Ring(3)
+	net := run.Ring(3)
 	for _, n := range []int{0, 4} {
 		I := unarySet(n)
 		want := 1
@@ -195,7 +192,7 @@ func BenchmarkE5CollectCompute(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("set=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+				sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 				if sim.Output().Len() != want {
 					b.Fatalf("emptiness(%d facts) = %v", n, sim.Output())
 				}
@@ -212,7 +209,7 @@ func BenchmarkE6MonotoneStream(b *testing.B) {
 		tc(X, Y) :- S(X, Y).
 		tc(X, Z) :- S(X, Y), tc(Y, Z).
 	`), "tc")
-	tr, err := dist.MonotoneStreaming(fact.Schema{"S": 2}, q)
+	tr, err := build.MonotoneStreaming(declnet.Schema{"S": 2}, q)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,10 +219,10 @@ func BenchmarkE6MonotoneStream(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		net := network.Star(4)
+		net := run.Star(4)
 		b.Run(fmt.Sprintf("edges=%d", size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+				sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 				if !sim.Output().Equal(want) {
 					b.Fatalf("stream = %v, want %v", sim.Output(), want)
 				}
@@ -243,22 +240,22 @@ func BenchmarkE7DatalogTransducer(b *testing.B) {
 		tc(X, Y) :- e(X, Y).
 		tc(X, Z) :- e(X, Y), tc(Y, Z).
 	`)
-	I := fact.NewInstance()
+	I := declnet.NewInstance()
 	for i := 0; i < 8; i++ {
-		I.AddFact(ff("e", fact.Value(fmt.Sprintf("v%d", i)), fact.Value(fmt.Sprintf("v%d", i+1))))
+		I.AddFact(ff("e", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+1))))
 	}
 	want, err := datalog.MustQuery(prog, "tc").Eval(I)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("distributed", func(b *testing.B) {
-		tr, err := dist.DatalogStreaming(prog, "tc")
+		tr, err := build.DatalogStreaming(prog, "tc")
 		if err != nil {
 			b.Fatal(err)
 		}
-		net := network.Line(3)
+		net := run.Line(3)
 		for i := 0; i < b.N; i++ {
-			sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+			sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 			if !sim.Output().Equal(want) {
 				b.Fatalf("distributed %v != central %v", sim.Output(), want)
 			}
@@ -280,11 +277,11 @@ func BenchmarkE7DatalogTransducer(b *testing.B) {
 // counts transducers found free, which must match the paper's claims
 // encoded in the zoo.
 func BenchmarkE8CoordinationFree(b *testing.B) {
-	nets := map[string]*network.Network{"line2": network.Line(2), "ring3": network.Ring(3)}
+	nets := map[string]*run.Network{"line2": run.Line(2), "ring3": run.Ring(3)}
 	free := 0
 	for i := 0; i < b.N; i++ {
 		free = 0
-		for _, e := range calm.Zoo() {
+		for _, e := range analyze.Zoo() {
 			if !e.Consistent {
 				continue
 			}
@@ -293,12 +290,12 @@ func BenchmarkE8CoordinationFree(b *testing.B) {
 			// e.g., is free on nonempty inputs but needs coordination
 			// on the empty one).
 			isFree := true
-			for _, I := range []*fact.Instance{fact.NewInstance(), e.Full} {
-				expected, err := calm.ExpectedOutput(e.Tr, I)
+			for _, I := range []*declnet.Instance{declnet.NewInstance(), e.Full} {
+				expected, err := analyze.ExpectedOutput(e.Tr, I)
 				if err != nil {
 					b.Fatal(err)
 				}
-				ok, _, err := calm.CoordinationFree(nets, e.Tr, I, expected)
+				ok, _, err := analyze.CoordinationFree(nets, e.Tr, I, expected)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -322,11 +319,11 @@ func BenchmarkE8CoordinationFree(b *testing.B) {
 // and coordination-free implies monotone.
 func BenchmarkE9CALM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, e := range calm.Zoo() {
+		for _, e := range analyze.Zoo() {
 			if !e.Consistent {
 				continue
 			}
-			viol, err := calm.CheckMonotone(e.Tr, calm.GrowingChain(e.Full))
+			viol, err := analyze.CheckMonotone(e.Tr, analyze.GrowingChain(e.Full))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -344,11 +341,11 @@ func BenchmarkE9CALM(b *testing.B) {
 // ring construction for the Example 15 transducer, proving the
 // monotone behaviour of Id-free transducers run by run.
 func BenchmarkE10RingNoId(b *testing.B) {
-	tr := dist.PingIdentity()
+	tr := build.PingIdentity()
 	I := unarySet(2)
 	J := unarySet(3)
 	for i := 0; i < b.N; i++ {
-		res, err := calm.SimulateRing(tr, I, J, 300)
+		res, err := analyze.SimulateRing(tr, I, J, 300)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -366,11 +363,11 @@ func BenchmarkE10RingNoId(b *testing.B) {
 // even-cardinality query — beyond while without order — computed on
 // ≥2 nodes via the arrival-order linear order.
 func BenchmarkE11LinearOrder(b *testing.B) {
-	tr, err := dist.EvenCardinality()
+	tr, err := build.EvenCardinality()
 	if err != nil {
 		b.Fatal(err)
 	}
-	net := network.Line(2)
+	net := run.Line(2)
 	for _, n := range []int{2, 3, 4} {
 		I := unarySet(n)
 		want := 0
@@ -379,7 +376,7 @@ func BenchmarkE11LinearOrder(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("set=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+				sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 				if sim.Output().Len() != want {
 					b.Fatalf("parity(%d) = %v", n, sim.Output())
 				}
@@ -431,13 +428,13 @@ func BenchmarkE12DedalusTM(b *testing.B) {
 // run reaches a quiescence point; the metric is the steps needed
 // across the topology zoo.
 func BenchmarkE13Quiescence(b *testing.B) {
-	tr := dist.TransitiveClosure()
+	tr := build.TransitiveClosure()
 	I := chainEdges(6)
-	for name, net := range network.Topologies(4) {
+	for name, net := range run.Topologies(4) {
 		b.Run(name, func(b *testing.B) {
 			var steps int
 			for i := 0; i < b.N; i++ {
-				sim := runOnce(b, net, tr, dist.RoundRobinSplit(I, net), int64(i))
+				sim := runOnce(b, net, tr, run.RoundRobinSplit(I, net), int64(i))
 				steps += sim.Steps
 			}
 			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
@@ -452,9 +449,9 @@ func BenchmarkE14SemiNaiveVsNaive(b *testing.B) {
 		tc(X, Y) :- e(X, Y).
 		tc(X, Z) :- e(X, Y), tc(Y, Z).
 	`)
-	edb := fact.NewInstance()
+	edb := declnet.NewInstance()
 	for i := 0; i < 48; i++ {
-		edb.AddFact(ff("e", fact.Value(fmt.Sprintf("v%d", i)), fact.Value(fmt.Sprintf("v%d", i+1))))
+		edb.AddFact(ff("e", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+1))))
 	}
 	b.Run("seminaive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -482,10 +479,10 @@ func BenchmarkA1FOFastPath(b *testing.B) {
 			fo.AtomF("T", "x", "y"),
 			fo.ExistsF([]string{"z"}, fo.AndF(fo.AtomF("T", "x", "z"), fo.AtomF("T", "z", "y"))),
 		))
-	I := fact.NewInstance()
+	I := declnet.NewInstance()
 	for i := 0; i < 20; i++ {
-		I.AddFact(ff("S", fact.Value(fmt.Sprintf("v%d", i)), fact.Value(fmt.Sprintf("v%d", i+1))))
-		I.AddFact(ff("T", fact.Value(fmt.Sprintf("v%d", i)), fact.Value(fmt.Sprintf("v%d", (i+3)%21))))
+		I.AddFact(ff("S", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+1))))
+		I.AddFact(ff("T", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", (i+3)%21))))
 	}
 	want, err := q.Eval(I)
 	if err != nil {
@@ -513,9 +510,9 @@ func BenchmarkA1FOFastPath(b *testing.B) {
 // harness's duplicate coalescing: identical quiescent outputs, very
 // different run lengths.
 func BenchmarkA2Coalescing(b *testing.B) {
-	tr := dist.TransitiveClosure()
+	tr := build.TransitiveClosure()
 	I := chainEdges(6)
-	net := network.Ring(4)
+	net := run.Ring(4)
 	for _, coalesce := range []bool{true, false} {
 		name := "off"
 		if coalesce {
@@ -524,12 +521,11 @@ func BenchmarkA2Coalescing(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var steps, sends int
 			for i := 0; i < b.N; i++ {
-				sim, err := network.NewSim(net, tr, dist.RoundRobinSplit(I, net))
+				sim, err := run.NewSim(net, tr, run.RoundRobinSplit(I, net), run.Options{Strict: !coalesce})
 				if err != nil {
 					b.Fatal(err)
 				}
-				sim.CoalesceDuplicates = coalesce
-				res, err := sim.Run(network.NewRandomScheduler(int64(i)), 1000000)
+				res, err := sim.Run(run.NewRandomScheduler(int64(i)), 1000000)
 				if err != nil || !res.Quiescent {
 					b.Fatalf("%+v %v", res, err)
 				}
@@ -545,22 +541,21 @@ func BenchmarkA2Coalescing(b *testing.B) {
 // BenchmarkE14Schedulers is the scheduling ablation: random fair
 // scheduling vs round-robin FIFO on the same workload.
 func BenchmarkE14Schedulers(b *testing.B) {
-	tr := dist.TransitiveClosure()
+	tr := build.TransitiveClosure()
 	I := chainEdges(6)
-	net := network.Ring(4)
-	mk := map[string]func() network.Scheduler{
-		"random":     func() network.Scheduler { return network.NewRandomScheduler(3) },
-		"roundrobin": func() network.Scheduler { return network.NewRoundRobinFIFO() },
+	net := run.Ring(4)
+	mk := map[string]func() run.Scheduler{
+		"random":     func() run.Scheduler { return run.NewRandomScheduler(3) },
+		"roundrobin": func() run.Scheduler { return run.NewRoundRobinFIFO() },
 	}
 	for name, sched := range mk {
 		b.Run(name, func(b *testing.B) {
 			var steps int
 			for i := 0; i < b.N; i++ {
-				sim, err := network.NewSim(net, tr, dist.RoundRobinSplit(I, net))
+				sim, err := run.NewSim(net, tr, run.RoundRobinSplit(I, net), run.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				sim.CoalesceDuplicates = true
 				res, err := sim.Run(sched(), 1000000)
 				if err != nil || !res.Quiescent {
 					b.Fatalf("%v %v", res, err)

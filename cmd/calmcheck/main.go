@@ -16,11 +16,11 @@ import (
 	"os"
 	"strings"
 
-	"declnet/internal/calm"
-	"declnet/internal/datalog"
-	"declnet/internal/dist"
-	"declnet/internal/network"
-	"declnet/internal/registry"
+	"declnet"
+	"declnet/analyze"
+	"declnet/build"
+	"declnet/datalog"
+	"declnet/run"
 )
 
 func main() {
@@ -34,7 +34,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: calmcheck -t NAME -facts FILE [-nets line:2,ring:3]")
 		os.Exit(2)
 	}
-	tr, err := registry.Lookup(*name)
+	tr, err := build.Lookup(*name)
 	if err != nil {
 		fatal(err)
 	}
@@ -46,9 +46,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	nets := map[string]*network.Network{}
+	nets := map[string]*run.Network{}
 	for _, spec := range strings.Split(*netSpecs, ",") {
-		n, err := registry.ParseTopology(strings.TrimSpace(spec))
+		n, err := run.ParseTopology(strings.TrimSpace(spec))
 		if err != nil {
 			fatal(err)
 		}
@@ -56,9 +56,9 @@ func main() {
 	}
 
 	fmt.Printf("== %s on %v ==\n", tr.Name, I)
-	fmt.Println("syntactic class: ", calm.Classify(tr))
+	fmt.Println("syntactic class: ", analyze.Classify(tr))
 
-	rep, err := dist.CheckTopologyIndependence(nets, tr, I, dist.SweepOptions{Seeds: *seeds})
+	rep, err := analyze.CheckTopologyIndependence(nets, tr, I, analyze.SweepOptions{Seeds: *seeds})
 	if err != nil {
 		fatal(err)
 	}
@@ -75,17 +75,33 @@ func main() {
 	expected := rep.TheOutput()
 	fmt.Println("computed answer:  ", expected)
 
-	free, failNet, err := calm.CoordinationFree(nets, tr, I, expected)
-	if err != nil {
-		fatal(err)
+	// The §5 definition quantifies over EVERY input instance: a witness
+	// must exist for the empty instance and for I alike (emptiness,
+	// e.g., is free on nonempty inputs but needs coordination on ∅).
+	free := true
+	for _, inst := range []*declnet.Instance{declnet.NewInstance(), I} {
+		instExpected := expected
+		if inst != I {
+			instExpected, err = analyze.ExpectedOutput(tr, inst)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		ok, failNet, err := analyze.CoordinationFree(nets, tr, inst, instExpected)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			free = false
+			fmt.Printf("coordination-free: NO (no witness found on %s for input %v)\n", failNet, inst)
+			break
+		}
 	}
 	if free {
-		fmt.Println("coordination-free: YES (heartbeat-only witness on every topology)")
-	} else {
-		fmt.Printf("coordination-free: NO (no witness found on %s)\n", failNet)
+		fmt.Println("coordination-free: YES (heartbeat-only witness on every topology, for ∅ and I)")
 	}
 
-	viol, err := calm.CheckMonotone(tr, calm.GrowingChain(I))
+	viol, err := analyze.CheckMonotone(tr, analyze.GrowingChain(I))
 	if err != nil {
 		fatal(err)
 	}

@@ -5,7 +5,7 @@
 //
 //	datalogi -program tc.dl -facts edges.dl [-query tc] [-naive]
 //
-// Program syntax (see internal/datalog): uppercase identifiers are
+// Program syntax (see package declnet/datalog): uppercase identifiers are
 // variables, lowercase and quoted identifiers are constants, rules end
 // with periods, "not" negates, stratified negation required.
 //
@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"os"
 
-	"declnet/internal/datalog"
+	"declnet/datalog"
 )
 
 func main() {

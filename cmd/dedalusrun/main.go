@@ -17,10 +17,10 @@ import (
 	"os"
 	"strings"
 
-	"declnet/internal/dedalus"
-	"declnet/internal/fact"
-	"declnet/internal/registry"
-	"declnet/internal/tm"
+	"declnet"
+	"declnet/dedalus"
+	"declnet/run"
+	"declnet/tm"
 )
 
 func main() {
@@ -75,14 +75,14 @@ func main() {
 		return
 	}
 
-	net, err := registry.ParseTopology(*topo)
+	net, err := run.ParseTopology(*topo)
 	if err != nil {
 		fatal(err)
 	}
 	nodes := net.Nodes()
-	part := map[fact.Value]*fact.Instance{}
+	part := map[declnet.Value]*declnet.Instance{}
 	for _, v := range nodes {
-		part[v] = fact.NewInstance()
+		part[v] = declnet.NewInstance()
 	}
 	for i, f := range I.Facts() {
 		part[nodes[i%len(nodes)]].AddFact(f)

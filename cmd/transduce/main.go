@@ -16,9 +16,9 @@ import (
 	"fmt"
 	"os"
 
-	"declnet/internal/datalog"
-	"declnet/internal/network"
-	"declnet/internal/registry"
+	"declnet/build"
+	"declnet/datalog"
+	"declnet/run"
 )
 
 func main() {
@@ -34,8 +34,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, n := range registry.Names() {
-			e := registry.Transducers()[n]
+		for _, n := range build.Names() {
+			e := build.Catalog()[n]
 			fmt.Printf("%-12s %-38s input: %s\n", n, e.Paper, e.Input)
 		}
 		return
@@ -45,11 +45,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	tr, err := registry.Lookup(*name)
+	tr, err := build.Lookup(*name)
 	if err != nil {
 		fatal(err)
 	}
-	net, err := registry.ParseTopology(*topo)
+	net, err := run.ParseTopology(*topo)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	part, err := registry.ParsePartition(*partition, I, net)
+	part, err := run.ParsePartition(*partition, I, net)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,13 +69,11 @@ func main() {
 	fmt.Printf("transducer %s on %s: oblivious=%v inflationary=%v monotone=%v\n",
 		tr.Name, net, tr.Oblivious(), tr.Inflationary(), tr.Monotone())
 
-	sim, err := network.NewSim(net, tr, part)
-	if err != nil {
-		fatal(err)
-	}
-	sim.CoalesceDuplicates = !*strict
+	// Seed and step budget go to sim.Run below; Options carries only
+	// the per-sim knobs.
+	opt := run.Options{Strict: *strict}
 	if *trace {
-		sim.Trace = func(ev network.TraceEvent) {
+		opt.Trace = func(ev run.TraceEvent) {
 			kind := "heartbeat"
 			if ev.Delivered != nil {
 				kind = "deliver " + ev.Delivered.String()
@@ -87,7 +85,11 @@ func main() {
 			fmt.Println()
 		}
 	}
-	res, err := sim.Run(network.NewRandomScheduler(*seed), *steps)
+	sim, err := run.NewSim(net, tr, part, opt)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(run.NewRandomScheduler(*seed), *steps)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,76 @@
+// Package datalog exposes the Datalog query substrate: a parser and
+// engine for Datalog with stratified negation and (in)equality
+// literals, evaluated semi-naively, plus the Query adapter plugging a
+// program's answer predicate into transducers (Theorem 6(5)).
+//
+// Program syntax — uppercase identifiers are variables, rules end with
+// periods, "not" negates:
+//
+//	tc(X, Y) :- e(X, Y).
+//	tc(X, Z) :- e(X, Y), tc(Y, Z).
+//
+// Facts files contain ground facts: "e(a, b). e(b, c)."
+package datalog
+
+import (
+	idatalog "declnet/internal/datalog"
+	ifact "declnet/internal/fact"
+)
+
+type (
+	// Program is a Datalog program.
+	Program = idatalog.Program
+	// Rule is one Datalog rule.
+	Rule = idatalog.Rule
+	// Atom is pred(t1,...,tk).
+	Atom = idatalog.Atom
+	// Literal is a possibly negated atom or an (in)equality.
+	Literal = idatalog.Literal
+	// Term is a variable or constant in a rule.
+	Term = idatalog.Term
+	// Query adapts a program's answer predicate to declnet.Query.
+	Query = idatalog.Query
+)
+
+// Parse parses a Datalog program.
+func Parse(src string) (*Program, error) { return idatalog.Parse(src) }
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Program { return idatalog.MustParse(src) }
+
+// ParseRule parses a single rule.
+func ParseRule(src string) (Rule, error) { return idatalog.ParseRule(src) }
+
+// ParseFacts parses a ground-facts file ("e(a, b). e(b, c).") into an
+// instance.
+func ParseFacts(src string) (*ifact.Instance, error) { return idatalog.ParseFacts(src) }
+
+// NewProgram validates and returns a program built from rules.
+func NewProgram(rules ...Rule) (*Program, error) { return idatalog.NewProgram(rules...) }
+
+// MustProgram is NewProgram panicking on error.
+func MustProgram(rules ...Rule) *Program { return idatalog.MustProgram(rules...) }
+
+// NewQuery adapts the program's answer predicate to a query.
+func NewQuery(p *Program, ans string) (*Query, error) { return idatalog.NewQuery(p, ans) }
+
+// MustQuery is NewQuery panicking on error.
+func MustQuery(p *Program, ans string) *Query { return idatalog.MustQuery(p, ans) }
+
+// V returns a variable term.
+func V(name string) Term { return idatalog.V(name) }
+
+// C returns a constant term.
+func C(v ifact.Value) Term { return idatalog.C(v) }
+
+// Pos returns the positive literal pred(terms...).
+func Pos(pred string, terms ...Term) Literal { return idatalog.Pos(pred, terms...) }
+
+// Neg returns the negated literal not pred(terms...).
+func Neg(pred string, terms ...Term) Literal { return idatalog.Neg(pred, terms...) }
+
+// EqL returns the equality literal l = r.
+func EqL(l, r Term) Literal { return idatalog.EqL(l, r) }
+
+// NeqL returns the inequality literal l != r.
+func NeqL(l, r Term) Literal { return idatalog.NeqL(l, r) }

@@ -1,30 +1,59 @@
 // Package declnet reproduces "Relational transducers for declarative
 // networking" (Ameloot, Neven, Van den Bussche; PODS 2011) as a Go
 // library: networks of relational transducers with a full operational
-// semantics, the query-language substrates the paper builds on (FO
-// under active-domain semantics, Datalog with stratified negation,
-// the while language, Dedalus), the transducer constructions of every
-// example and proof in the paper, and the analysis machinery of the
-// CALM theorem (consistency, network-topology independence,
-// coordination-freeness, monotonicity).
+// semantics, the query-language substrates the paper builds on, the
+// transducer constructions of every example and proof in the paper,
+// and the analysis machinery of the CALM theorem (consistency,
+// network-topology independence, coordination-freeness, monotonicity).
 //
-// The library lives under internal/:
+// This root package is the data model and transducer layer: Values,
+// Facts, Relations, Instances and Schemas (§2's relational model), the
+// Query interface every local language implements, and the Transducer
+// type with its Builder (§2.1's abstract relational transducers over
+// the implicit system schema {Id/1, All/1}).
 //
-//	fact        facts, relations, instances, schemas (the data model)
-//	fo          first-order logic queries, active-domain semantics
-//	datalog     Datalog engine: parser, stratification, semi-naive
-//	while       the while query language (FO + assignment + loops)
-//	query       the Query interface every language implements
-//	transducer  relational transducers (§2.1): schema, queries, Step
-//	network     networks, configurations, buffers, runs, schedulers (§3)
-//	dist        distributed query computation + proof constructions (§4)
-//	calm        coordination-freeness, monotonicity, Theorem 16 (§5-§7)
-//	tm          Turing machines and word structures (§8)
-//	dedalus     Dedalus: temporal Datalog + the Theorem 18 compiler (§8)
+// The public surface is organized as facade packages over it:
 //
-// The benchmark suite in bench_test.go regenerates the experiment
-// index of DESIGN.md (E1-E14); EXPERIMENTS.md records the outcomes
-// against the paper's claims. Three CLIs (cmd/transduce, cmd/datalogi,
-// cmd/calmcheck) and four runnable examples (examples/) exercise the
-// public surface.
+//	declnet          facts, instances, schemas, queries, transducers
+//	declnet/fo       first-order logic queries, active-domain semantics
+//	declnet/datalog  Datalog with stratified negation, semi-naive engine
+//	declnet/while    the while language (FO + assignment + loops)
+//	declnet/run      networks, topologies, partitions, schedulers, runs
+//	declnet/build    the paper's transducer constructions + catalogue
+//	declnet/analyze  CALM: consistency, freeness, monotonicity, Thm 16
+//	declnet/dedalus  Dedalus: temporal Datalog + the Theorem 18 compiler
+//	declnet/tm       Turing machines and word structures (§8)
+//
+// A minimal session — the distributed transitive closure of Example 3
+// run to quiescence on a ring — reads:
+//
+//	tr := build.TransitiveClosure()
+//	I := declnet.FromFacts(declnet.NewFact("S", "a", "b"), declnet.NewFact("S", "b", "c"))
+//	net := run.Ring(4)
+//	out, err := run.ToQuiescence(net, tr, run.RoundRobinSplit(I, net), run.Options{Seed: 42})
+//
+// and the CALM questions about it are one call each:
+//
+//	cls := analyze.Classify(tr)                                   // §4 syntax
+//	rep, _ := analyze.CheckConsistency(net, tr, I, opts)          // §4 semantics
+//	free, _, _ := analyze.CoordinationFree(nets, tr, I, expected) // §5
+//	viol, _ := analyze.CheckMonotone(tr, analyze.GrowingChain(I)) // Thm 12
+//
+// Custom transducers are assembled with the Builder; any of the
+// substrate languages (or a plain Go function via NewFunc) serves as
+// the query language:
+//
+//	tr, err := declnet.NewBuilder("id", declnet.Schema{"S": 1}).
+//		Msg("M", 1).Mem("R", 1).
+//		Snd("M", fo.MustQuery("snd", []string{"x"}, fo.AtomF("S", "x"))).
+//		Ins("R", fo.MustQuery("ins", []string{"x"}, fo.OrF(fo.AtomF("R", "x"), fo.AtomF("M", "x")))).
+//		Out(1, fo.MustQuery("out", []string{"x"}, fo.OrF(fo.AtomF("S", "x"), fo.AtomF("R", "x")))).
+//		Build()
+//
+// The implementation lives under internal/ and is reachable only
+// through these facades. Four CLIs (cmd/transduce, cmd/datalogi,
+// cmd/calmcheck, cmd/dedalusrun) and five runnable examples
+// (examples/) exercise the public surface; the benchmark suite in
+// bench_test.go regenerates the experiment index E1-E14 against the
+// paper's claims.
 package declnet

@@ -11,19 +11,18 @@ import (
 	"fmt"
 	"log"
 
-	"declnet/internal/dist"
-	"declnet/internal/fact"
-	"declnet/internal/network"
-	"declnet/internal/transducer"
+	"declnet"
+	"declnet/build"
+	"declnet/run"
 )
 
 func main() {
-	in := fact.Schema{"S": 2}
-	flood, err := dist.Flood(in, nil, 0)
+	in := declnet.Schema{"S": 2}
+	flood, err := build.Flood(in, nil, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	multicast, err := dist.Multicast(in, nil, 0)
+	multicast, err := build.Multicast(in, nil, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,28 +33,27 @@ func main() {
 		multicast.Name, multicast.Oblivious(), multicast.UsesId(), multicast.UsesAll())
 
 	for _, size := range []int{4, 8, 16} {
-		I := fact.NewInstance()
+		I := declnet.NewInstance()
 		for i := 0; i < size; i++ {
-			I.AddFact(fact.NewFact("S",
-				fact.Value(fmt.Sprintf("v%d", i)), fact.Value(fmt.Sprintf("v%d", i+1))))
+			I.AddFact(declnet.NewFact("S",
+				declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+1))))
 		}
-		net := network.Line(4)
-		part := dist.RoundRobinSplit(I, net)
+		net := run.Line(4)
+		part := run.RoundRobinSplit(I, net)
 
-		run := func(tr *transducer.Transducer) (steps, sends int, ready bool) {
-			sim, err := network.NewSim(net, tr, part)
+		exec := func(tr *declnet.Transducer) (steps, sends int, ready bool) {
+			sim, err := run.NewSim(net, tr, part, run.Options{})
 			if err != nil {
 				log.Fatal(err)
 			}
-			sim.CoalesceDuplicates = true
-			res, err := sim.Run(network.NewRandomScheduler(7), 500000)
+			res, err := sim.Run(run.NewRandomScheduler(7), 500000)
 			if err != nil || !res.Quiescent {
 				log.Fatalf("run failed: %+v %v", res, err)
 			}
 			// Verify full replication at every node.
 			for _, v := range net.Nodes() {
 				tagged := tr == multicast
-				if !dist.Collected(sim.State(v), in, tagged).Equal(I) {
+				if !build.Collected(sim.State(v), in, tagged).Equal(I) {
 					log.Fatalf("node %s lacks the full instance", v)
 				}
 			}
@@ -63,8 +61,8 @@ func main() {
 			return res.Steps, res.Sends, ready
 		}
 
-		fSteps, fSends, _ := run(flood)
-		mSteps, mSends, mReady := run(multicast)
+		fSteps, fSends, _ := exec(flood)
+		mSteps, mSends, mReady := exec(multicast)
 		fmt.Printf("|I|=%2d  flood:     %5d steps %6d msgs\n", size, fSteps, fSends)
 		fmt.Printf("        multicast: %5d steps %6d msgs  Ready=%v  overhead=%.1fx msgs\n\n",
 			mSteps, mSends, mReady, float64(mSends)/float64(fSends))

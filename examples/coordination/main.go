@@ -19,29 +19,28 @@ import (
 	"fmt"
 	"log"
 
-	"declnet/internal/calm"
-	"declnet/internal/dist"
-	"declnet/internal/fact"
-	"declnet/internal/network"
-	"declnet/internal/transducer"
+	"declnet"
+	"declnet/analyze"
+	"declnet/build"
+	"declnet/run"
 )
 
 func main() {
-	nets := map[string]*network.Network{
-		"line2": network.Line(2),
-		"ring3": network.Ring(3),
+	nets := map[string]*run.Network{
+		"line2": run.Line(2),
+		"ring3": run.Ring(3),
 	}
 
-	show := func(name string, tr *transducer.Transducer, I *fact.Instance) {
-		expected, err := calm.ExpectedOutput(tr, I)
+	show := func(name string, tr *declnet.Transducer, I *declnet.Instance) {
+		expected, err := analyze.ExpectedOutput(tr, I)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		free, failNet, err := calm.CoordinationFree(nets, tr, I, expected)
+		free, failNet, err := analyze.CoordinationFree(nets, tr, I, expected)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		cls := calm.Classify(tr)
+		cls := analyze.Classify(tr)
 		fmt.Printf("%-22s  %v\n", name, cls)
 		fmt.Printf("%-22s  input=%v  answer=%v\n", "", I, expected)
 		if free {
@@ -51,31 +50,31 @@ func main() {
 		}
 	}
 
-	edges := fact.FromFacts(fact.NewFact("S", "a", "b"), fact.NewFact("S", "b", "c"))
-	show("transitive closure", dist.TransitiveClosure(), edges)
+	edges := declnet.FromFacts(declnet.NewFact("S", "a", "b"), declnet.NewFact("S", "b", "c"))
+	show("transitive closure", build.TransitiveClosure(), edges)
 
-	show("emptiness (S=∅)", dist.Emptiness(), fact.NewInstance())
+	show("emptiness (S=∅)", build.Emptiness(), declnet.NewInstance())
 
-	ab := fact.FromFacts(fact.NewFact("A", "x"), fact.NewFact("B", "y"))
-	show("A or B nonempty", dist.EitherNonempty(), ab)
+	ab := declnet.FromFacts(declnet.NewFact("A", "x"), declnet.NewFact("B", "y"))
+	show("A or B nonempty", build.EitherNonempty(), ab)
 
-	set := fact.FromFacts(fact.NewFact("S", "u"), fact.NewFact("S", "v"))
-	show("ping identity", dist.PingIdentity(), set)
+	set := declnet.FromFacts(declnet.NewFact("S", "u"), declnet.NewFact("S", "v"))
+	show("ping identity", build.PingIdentity(), set)
 
 	// The §5 subtlety, demonstrated directly: for A-and-B-both-nonempty,
 	// full replication needs communication but the split partition does
 	// not.
 	fmt.Println("--- §5: replication is not always the right partition ---")
-	tr := dist.EitherNonempty()
-	net := network.Line(2)
+	tr := build.EitherNonempty()
+	net := run.Line(2)
 	for _, p := range []struct {
 		name string
-		part dist.Partition
+		part run.Partition
 	}{
-		{"replicate everywhere", dist.ReplicateAll(ab, net)},
-		{"split A|B across nodes", calm.SplitByRelation(ab, net)},
+		{"replicate everywhere", run.ReplicateAll(ab, net)},
+		{"split A|B across nodes", run.SplitByRelation(ab, net)},
 	} {
-		sim, err := network.NewSim(net, tr, p.part)
+		sim, err := run.NewSim(net, tr, p.part, run.Options{Strict: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,9 +88,9 @@ func main() {
 	// the emptiness answer get RETRACTED (impossible for a
 	// coordination-free program, Theorem 12).
 	fmt.Println("\n--- Theorem 12: emptiness is not monotone ---")
-	chain := calm.GrowingChain(fact.FromFacts(fact.NewFact("S", "x")))
+	chain := analyze.GrowingChain(declnet.FromFacts(declnet.NewFact("S", "x")))
 	for _, I := range chain {
-		out, err := calm.ExpectedOutput(dist.Emptiness(), I)
+		out, err := analyze.ExpectedOutput(build.Emptiness(), I)
 		if err != nil {
 			log.Fatal(err)
 		}

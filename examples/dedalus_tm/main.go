@@ -11,9 +11,9 @@ import (
 	"log"
 	"strings"
 
-	"declnet/internal/dedalus"
-	"declnet/internal/fact"
-	"declnet/internal/tm"
+	"declnet"
+	"declnet/dedalus"
+	"declnet/tm"
 )
 
 func main() {
@@ -72,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	dirty := clean.Clone()
-	dirty.AddFact(fact.NewFact("Begin", "c2"))
+	dirty.AddFact(declnet.NewFact("Begin", "c2"))
 	tr2, err := progAB.Run(dedalus.TemporalInput{0: dirty}, dedalus.Options{MaxT: 100})
 	if err != nil {
 		log.Fatal(err)

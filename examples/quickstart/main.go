@@ -1,48 +1,49 @@
-// Command quickstart demonstrates the core API: build a relational
-// transducer in FO, place it on a network, distribute an input over
-// the nodes, run fair executions to quiescence, and confirm that every
-// run computes the same query — the distributed transitive closure of
-// Example 3 of "Relational transducers for declarative networking"
-// (Ameloot, Neven, Van den Bussche, PODS 2011).
+// Command quickstart demonstrates the core public API: build a
+// relational transducer, place it on a network, distribute an input
+// over the nodes, run fair executions to quiescence, and confirm that
+// every run computes the same query — the distributed transitive
+// closure of Example 3 of "Relational transducers for declarative
+// networking" (Ameloot, Neven, Van den Bussche, PODS 2011).
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"declnet/internal/dist"
-	"declnet/internal/fact"
-	"declnet/internal/network"
+	"declnet"
+	"declnet/analyze"
+	"declnet/build"
+	"declnet/run"
 )
 
 func main() {
 	// Example 3's transducer: flood the edges of a binary relation S,
 	// accumulate them in memory, and repeatedly insert S ∪ R ∪ T ∪ T∘T
 	// into an output relation T.
-	tr := dist.TransitiveClosure()
+	tr := build.TransitiveClosure()
 	fmt.Printf("transducer %q: oblivious=%v inflationary=%v monotone=%v\n\n",
 		tr.Name, tr.Oblivious(), tr.Inflationary(), tr.Monotone())
 
 	// The input instance: a path a -> b -> c -> d plus a back edge.
-	I := fact.FromFacts(
-		fact.NewFact("S", "a", "b"),
-		fact.NewFact("S", "b", "c"),
-		fact.NewFact("S", "c", "d"),
-		fact.NewFact("S", "d", "b"),
+	I := declnet.FromFacts(
+		declnet.NewFact("S", "a", "b"),
+		declnet.NewFact("S", "b", "c"),
+		declnet.NewFact("S", "c", "d"),
+		declnet.NewFact("S", "d", "b"),
 	)
 	fmt.Println("input:", I)
 
 	// Run on three topologies, with the input split across the nodes.
 	for _, shape := range []struct {
 		name string
-		net  *network.Network
+		net  *run.Network
 	}{
-		{"single node", network.Single()},
-		{"line of 3", network.Line(3)},
-		{"ring of 4", network.Ring(4)},
+		{"single node", run.Single()},
+		{"line of 3", run.Line(3)},
+		{"ring of 4", run.Ring(4)},
 	} {
-		partition := dist.RoundRobinSplit(I, shape.net)
-		out, err := dist.RunToQuiescence(shape.net, tr, partition, dist.RunOptions{Seed: 42})
+		partition := run.RoundRobinSplit(I, shape.net)
+		out, err := run.ToQuiescence(shape.net, tr, partition, run.Options{Seed: 42})
 		if err != nil {
 			log.Fatalf("%s: %v", shape.name, err)
 		}
@@ -52,7 +53,7 @@ func main() {
 	// Sweep partitions and scheduler seeds: a consistent transducer
 	// network produces ONE output no matter how the input is split or
 	// messages are delayed.
-	rep, err := dist.CheckConsistency(network.Star(4), tr, I, dist.SweepOptions{Seeds: 4})
+	rep, err := analyze.CheckConsistency(run.Star(4), tr, I, analyze.SweepOptions{Seeds: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

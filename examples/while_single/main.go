@@ -11,10 +11,10 @@ import (
 	"fmt"
 	"log"
 
-	"declnet/internal/dist"
-	"declnet/internal/fact"
-	"declnet/internal/network"
-	"declnet/internal/while"
+	"declnet"
+	"declnet/build"
+	"declnet/run"
+	"declnet/while"
 )
 
 const src = `
@@ -34,10 +34,10 @@ func main() {
 	prog := while.MustParse(src)
 	fmt.Println("while-program parsed; output relation:", prog.Out)
 
-	I := fact.FromFacts(
-		fact.NewFact("E", "a", "b"),
-		fact.NewFact("E", "b", "c"),
-		fact.NewFact("E", "d", "a"),
+	I := declnet.FromFacts(
+		declnet.NewFact("E", "a", "b"),
+		declnet.NewFact("E", "b", "c"),
+		declnet.NewFact("E", "d", "a"),
 	)
 	fmt.Println("input:", I)
 
@@ -49,15 +49,15 @@ func main() {
 	fmt.Printf("interpreter: %d tuples not connected\n", direct.Len())
 
 	// Lemma 5(3) compilation: one instruction per heartbeat.
-	tr, err := dist.WhileTransducer(prog, fact.Schema{"E": 2})
+	tr, err := build.WhileTransducer(prog, declnet.Schema{"E": 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := network.NewSim(network.Single(), tr, dist.AllAtNode(I, "n1"))
+	sim, err := run.NewSim(run.Single(), tr, run.AllAtNode(I, "n1"), run.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sim.Run(network.NewRandomScheduler(1), 100000)
+	res, err := sim.Run(run.NewRandomScheduler(1), 100000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,18 +78,19 @@ while true {
 }
 output T/1
 `)
-	if _, err := (while.Query{P: div}).Eval(fact.FromFacts(fact.NewFact("S", "v"))); err != nil {
+	if _, err := (while.Query{P: div}).Eval(declnet.FromFacts(declnet.NewFact("S", "v"))); err != nil {
 		fmt.Println("\ndivergent program detected by the interpreter:", err)
 	}
-	trDiv, err := dist.WhileTransducer(div, fact.Schema{"S": 1})
+	trDiv, err := build.WhileTransducer(div, declnet.Schema{"S": 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	simDiv, err := network.NewSim(network.Single(), trDiv, dist.AllAtNode(fact.FromFacts(fact.NewFact("S", "v")), "n1"))
+	simDiv, err := run.NewSim(run.Single(), trDiv,
+		run.AllAtNode(declnet.FromFacts(declnet.NewFact("S", "v")), "n1"), run.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resDiv, err := simDiv.Run(network.NewHeartbeatOnly(), 300)
+	resDiv, err := simDiv.Run(run.NewHeartbeatOnly(), 300)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+package declnet_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesCompileAndRun builds every example binary and runs it,
+// requiring a clean exit; the quickstart additionally must report a
+// consistent sweep. This keeps examples/ honest as living
+// documentation of the public API.
+func TestExamplesCompileAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulations; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	binDir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			bld := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := bld.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if name == "quickstart" && !strings.Contains(string(out), "consistent=true") {
+				t.Errorf("quickstart did not report a consistent sweep:\n%s", out)
+			}
+			if strings.Contains(string(out), "MISMATCH") {
+				t.Errorf("%s reported a mismatch:\n%s", name, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+// Package fo exposes the first-order-logic query substrate of the
+// reproduction: FO formulas under the active-domain semantics, the
+// formula construction DSL, a concrete text syntax, and the Query
+// adapter plugging FO into transducers (the paper's FO-transducers).
+//
+// Formulas are built programmatically —
+//
+//	fo.ExistsF([]string{"z"}, fo.AndF(fo.AtomF("T", "x", "z"), fo.AtomF("T", "z", "y")))
+//
+// — or parsed from text with Parse/ParseQuery ("exists z (T(x, z) &
+// T(z, y))"). Positive formulas yield syntactically monotone queries,
+// the premise of the CALM analyses in declnet/analyze.
+package fo
+
+import (
+	ifact "declnet/internal/fact"
+	ifo "declnet/internal/fo"
+)
+
+// Core syntax.
+type (
+	// Term is a variable or a constant.
+	Term = ifo.Term
+	// Var is a first-order variable.
+	Var = ifo.Var
+	// Const is a constant data element.
+	Const = ifo.Const
+	// Formula is an FO formula over atoms, equality, the boolean
+	// connectives and quantifiers.
+	Formula = ifo.Formula
+	// Atom is R(t1,...,tk).
+	Atom = ifo.Atom
+	// Eq is t1 = t2.
+	Eq = ifo.Eq
+	// Not is ¬φ.
+	Not = ifo.Not
+	// And is a conjunction.
+	And = ifo.And
+	// Or is a disjunction.
+	Or = ifo.Or
+	// Exists is ∃x1...xn φ.
+	Exists = ifo.Exists
+	// Forall is ∀x1...xn φ.
+	Forall = ifo.Forall
+	// Truth is the boolean constant true or false.
+	Truth = ifo.Truth
+	// Query is an FO query: head variables plus a body formula,
+	// implementing declnet.Query with active-domain semantics.
+	Query = ifo.Query
+)
+
+// V returns the variable named name.
+func V(name string) Var { return ifo.V(name) }
+
+// C returns the constant v.
+func C(v ifact.Value) Const { return ifo.C(v) }
+
+// AtomF builds the atom rel(vars...), all arguments variables.
+func AtomF(rel string, vars ...string) Atom { return ifo.AtomF(rel, vars...) }
+
+// AtomT builds the atom rel(terms...) over arbitrary terms.
+func AtomT(rel string, terms ...Term) Atom { return ifo.AtomT(rel, terms...) }
+
+// AndF builds the conjunction of the formulas (true when empty).
+func AndF(fs ...Formula) Formula { return ifo.AndF(fs...) }
+
+// OrF builds the disjunction of the formulas (false when empty).
+func OrF(fs ...Formula) Formula { return ifo.OrF(fs...) }
+
+// NotF negates a formula.
+func NotF(f Formula) Formula { return ifo.NotF(f) }
+
+// ExistsF existentially quantifies vars in f.
+func ExistsF(vars []string, f Formula) Formula { return ifo.ExistsF(vars, f) }
+
+// ForallF universally quantifies vars in f.
+func ForallF(vars []string, f Formula) Formula { return ifo.ForallF(vars, f) }
+
+// Parse parses a formula from text, e.g.
+// "exists z (T(x, z) & T(z, y)) | x = y".
+func Parse(input string) (Formula, error) { return ifo.Parse(input) }
+
+// MustParse is Parse panicking on error.
+func MustParse(input string) Formula { return ifo.MustParse(input) }
+
+// NewQuery builds an FO query from head variables and a body whose
+// free variables all occur in the head.
+func NewQuery(name string, head []string, body Formula) (*Query, error) {
+	return ifo.NewQuery(name, head, body)
+}
+
+// MustQuery is NewQuery panicking on error.
+func MustQuery(name string, head []string, body Formula) *Query {
+	return ifo.MustQuery(name, head, body)
+}
+
+// ParseQuery parses "head(x, y) := body" text into a query.
+func ParseQuery(input string) (*Query, error) { return ifo.ParseQuery(input) }
+
+// Holds evaluates a sentence (no free variables) on an instance.
+func Holds(f Formula, I *ifact.Instance) (bool, error) { return ifo.Holds(f, I) }
+
+// FreeVars returns the free variables of a formula.
+func FreeVars(f Formula) []Var { return ifo.FreeVars(f) }
+
+// RelNames returns the relation names mentioned by a formula, sorted.
+func RelNames(f Formula) []string { return ifo.RelNames(f) }
+
+// IsPositive reports whether the formula is negation- and
+// universal-quantifier-free; positive formulas express monotone
+// queries.
+func IsPositive(f Formula) bool { return ifo.IsPositive(f) }

@@ -1,0 +1,3 @@
+module declnet
+
+go 1.24

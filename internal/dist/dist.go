@@ -1,0 +1,167 @@
+// Package dist is the distributed-computation construction library of
+// §4 of the paper: horizontal partitions of an input instance over a
+// network, the fair-run helpers that define what it means for a
+// transducer network to "distributedly compute" a query (Definition in
+// §4, Proposition 1), consistency and network-topology-independence
+// sweeps, and the concrete transducer constructions used by every
+// example, lemma and theorem of the paper:
+//
+//	TransitiveClosure   Example 3: oblivious distributed TC in FO
+//	EqualitySelection   Example 3: σ_{1=2}(S), oblivious streaming
+//	FirstElement        Example 2: the inconsistent specimen
+//	RelayOnly           Example 4: not network-topology independent
+//	Flood               Lemma 5(2): oblivious replication
+//	Multicast           Lemma 5(1): replication with a Ready flag
+//	CollectThenCompute  Theorem 6(1): any computable query, with Id/All
+//	MonotoneStreaming   Theorem 6(2)/(4): oblivious monotone streaming
+//	DatalogStreaming    Theorem 6(5): Datalog as the transducer language
+//	WhileTransducer     Lemma 5(3): while-programs on one node
+//	Emptiness           Example 10: the non-monotone emptiness query
+//	EitherNonempty      §5: freeness depends on the witness partition
+//	PingIdentity        Example 15: monotone query, yet coordination
+//	EvenCardinality     Corollary 8: parity beyond while without order
+//
+// Package calm builds the CALM-theorem analyses on top of these.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"declnet/internal/fact"
+	"declnet/internal/network"
+)
+
+// Partition is a horizontal partition of an input instance: an
+// assignment H of a sub-instance to each node (§4). Fragments may
+// overlap; their union must be the partitioned instance. Nodes absent
+// from the map hold the empty fragment.
+type Partition map[fact.Value]*fact.Instance
+
+// Validate checks that the partition only assigns fragments to nodes
+// of the network and that the fragments' union is exactly I.
+func (p Partition) Validate(I *fact.Instance, net *network.Network) error {
+	nodeSet := map[fact.Value]bool{}
+	for _, v := range net.Nodes() {
+		nodeSet[v] = true
+	}
+	union := fact.NewInstance()
+	for v, h := range p {
+		if !nodeSet[v] {
+			return fmt.Errorf("dist: partition assigns a fragment to unknown node %s", v)
+		}
+		union.UnionWith(h)
+	}
+	if !union.Equal(I) {
+		return fmt.Errorf("dist: partition union %v differs from instance %v", union, I)
+	}
+	return nil
+}
+
+// Covers reports whether the fragments' union is exactly I: the
+// partition loses no fact and invents none.
+func (p Partition) Covers(I *fact.Instance) bool {
+	union := fact.NewInstance()
+	for _, h := range p {
+		union.UnionWith(h)
+	}
+	return union.Equal(I)
+}
+
+// Clone returns a deep copy of the partition.
+func (p Partition) Clone() Partition {
+	c := make(Partition, len(p))
+	for v, h := range p {
+		c[v] = h.Clone()
+	}
+	return c
+}
+
+// RoundRobinSplit distributes the facts of I over the nodes one at a
+// time in deterministic order: fact i goes to node i mod |N|.
+func RoundRobinSplit(I *fact.Instance, net *network.Network) Partition {
+	nodes := net.Nodes()
+	p := make(Partition, len(nodes))
+	for _, v := range nodes {
+		p[v] = fact.NewInstance()
+	}
+	for i, f := range I.Facts() {
+		p[nodes[i%len(nodes)]].AddFact(f)
+	}
+	return p
+}
+
+// ReplicateAll places a full copy of I at every node.
+func ReplicateAll(I *fact.Instance, net *network.Network) Partition {
+	p := Partition{}
+	for _, v := range net.Nodes() {
+		p[v] = I.Clone()
+	}
+	return p
+}
+
+// AllAtNode places the whole instance at the single node v.
+func AllAtNode(I *fact.Instance, v fact.Value) Partition {
+	return Partition{v: I.Clone()}
+}
+
+// RandomSplit assigns each fact to a uniformly random node;
+// deterministic per seed.
+func RandomSplit(I *fact.Instance, net *network.Network, seed int64) Partition {
+	r := rand.New(rand.NewSource(seed))
+	nodes := net.Nodes()
+	p := make(Partition, len(nodes))
+	for _, v := range nodes {
+		p[v] = fact.NewInstance()
+	}
+	for _, f := range I.Facts() {
+		p[nodes[r.Intn(len(nodes))]].AddFact(f)
+	}
+	return p
+}
+
+// Relation-name scheme of the replication substrates. Input relations
+// keep their names; the substrate adds, per input relation R, message
+// and memory relations derived with these suffixes. The '@' keeps them
+// out of the way of any parser-expressible input relation.
+const (
+	floodMsgSuffix = "@flood" // untagged flood message (Flood, MonotoneStreaming)
+	accMemSuffix   = "@acc"   // untagged accumulator memory
+	castMsgSuffix  = "@cast"  // origin-tagged multicast message
+	castMemSuffix  = "@castm" // origin-tagged collection memory
+	ackMsgSuffix   = "@ack"   // (acker, origin, t) acknowledgement message
+	ackMemSuffix   = "@ackm"  // acknowledgement memory
+)
+
+// Names of the tagged substrate's coordination relations.
+const (
+	cdoneMsg = "cdone@cast" // (origin, w): origin certifies w has its facts
+	cdoneMem = "cdone@mem"
+	readyRel = "Ready" // nullary flag raised by Multicast (Lemma 5(1))
+)
+
+// Collected reconstructs, from the state of one node, the fragment of
+// the global input instance the node has gathered so far: its own
+// input plus everything received through a replication substrate.
+// tagged selects the naming scheme: true for the origin-tagged
+// substrate of Multicast and CollectThenCompute, false for the
+// untagged flood of Flood and MonotoneStreaming.
+func Collected(state *fact.Instance, in fact.Schema, tagged bool) *fact.Instance {
+	out := fact.NewInstance()
+	for rel, k := range in {
+		r := fact.NewRelation(k)
+		r.UnionWith(state.RelationOr(rel, k))
+		if tagged {
+			state.RelationOr(rel+castMemSuffix, k+1).Each(func(t fact.Tuple) bool {
+				r.Add(t[1:].Clone())
+				return true
+			})
+		} else {
+			r.UnionWith(state.RelationOr(rel+accMemSuffix, k))
+		}
+		if !r.Empty() {
+			out.SetRelationOwned(rel, r)
+		}
+	}
+	return out
+}

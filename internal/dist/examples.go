@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"declnet/internal/fact"
+	"declnet/internal/fo"
+	"declnet/internal/transducer"
+)
+
+// TransitiveClosure returns the Example 3 transducer: the distributed
+// transitive closure of a binary relation S, written entirely in FO.
+// Every node floods the edges it knows over the message relation E,
+// accumulates received edges in R, and grows an output relation T by
+// repeatedly inserting S ∪ R ∪ T ∪ (T ∘ T). The transducer is
+// oblivious, inflationary and monotone; the network it generates is
+// consistent and network-topology independent and computes TC(S).
+func TransitiveClosure() *transducer.Transducer {
+	edge := func(rels ...string) fo.Formula {
+		fs := make([]fo.Formula, len(rels))
+		for i, r := range rels {
+			fs[i] = fo.AtomF(r, "x", "y")
+		}
+		return fo.OrF(fs...)
+	}
+	return transducer.NewBuilder("transitiveClosure", fact.Schema{"S": 2}).
+		Msg("E", 2).
+		Mem("R", 2).Mem("T", 2).
+		Snd("E", fo.MustQuery("sndE", []string{"x", "y"}, edge("S", "R"))).
+		Ins("R", fo.MustQuery("insR", []string{"x", "y"}, edge("S", "R", "E"))).
+		Ins("T", fo.MustQuery("insT", []string{"x", "y"},
+			fo.OrF(
+				edge("S", "R", "T"),
+				fo.ExistsF([]string{"z"},
+					fo.AndF(fo.AtomF("T", "x", "z"), fo.AtomF("T", "z", "y"))),
+			))).
+		Out(2, fo.MustQuery("out", []string{"x", "y"}, fo.AtomF("T", "x", "y"))).
+		MustBuild()
+}
+
+// EqualitySelection returns the other Example 3 transducer: the
+// selection σ_{1=2}(S) on a binary S, streamed obliviously. Edges are
+// flooded over M and accumulated in R; the output keeps the pairs with
+// equal components. Oblivious, inflationary, monotone.
+func EqualitySelection() *transducer.Transducer {
+	either := fo.OrF(fo.AtomF("S", "x", "y"), fo.AtomF("R", "x", "y"))
+	return transducer.NewBuilder("equalitySelection", fact.Schema{"S": 2}).
+		Msg("M", 2).
+		Mem("R", 2).
+		Snd("M", fo.MustQuery("sndM", []string{"x", "y"}, either)).
+		Ins("R", fo.MustQuery("insR", []string{"x", "y"},
+			fo.OrF(either, fo.AtomF("M", "x", "y")))).
+		Out(2, fo.MustQuery("out", []string{"x", "y"},
+			fo.AndF(either, fo.Eq{L: fo.V("x"), R: fo.V("y")}))).
+		MustBuild()
+}
+
+// FirstElement returns the Example 2 transducer: every node sends its
+// S-elements to its neighbours, and a node locks the FIRST element
+// delivered to it into memory and outputs it. Which element arrives
+// first depends on the scheduler, so the network is inconsistent: it
+// computes no query. It is the paper's motivating specimen for the
+// consistency definition of §4.
+func FirstElement() *transducer.Transducer {
+	return transducer.NewBuilder("firstElement", fact.Schema{"S": 1}).
+		Msg("M", 1).
+		Mem("First", 1).
+		Snd("M", fo.MustQuery("sndM", []string{"x"}, fo.AtomF("S", "x"))).
+		Ins("First", fo.MustQuery("insFirst", []string{"x"},
+			fo.AndF(
+				fo.AtomF("M", "x"),
+				fo.NotF(fo.ExistsF([]string{"y"}, fo.AtomF("First", "y"))),
+			))).
+		Out(1, fo.MustQuery("out", []string{"x"}, fo.AtomF("First", "x"))).
+		MustBuild()
+}
+
+// RelayOnly returns the Example 4 transducer: nodes flood their input
+// but output only elements RECEIVED from a neighbour. On the
+// single-node network nothing is ever received and the output is
+// empty, while on any larger connected network the output is all of S:
+// consistent on each network, but not network-topology independent.
+func RelayOnly() *transducer.Transducer {
+	either := fo.OrF(fo.AtomF("S", "x"), fo.AtomF("R", "x"))
+	return transducer.NewBuilder("relayOnly", fact.Schema{"S": 1}).
+		Msg("M", 1).
+		Mem("R", 1).
+		Snd("M", fo.MustQuery("sndM", []string{"x"}, either)).
+		Ins("R", fo.MustQuery("insR", []string{"x"},
+			fo.OrF(fo.AtomF("R", "x"), fo.AtomF("M", "x")))).
+		Out(1, fo.MustQuery("out", []string{"x"}, fo.AtomF("R", "x"))).
+		MustBuild()
+}
+
+// singletonAll is the FO sentence "All is a singleton", i.e. the
+// network has exactly one node. Constructions that fundamentally need
+// a message delivery use it to stay network-topology independent: on
+// the one-node network there is no one to talk to, so the local case
+// triggers directly. Reading All (but not Id) is what places these
+// transducers in the avoids-Id class of Corollary 17.
+func singletonAll() fo.Formula {
+	return fo.ExistsF([]string{"w"},
+		fo.AndF(
+			fo.AtomF(transducer.SysAll, "w"),
+			fo.NotF(fo.ExistsF([]string{"u"},
+				fo.AndF(
+					fo.AtomF(transducer.SysAll, "u"),
+					fo.NotF(fo.Eq{L: fo.V("u"), R: fo.V("w")}),
+				))),
+		))
+}
+
+// PingIdentity returns the Example 15 transducer: it computes the
+// monotone identity query on a unary S, yet is not coordination-free.
+// A node outputs an element only after receiving it from a neighbour
+// (the "ping"); on the single-node network, where no delivery can ever
+// happen, it recognizes |All| = 1 and outputs its input directly.
+// Freeness is thus a property of programs, not of the queries they
+// compute (§7).
+func PingIdentity() *transducer.Transducer {
+	return transducer.NewBuilder("pingIdentity", fact.Schema{"S": 1}).
+		Msg("P", 1).
+		Mem("R", 1).
+		Snd("P", fo.MustQuery("sndP", []string{"x"},
+			fo.OrF(fo.AtomF("S", "x"), fo.AtomF("R", "x")))).
+		Ins("R", fo.MustQuery("insR", []string{"x"},
+			fo.OrF(fo.AtomF("R", "x"), fo.AtomF("P", "x")))).
+		Out(1, fo.MustQuery("out", []string{"x"},
+			fo.OrF(
+				fo.AtomF("R", "x"),
+				fo.AndF(fo.AtomF("S", "x"), singletonAll()),
+			))).
+		MustBuild()
+}
+
+// EitherNonempty returns the §5 transducer for the monotone query
+// "A is nonempty or B is nonempty". A node holding facts of exactly
+// one of the two relations outputs immediately; a node holding both
+// only SENDS a ping, and the output happens at the receiving
+// neighbour (or locally when |All| = 1). The transducer is
+// coordination-free, but the full-replication partition is not a
+// witness: with both fragments everywhere, every node must wait for a
+// delivery. Only a partition separating A from B lets heartbeats
+// alone produce the answer — the §5 point that the witness partition
+// must be chosen per input.
+func EitherNonempty() *transducer.Transducer {
+	someA := fo.ExistsF([]string{"x"}, fo.AtomF("A", "x"))
+	someB := fo.ExistsF([]string{"y"}, fo.AtomF("B", "y"))
+	return transducer.NewBuilder("eitherNonempty", fact.Schema{"A": 1, "B": 1}).
+		Msg("Ping", 0).
+		Snd("Ping", fo.MustQuery("sndPing", nil, fo.AndF(someA, someB))).
+		Out(0, fo.MustQuery("out", nil,
+			fo.OrF(
+				fo.AndF(someA, fo.NotF(someB)),
+				fo.AndF(someB, fo.NotF(someA)),
+				fo.AtomF("Ping"),
+				fo.AndF(someA, someB, singletonAll()),
+			))).
+		MustBuild()
+}

@@ -1,0 +1,274 @@
+package dist
+
+import (
+	"fmt"
+
+	"declnet/internal/fact"
+	"declnet/internal/query"
+	"declnet/internal/transducer"
+)
+
+// idOf extracts the node's own identifier from the system relation Id.
+func idOf(I *fact.Instance) (fact.Value, error) {
+	r := I.RelationOr(transducer.SysId, 1)
+	if r.Len() != 1 {
+		return "", fmt.Errorf("dist: Id relation is %v, want a singleton", r)
+	}
+	return r.Tuples()[0][0], nil
+}
+
+// taggedSubstrate wires the origin-tagged replication-with-
+// acknowledgements machinery shared by Multicast (Lemma 5(1)) and
+// CollectThenCompute (Theorem 6(1)). Per input relation R/k:
+//
+//	R@cast/(k+1)  message (origin, t): origin's input facts, gossiped
+//	R@castm/(k+1) memory: collected tagged facts
+//	R@ack/(k+2)   message (acker, origin, t): "acker holds (origin,t)"
+//	R@ackm/(k+2)  memory: collected acknowledgements
+//
+// plus the schema-wide certificate channel
+//
+//	cdone@cast/2, cdone@mem/2: (origin, w) — the ORIGIN, who knows its
+//	own fragment and (via All) the node set, certifies that node w
+//	holds every one of its facts.
+//
+// The certificates are what the obliviousness of Flood cannot provide:
+// from ∀u∈All (u, Id) ∈ cdone@mem a node KNOWS its collection is the
+// complete input, and from ∀u,w∈All (u,w) it knows replication is
+// complete everywhere. Everything is gossiped, so the construction
+// works on arbitrary connected networks, and own contributions are
+// inserted directly into memory, so it also works on the single-node
+// network where no message is ever delivered.
+func taggedSubstrate(b *transducer.Builder, in fact.Schema) {
+	rels := in.Names()
+	b.Msg(cdoneMsg, 2).Mem(cdoneMem, 2)
+
+	var ownRels, ackMems []string
+	for _, rel := range rels {
+		k := in[rel]
+		cast, castm := rel+castMsgSuffix, rel+castMemSuffix
+		ack, ackm := rel+ackMsgSuffix, rel+ackMemSuffix
+		ownRels = append(ownRels, rel)
+		ackMems = append(ackMems, ackm)
+		b.Msg(cast, k+1).Mem(castm, k+1).
+			Msg(ack, k+2).Mem(ackm, k+2)
+
+		b.Snd(cast, query.Copy(castm, k+1))
+		b.Snd(ack, query.Copy(ackm, k+2))
+
+		// Collect tagged facts: received ones plus my own, self-tagged.
+		rel, k := rel, k
+		b.Ins(castm, query.NewFunc("ins:"+castm, k+1,
+			[]string{cast, transducer.SysId, rel}, false,
+			func(I *fact.Instance) (*fact.Relation, error) {
+				me, err := idOf(I)
+				if err != nil {
+					return nil, err
+				}
+				out := I.RelationOr(cast, k+1).Clone()
+				I.RelationOr(rel, k).Each(func(t fact.Tuple) bool {
+					out.Add(append(fact.Tuple{me}, t...))
+					return true
+				})
+				return out, nil
+			}))
+
+		// Acknowledge everything collected: received acks plus my own.
+		b.Ins(ackm, query.NewFunc("ins:"+ackm, k+2,
+			[]string{ack, castm, transducer.SysId}, false,
+			func(I *fact.Instance) (*fact.Relation, error) {
+				me, err := idOf(I)
+				if err != nil {
+					return nil, err
+				}
+				out := I.RelationOr(ack, k+2).Clone()
+				I.RelationOr(castm, k+1).Each(func(t fact.Tuple) bool {
+					out.Add(append(fact.Tuple{me}, t...))
+					return true
+				})
+				return out, nil
+			}))
+	}
+
+	b.Snd(cdoneMsg, query.Copy(cdoneMem, 2))
+
+	// Certify: I am the origin; node w has acknowledged every fact of
+	// my own fragment.
+	reads := append([]string{cdoneMsg, transducer.SysId, transducer.SysAll}, ownRels...)
+	reads = append(reads, ackMems...)
+	b.Ins(cdoneMem, query.NewFunc("ins:"+cdoneMem, 2, reads, false,
+		func(I *fact.Instance) (*fact.Relation, error) {
+			me, err := idOf(I)
+			if err != nil {
+				return nil, err
+			}
+			out := I.RelationOr(cdoneMsg, 2).Clone()
+			var nodes []fact.Value
+			I.RelationOr(transducer.SysAll, 1).Each(func(t fact.Tuple) bool {
+				nodes = append(nodes, t[0])
+				return true
+			})
+			for _, w := range nodes {
+				acked := true
+				for _, rel := range rels {
+					k := in[rel]
+					ackm := I.RelationOr(rel+ackMemSuffix, k+2)
+					I.RelationOr(rel, k).Each(func(t fact.Tuple) bool {
+						if !ackm.Contains(append(fact.Tuple{w, me}, t...)) {
+							acked = false
+						}
+						return acked
+					})
+					if !acked {
+						break
+					}
+				}
+				if acked {
+					out.Add(fact.Tuple{me, w})
+				}
+			}
+			return out, nil
+		}))
+}
+
+// allPairsDone reports whether cdone@mem certifies (u, w) for every
+// pair of nodes: replication is complete everywhere.
+func allPairsDone(I *fact.Instance) bool {
+	cd := I.RelationOr(cdoneMem, 2)
+	done := true
+	I.RelationOr(transducer.SysAll, 1).Each(func(u fact.Tuple) bool {
+		I.RelationOr(transducer.SysAll, 1).Each(func(w fact.Tuple) bool {
+			if !cd.Contains(fact.Tuple{u[0], w[0]}) {
+				done = false
+			}
+			return done
+		})
+		return done
+	})
+	return done
+}
+
+// Multicast returns the Lemma 5(1) transducer: replication of the
+// input instance to every node WITH completion detection. When a node
+// raises the nullary memory flag Ready, every node holds the full
+// instance. The knowledge costs coordination: the transducer reads Id
+// and All, and its acknowledgement traffic is the message overhead
+// measured against Flood by experiments E3/E4. An optional output
+// query of the given arity is evaluated on the collected instance once
+// replication is certified complete (nil means no output).
+func Multicast(in fact.Schema, out query.Query, outArity int) (*transducer.Transducer, error) {
+	if out != nil {
+		if err := readsWithin(out, in); err != nil {
+			return nil, err
+		}
+		outArity = out.Arity()
+	}
+	b := transducer.NewBuilder("multicast", in)
+	taggedSubstrate(b, in)
+	b.Mem(readyRel, 0)
+	b.Ins(readyRel, query.NewFunc("ins:"+readyRel, 0,
+		[]string{cdoneMem, transducer.SysAll}, false,
+		func(I *fact.Instance) (*fact.Relation, error) {
+			r := fact.NewRelation(0)
+			if allPairsDone(I) {
+				r.Add(fact.Tuple{})
+			}
+			return r, nil
+		}))
+	b.Out(outArity, gatedOutput(in, out, outArity))
+	return b.Build()
+}
+
+// CollectThenCompute returns the Theorem 6(1) transducer: every node
+// collects the complete input through the tagged substrate and, once
+// the certificates prove its collection complete, evaluates q — an
+// ARBITRARY computable query, monotone or not — on it. This is how a
+// computationally complete language distributedly computes every
+// (generic, computable) query, at the price of reading Id and All.
+func CollectThenCompute(in fact.Schema, q query.Query) (*transducer.Transducer, error) {
+	if q == nil {
+		return nil, fmt.Errorf("dist: CollectThenCompute needs a query")
+	}
+	if err := readsWithin(q, in); err != nil {
+		return nil, err
+	}
+	b := transducer.NewBuilder("collectThenCompute", in)
+	taggedSubstrate(b, in)
+	b.Out(q.Arity(), gatedOutput(in, q, q.Arity()))
+	return b.Build()
+}
+
+// gatedOutput wraps q to evaluate on the collected instance only after
+// every origin has certified THIS node's collection complete. A nil q
+// yields nil (the empty output of the given arity).
+func gatedOutput(in fact.Schema, q query.Query, outArity int) query.Query {
+	if q == nil {
+		return nil
+	}
+	reads := []string{cdoneMem, transducer.SysId, transducer.SysAll}
+	for _, rel := range in.Names() {
+		reads = append(reads, rel, rel+castMemSuffix)
+	}
+	return query.NewFunc("gated", outArity, reads, false,
+		func(I *fact.Instance) (*fact.Relation, error) {
+			me, err := idOf(I)
+			if err != nil {
+				return nil, err
+			}
+			cd := I.RelationOr(cdoneMem, 2)
+			complete := true
+			I.RelationOr(transducer.SysAll, 1).Each(func(u fact.Tuple) bool {
+				if !cd.Contains(fact.Tuple{u[0], me}) {
+					complete = false
+				}
+				return complete
+			})
+			if !complete {
+				return fact.NewRelation(outArity), nil
+			}
+			return q.Eval(Collected(I, in, true))
+		})
+}
+
+// Emptiness returns the Example 10 transducer: the non-monotone
+// emptiness query (output the empty tuple iff S = ∅). No oblivious
+// transducer can compute it — a node can never know it has seen all of
+// S — so the construction collects with certificates and decides after
+// completion. The paper's canonical coordination-requiring query.
+func Emptiness() *transducer.Transducer {
+	tr, err := CollectThenCompute(fact.Schema{"S": 1},
+		query.NewFunc("emptiness", 0, []string{"S"}, false,
+			func(I *fact.Instance) (*fact.Relation, error) {
+				out := fact.NewRelation(0)
+				if I.RelationOr("S", 1).Empty() {
+					out.Add(fact.Tuple{})
+				}
+				return out, nil
+			}))
+	if err != nil {
+		panic(err) // fixed schema and query; cannot fail
+	}
+	tr.Name = "emptiness"
+	return tr
+}
+
+// EvenCardinality returns the Corollary 8 transducer: the parity query
+// "“|S| is even”", which no while-program can express on unordered
+// inputs. Distributed evaluation provides what the single site lacks:
+// completion certificates that let a node count a fully collected S.
+func EvenCardinality() (*transducer.Transducer, error) {
+	tr, err := CollectThenCompute(fact.Schema{"S": 1},
+		query.NewFunc("evenCardinality", 0, []string{"S"}, false,
+			func(I *fact.Instance) (*fact.Relation, error) {
+				out := fact.NewRelation(0)
+				if I.RelationOr("S", 1).Len()%2 == 0 {
+					out.Add(fact.Tuple{})
+				}
+				return out, nil
+			}))
+	if err != nil {
+		return nil, err
+	}
+	tr.Name = "evenCardinality"
+	return tr, nil
+}

@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"declnet/internal/fact"
+	"declnet/internal/network"
+	"declnet/internal/transducer"
+)
+
+// RunOptions configures one fair run.
+type RunOptions struct {
+	// Seed seeds the fair random scheduler (ignored when Scheduler is
+	// set).
+	Seed int64
+	// MaxSteps bounds the run; 0 means a generous default.
+	MaxSteps int
+	// Strict disables duplicate coalescing, keeping the paper's exact
+	// multiset buffer semantics at the price of longer runs.
+	Strict bool
+	// Scheduler overrides the default fair random scheduler.
+	Scheduler network.Scheduler
+	// Trace, when non-nil, receives every executed transition.
+	Trace func(network.TraceEvent)
+}
+
+func (o RunOptions) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return 1_000_000
+}
+
+func (o RunOptions) scheduler() network.Scheduler {
+	if o.Scheduler != nil {
+		return o.Scheduler
+	}
+	return network.NewRandomScheduler(o.Seed)
+}
+
+// NewSim builds the initial configuration of the transducer network
+// (net, tr) on the given horizontal partition, with the options'
+// coalescing and tracing applied.
+func NewSim(net *network.Network, tr *transducer.Transducer, p Partition, opt RunOptions) (*network.Sim, error) {
+	sim, err := network.NewSim(net, tr, p)
+	if err != nil {
+		return nil, err
+	}
+	sim.CoalesceDuplicates = !opt.Strict
+	sim.Trace = opt.Trace
+	return sim, nil
+}
+
+// RunToQuiescence drives one fair run of the transducer network to a
+// quiescence point (Proposition 1) and returns the accumulated output
+// out(ρ). It is an error if the step budget is exhausted first.
+func RunToQuiescence(net *network.Network, tr *transducer.Transducer, p Partition, opt RunOptions) (*fact.Relation, error) {
+	sim, err := NewSim(net, tr, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(opt.scheduler(), opt.maxSteps())
+	if err != nil {
+		return nil, err
+	}
+	if !res.Quiescent {
+		return nil, fmt.Errorf("dist: no quiescence point within %d steps", res.Steps)
+	}
+	return res.Output, nil
+}
+
+// SweepOptions configures a consistency sweep.
+type SweepOptions struct {
+	// Seeds is the number of scheduler seeds per partition (default 3).
+	Seeds int
+	// MaxSteps bounds each run; 0 means a generous default.
+	MaxSteps int
+	// Strict disables duplicate coalescing in the swept runs.
+	Strict bool
+}
+
+func (o SweepOptions) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	return 3
+}
+
+// SweepReport is the outcome of a consistency or topology-independence
+// sweep: every distinct output observed across the swept runs, keyed
+// by its canonical rendering.
+type SweepReport struct {
+	// Runs is the number of fair runs performed.
+	Runs int
+	// Outputs maps the rendering of each distinct observed output
+	// relation to the relation itself.
+	Outputs map[string]*fact.Relation
+}
+
+// Consistent reports whether all swept runs produced one output: the
+// §4 definition of a consistent transducer network (restricted to the
+// swept sample).
+func (r *SweepReport) Consistent() bool { return len(r.Outputs) == 1 }
+
+// TheOutput returns the single output of a consistent sweep, or nil if
+// the sweep observed zero or several distinct outputs.
+func (r *SweepReport) TheOutput() *fact.Relation {
+	if len(r.Outputs) != 1 {
+		return nil
+	}
+	for _, out := range r.Outputs {
+		return out
+	}
+	return nil
+}
+
+func (r *SweepReport) record(out *fact.Relation) {
+	if r.Outputs == nil {
+		r.Outputs = map[string]*fact.Relation{}
+	}
+	r.Outputs[out.String()] = out
+	r.Runs++
+}
+
+// sweepPartitions is the partition family explored by the sweeps:
+// replication, round-robin, everything at the first node, and a few
+// random splits.
+func sweepPartitions(I *fact.Instance, net *network.Network) []Partition {
+	ps := []Partition{
+		ReplicateAll(I, net),
+		RoundRobinSplit(I, net),
+		AllAtNode(I, net.Nodes()[0]),
+	}
+	for s := int64(0); s < 2; s++ {
+		ps = append(ps, RandomSplit(I, net, 7000+s))
+	}
+	return ps
+}
+
+// CheckConsistency sweeps fair runs of (net, tr) on I across the
+// partition family and the configured number of scheduler seeds, and
+// reports every distinct output. A consistent transducer network (§4)
+// yields a single output on every network, partition and fair run.
+func CheckConsistency(net *network.Network, tr *transducer.Transducer, I *fact.Instance, opt SweepOptions) (*SweepReport, error) {
+	rep := &SweepReport{}
+	if err := sweepInto(rep, net, tr, I, opt); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// CheckTopologyIndependence runs the consistency sweep across several
+// networks at once: a network-topology independent transducer (§4)
+// produces the same single output on all of them, including the
+// single-node network.
+func CheckTopologyIndependence(nets map[string]*network.Network, tr *transducer.Transducer, I *fact.Instance, opt SweepOptions) (*SweepReport, error) {
+	rep := &SweepReport{}
+	names := make([]string, 0, len(nets))
+	for name := range nets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := sweepInto(rep, nets[name], tr, I, opt); err != nil {
+			return nil, fmt.Errorf("dist: sweep on %s: %w", name, err)
+		}
+	}
+	return rep, nil
+}
+
+func sweepInto(rep *SweepReport, net *network.Network, tr *transducer.Transducer, I *fact.Instance, opt SweepOptions) error {
+	for _, p := range sweepPartitions(I, net) {
+		for seed := 0; seed < opt.seeds(); seed++ {
+			out, err := RunToQuiescence(net, tr, p,
+				RunOptions{Seed: int64(1000*seed + 17), MaxSteps: opt.MaxSteps, Strict: opt.Strict})
+			if err != nil {
+				return err
+			}
+			rep.record(out)
+		}
+	}
+	return nil
+}

@@ -91,11 +91,53 @@ func Names() []string {
 	return out
 }
 
+// topologyShapes is the dispatch table of ParseTopology; the "single"
+// spec (no size) is handled separately there.
+var topologyShapes = map[string]func(int) *network.Network{
+	"line":     network.Line,
+	"ring":     network.Ring,
+	"star":     network.Star,
+	"complete": network.Complete,
+	"random":   func(k int) *network.Network { return network.RandomConnected(k, k/2, 42) },
+}
+
+// TopologyShapes returns the recognized topology shapes, sorted.
+func TopologyShapes() []string {
+	out := []string{"single"}
+	for shape := range topologyShapes {
+		out = append(out, shape)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// partitionStrategies is the dispatch table of ParsePartition; the
+// seeded "random:SEED" spec is handled separately there.
+var partitionStrategies = map[string]func(*fact.Instance, *network.Network) dist.Partition{
+	"roundrobin": dist.RoundRobinSplit,
+	"replicate":  dist.ReplicateAll,
+	"first": func(I *fact.Instance, net *network.Network) dist.Partition {
+		return dist.AllAtNode(I, net.Nodes()[0])
+	},
+	"byrelation": calm.SplitByRelation,
+}
+
+// PartitionNames returns the recognized partition strategy specs,
+// sorted.
+func PartitionNames() []string {
+	out := []string{"random:SEED"}
+	for name := range partitionStrategies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Lookup builds the named transducer.
 func Lookup(name string) (*transducer.Transducer, error) {
 	e, ok := Transducers()[name]
 	if !ok {
-		return nil, fmt.Errorf("registry: unknown transducer %q (have %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("registry: unknown transducer %q; available: %s", name, strings.Join(Names(), ", "))
 	}
 	return e.Build()
 }
@@ -108,48 +150,35 @@ func ParseTopology(spec string) (*network.Network, error) {
 	}
 	shape, sizeStr, ok := strings.Cut(spec, ":")
 	if !ok {
-		return nil, fmt.Errorf("registry: topology %q must be shape:size", spec)
+		return nil, fmt.Errorf("registry: topology %q must be shape:size; available shapes: %s",
+			spec, strings.Join(TopologyShapes(), ", "))
 	}
 	size, err := strconv.Atoi(sizeStr)
 	if err != nil || size < 1 {
-		return nil, fmt.Errorf("registry: bad topology size %q", sizeStr)
+		return nil, fmt.Errorf("registry: topology %q: size %q must be a positive integer", spec, sizeStr)
 	}
-	switch shape {
-	case "line":
-		return network.Line(size), nil
-	case "ring":
-		return network.Ring(size), nil
-	case "star":
-		return network.Star(size), nil
-	case "complete":
-		return network.Complete(size), nil
-	case "random":
-		return network.RandomConnected(size, size/2, 42), nil
-	default:
-		return nil, fmt.Errorf("registry: unknown topology shape %q", shape)
+	mk, ok := topologyShapes[shape]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown topology shape %q; available shapes: %s",
+			shape, strings.Join(TopologyShapes(), ", "))
 	}
+	return mk(size), nil
 }
 
 // ParsePartition builds the named partition of I over the network:
 // "roundrobin", "replicate", "first" (everything at the first node),
 // "byrelation", or "random:SEED".
 func ParsePartition(spec string, I *fact.Instance, net *network.Network) (dist.Partition, error) {
-	switch {
-	case spec == "roundrobin":
-		return dist.RoundRobinSplit(I, net), nil
-	case spec == "replicate":
-		return dist.ReplicateAll(I, net), nil
-	case spec == "first":
-		return dist.AllAtNode(I, net.Nodes()[0]), nil
-	case spec == "byrelation":
-		return calm.SplitByRelation(I, net), nil
-	case strings.HasPrefix(spec, "random:"):
+	if mk, ok := partitionStrategies[spec]; ok {
+		return mk(I, net), nil
+	}
+	if strings.HasPrefix(spec, "random:") {
 		seed, err := strconv.ParseInt(spec[len("random:"):], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("registry: bad partition seed in %q", spec)
+			return nil, fmt.Errorf("registry: partition %q: seed must be an integer (random:SEED)", spec)
 		}
 		return dist.RandomSplit(I, net, seed), nil
-	default:
-		return nil, fmt.Errorf("registry: unknown partition %q", spec)
 	}
+	return nil, fmt.Errorf("registry: unknown partition %q; available: %s",
+		spec, strings.Join(PartitionNames(), ", "))
 }

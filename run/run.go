@@ -1,0 +1,154 @@
+// Package run places transducers on networks and executes them: the
+// distributed operational semantics of §3 and the run helpers of §4.
+//
+// A typical session builds a topology, partitions an input instance
+// over its nodes, and drives a fair run to a quiescence point:
+//
+//	net := run.Ring(4)
+//	part := run.RoundRobinSplit(I, net)
+//	out, err := run.ToQuiescence(net, tr, part, run.Options{Seed: 42})
+//
+// For finer control (tracing, custom schedulers, per-step inspection)
+// build a *Sim with NewSim and drive it yourself.
+package run
+
+import (
+	icalm "declnet/internal/calm"
+	idist "declnet/internal/dist"
+	ifact "declnet/internal/fact"
+	inetwork "declnet/internal/network"
+	iregistry "declnet/internal/registry"
+	itransducer "declnet/internal/transducer"
+)
+
+// Networks: finite connected undirected graphs whose vertices are
+// data elements (§3).
+type Network = inetwork.Network
+
+// NewNetwork builds a network from nodes and undirected edges,
+// validating connectivity and rejecting self-loops.
+func NewNetwork(nodes []ifact.Value, edges [][2]ifact.Value) (*Network, error) {
+	return inetwork.NewNetwork(nodes, edges)
+}
+
+// MustNetwork is NewNetwork panicking on error.
+func MustNetwork(nodes []ifact.Value, edges [][2]ifact.Value) *Network {
+	return inetwork.MustNetwork(nodes, edges)
+}
+
+// Single returns the one-node network.
+func Single() *Network { return inetwork.Single() }
+
+// Line returns the path network on k nodes.
+func Line(k int) *Network { return inetwork.Line(k) }
+
+// Ring returns the cycle network on k nodes.
+func Ring(k int) *Network { return inetwork.Ring(k) }
+
+// Star returns the star network on k nodes with n1 as the hub.
+func Star(k int) *Network { return inetwork.Star(k) }
+
+// Complete returns the complete network on k nodes.
+func Complete(k int) *Network { return inetwork.Complete(k) }
+
+// RandomConnected returns a random connected network on k nodes,
+// deterministic per seed.
+func RandomConnected(k, extraEdges int, seed int64) *Network {
+	return inetwork.RandomConnected(k, extraEdges, seed)
+}
+
+// Topologies returns the standard topology zoo: one network of each
+// shape (line, ring, star, complete, random) with roughly k nodes.
+func Topologies(k int) map[string]*Network { return inetwork.Topologies(k) }
+
+// ParseTopology parses a topology spec "shape:size" (e.g. "line:4",
+// "ring:3", "star:5", "complete:4", "random:6", "single").
+func ParseTopology(spec string) (*Network, error) { return iregistry.ParseTopology(spec) }
+
+// Partitions: horizontal distributions of an input instance over the
+// nodes of a network (§4).
+type Partition = idist.Partition
+
+// RoundRobinSplit distributes the facts of I over the nodes one at a
+// time in deterministic order.
+func RoundRobinSplit(I *ifact.Instance, net *Network) Partition {
+	return idist.RoundRobinSplit(I, net)
+}
+
+// ReplicateAll places a full copy of I at every node.
+func ReplicateAll(I *ifact.Instance, net *Network) Partition {
+	return idist.ReplicateAll(I, net)
+}
+
+// AllAtNode places the whole instance at the single node v.
+func AllAtNode(I *ifact.Instance, v ifact.Value) Partition { return idist.AllAtNode(I, v) }
+
+// RandomSplit assigns each fact to a uniformly random node,
+// deterministic per seed.
+func RandomSplit(I *ifact.Instance, net *Network, seed int64) Partition {
+	return idist.RandomSplit(I, net, seed)
+}
+
+// SplitByRelation assigns each input relation wholly to one node,
+// cycling through the nodes — the partition family whose witnesses
+// matter for the §5 coordination-freeness subtleties.
+func SplitByRelation(I *ifact.Instance, net *Network) Partition {
+	return icalm.SplitByRelation(I, net)
+}
+
+// ParsePartition builds the named partition of I over the network:
+// "roundrobin", "replicate", "first" (everything at the first node),
+// "byrelation", or "random:SEED".
+func ParsePartition(spec string, I *ifact.Instance, net *Network) (Partition, error) {
+	return iregistry.ParsePartition(spec, I, net)
+}
+
+// Simulation: mutable configurations, transitions, schedulers,
+// quiescence detection (Proposition 1).
+type (
+	// Sim is a running transducer network: a state per node, a
+	// multiset message buffer per node, and the accumulated output.
+	Sim = inetwork.Sim
+	// Result summarizes a run: output, quiescence flag, step and
+	// message counts.
+	Result = inetwork.RunResult
+	// TraceEvent describes one executed transition.
+	TraceEvent = inetwork.TraceEvent
+	// Scheduler chooses the next transition of a run; implementations
+	// must be fair in the limit.
+	Scheduler = inetwork.Scheduler
+	// Event is a scheduled transition.
+	Event = inetwork.Event
+)
+
+// NewRandomScheduler returns the seeded fair random scheduler.
+func NewRandomScheduler(seed int64) Scheduler { return inetwork.NewRandomScheduler(seed) }
+
+// NewRoundRobinFIFO returns the round-robin FIFO scheduler: cyclic
+// node visits, oldest message first.
+func NewRoundRobinFIFO() Scheduler { return inetwork.NewRoundRobinFIFO() }
+
+// NewLIFODelay returns a scheduler that delivers newest-first with
+// heartbeat gaps, modelling message reordering.
+func NewLIFODelay(seed int64, delay int) Scheduler { return inetwork.NewLIFODelay(seed, delay) }
+
+// NewHeartbeatOnly returns the scheduler that never delivers
+// messages; it drives the coordination-freeness witness runs of §5.
+func NewHeartbeatOnly() Scheduler { return inetwork.NewHeartbeatOnly() }
+
+// Options configures a run.
+type Options = idist.RunOptions
+
+// NewSim builds the initial configuration of the transducer network
+// (net, tr) on the given partition: node v starts with its fragment,
+// Id(v), All, empty memory and an empty buffer.
+func NewSim(net *Network, tr *itransducer.Transducer, p Partition, opt Options) (*Sim, error) {
+	return idist.NewSim(net, tr, p, opt)
+}
+
+// ToQuiescence drives one fair run to a quiescence point
+// (Proposition 1) and returns the accumulated output out(ρ). It is an
+// error if the step budget is exhausted first.
+func ToQuiescence(net *Network, tr *itransducer.Transducer, p Partition, opt Options) (*ifact.Relation, error) {
+	return idist.RunToQuiescence(net, tr, p, opt)
+}

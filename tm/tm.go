@@ -1,0 +1,53 @@
+// Package tm exposes the Turing machines and word structures of §8:
+// a small machine model with a library of example machines, and the
+// word-structure encoding that feeds machines to the Dedalus compiler
+// (declnet/dedalus.CompileTM).
+package tm
+
+import (
+	ifact "declnet/internal/fact"
+	itm "declnet/internal/tm"
+)
+
+type (
+	// Machine is a single-tape Turing machine.
+	Machine = itm.Machine
+	// Key indexes the transition function by (state, symbol).
+	Key = itm.Key
+	// Action is one transition: new state, written symbol, head move.
+	Action = itm.Action
+	// Move is a head movement.
+	Move = itm.Move
+	// Result is the outcome of a direct machine run.
+	Result = itm.Result
+)
+
+// Blank is the blank tape symbol.
+const Blank = itm.Blank
+
+// EncodeWord encodes a word as the paper's word structure: an
+// instance over successor, first/last markers and one unary relation
+// per letter.
+func EncodeWord(letters []string) (*ifact.Instance, error) { return itm.EncodeWord(letters) }
+
+// DecodeWord inverts EncodeWord.
+func DecodeWord(I *ifact.Instance, alphabet []string) ([]string, error) {
+	return itm.DecodeWord(I, alphabet)
+}
+
+// All returns the machine library: every machine used by the §8
+// experiments.
+func All() []*Machine { return itm.All() }
+
+// EvenLength accepts words of even length.
+func EvenLength() *Machine { return itm.EvenLength() }
+
+// EndsWithB accepts words ending in b.
+func EndsWithB() *Machine { return itm.EndsWithB() }
+
+// ABStar accepts (ab)*.
+func ABStar() *Machine { return itm.ABStar() }
+
+// CopyExtend walks past the end of its input, forcing the Dedalus
+// simulation to mint tape cells named by timestamps.
+func CopyExtend() *Machine { return itm.CopyExtend() }

@@ -1,0 +1,53 @@
+// Package while exposes the while query substrate: first-order logic
+// extended with relation assignment and while-loops (§2 of the
+// paper). While-programs express exactly the queries computable by an
+// FO-transducer on a single-node network (Lemma 5(3)); compile one to
+// a transducer with declnet/build.WhileTransducer.
+//
+// Text syntax:
+//
+//	T(x, y) := E(x, y);
+//	while exists x, y D(x, y) {
+//	    N(x, y) := T(x, y) | exists z (T(x, z) & T(z, y));
+//	}
+//	output T/2
+package while
+
+import (
+	iwhile "declnet/internal/while"
+)
+
+type (
+	// Program is a while-program with a designated output relation.
+	Program = iwhile.Program
+	// Stmt is a while-program statement.
+	Stmt = iwhile.Stmt
+	// Assign is the statement Rel := Q.
+	Assign = iwhile.Assign
+	// While is the statement "while Cond do Body".
+	While = iwhile.While
+	// Query adapts a program to declnet.Query; it errors on inputs
+	// where the program diverges (while-queries are partial).
+	Query = iwhile.Query
+)
+
+// ErrNonTerminating is reported when a program repeats a store state:
+// it diverges on the given input.
+var ErrNonTerminating = iwhile.ErrNonTerminating
+
+// Parse parses the textual while syntax.
+func Parse(src string) (*Program, error) { return iwhile.Parse(src) }
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Program { return iwhile.MustParse(src) }
+
+// New builds a program from statements; every loop condition must be
+// a sentence.
+func New(out string, outArity int, stmts ...Stmt) (*Program, error) {
+	return iwhile.New(out, outArity, stmts...)
+}
+
+// MustNew is New panicking on error.
+func MustNew(out string, outArity int, stmts ...Stmt) *Program {
+	return iwhile.MustNew(out, outArity, stmts...)
+}
