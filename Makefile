@@ -1,6 +1,7 @@
 GO ?= go
+BENCHTIME ?= 300ms
 
-.PHONY: build test bench vet check clean
+.PHONY: build test race bench bench-raw fuzz vet check clean
 
 build:
 	$(GO) build ./...
@@ -9,8 +10,27 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
+# bench writes machine-readable results (ns/op plus the custom
+# steps/op, msgs/op, ... metrics per experiment; see BENCHMARKS.md)
+# to BENCH_kernel.json via cmd/benchjson.
 bench:
+	$(GO) test -run xxx -bench . -benchtime $(BENCHTIME) . > bench.out
+	$(GO) run ./cmd/benchjson -label local < bench.out > BENCH_kernel.json
+	@rm -f bench.out
+	@echo wrote BENCH_kernel.json
+
+bench-raw:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# fuzz runs each parser fuzzer briefly (seed corpora are committed
+# under internal/*/testdata/fuzz).
+fuzz:
+	$(GO) test ./internal/fo -fuzz 'FuzzParse$$' -fuzztime 10s
+	$(GO) test ./internal/fo -fuzz FuzzParseQuery -fuzztime 10s
+	$(GO) test ./internal/datalog -fuzz 'FuzzParse$$' -fuzztime 10s
 
 vet:
 	$(GO) vet ./...

@@ -1,8 +1,9 @@
-// Benchmark harness for the experiment index of DESIGN.md: one bench
-// per experiment E1-E14, each regenerating the validation of one
-// claim of the paper. Custom metrics report the quantities recorded in
-// EXPERIMENTS.md: steps/op and msgs/op for run costs, distinct outputs
-// for consistency experiments, convergence timestamps for Dedalus.
+// Benchmark harness for the experiment index of BENCHMARKS.md: one
+// bench per experiment E1-E14, each regenerating the validation of
+// one claim of the paper. Custom metrics report the quantities
+// tracked in BENCH_kernel.json: steps/op and msgs/op for run costs,
+// distinct outputs for consistency experiments, convergence
+// timestamps for Dedalus.
 package declnet_test
 
 import (

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output on stdin into
+// machine-readable JSON on stdout, so that the experiment suite's
+// performance trajectory (ns/op, steps/op, msgs/op per experiment —
+// see BENCHMARKS.md) can be recorded and diffed across commits.
+// `make bench` pipes through it to produce BENCH_kernel.json.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 300ms . | go run ./cmd/benchjson [-label name]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the benchmark name (GOMAXPROCS suffix
+// stripped), iteration count, ns/op, and any custom metrics
+// (steps/op, msgs/op, distinct_outputs, ...).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label   string   `json:"label,omitempty"`
+	Context []string `json:"context,omitempty"` // goos/goarch/pkg/cpu lines
+	Results []Result `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "", "optional label recorded in the report")
+	flag.Parse()
+
+	rep := Report{Label: *label}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			rep.Context = append(rep.Context, strings.TrimSpace(line))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparsable line: %q\n", line)
+			continue
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName[-P]  N  F ns/op  [F unit]...
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = val
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = val
+	}
+	return r, r.NsPerOp != 0 || len(r.Metrics) > 0
+}

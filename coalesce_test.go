@@ -1,0 +1,98 @@
+package declnet_test
+
+import (
+	"testing"
+
+	"declnet/analyze"
+	"declnet/run"
+)
+
+// TestCoalescingPreservesRunOutput is the property test guarding the
+// incremental-firing rewrite: for every consistent transducer of the
+// example zoo, runs with duplicate coalescing on and off must produce
+// identical quiescent output across seeded random schedules and
+// topologies. Coalescing reorders and drops in-flight duplicates, so
+// the runs themselves differ — agreement of out(ρ) is exactly the
+// soundness claim of the coalescing optimization, and any caching bug
+// in the incremental evaluator that leaked state between the two
+// modes would break it.
+func TestCoalescingPreservesRunOutput(t *testing.T) {
+	topologies := map[string]*run.Network{
+		"single": run.Single(),
+		"line3":  run.Line(3),
+		"ring4":  run.Ring(4),
+	}
+	for _, e := range analyze.Zoo() {
+		if !e.Consistent {
+			// FirstElement: different fair runs legitimately produce
+			// different outputs; there is nothing to compare.
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			for topoName, net := range topologies {
+				if !e.TopologyIndependent && net.Size() == 1 {
+					// RelayOnly & friends change output on the
+					// single-node network by design.
+					continue
+				}
+				part := run.RoundRobinSplit(e.Full, net)
+				for seed := int64(1); seed <= 4; seed++ {
+					var outputs [2]string
+					for i, strict := range []bool{false, true} {
+						out, err := run.ToQuiescence(net, e.Tr, part, run.Options{
+							Seed:   seed,
+							Strict: strict,
+						})
+						if err != nil {
+							t.Fatalf("%s seed=%d strict=%v: %v", topoName, seed, strict, err)
+						}
+						outputs[i] = out.String()
+					}
+					if outputs[0] != outputs[1] {
+						t.Errorf("%s seed=%d: coalesced output %s != strict output %s",
+							topoName, seed, outputs[0], outputs[1])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoalescingRandomSchedules drives the consistency sweep itself
+// in both modes on a couple of representative transducers, comparing
+// the full set of distinct outputs (not just one run) — a stronger
+// guard across partitions.
+func TestCoalescingRandomSchedules(t *testing.T) {
+	for _, name := range []string{"transitiveClosure(Ex3)", "monotoneStreamingTC(Thm6.2)"} {
+		var entry *analyze.ZooEntry
+		for _, e := range analyze.Zoo() {
+			if e.Name == name {
+				e := e
+				entry = &e
+				break
+			}
+		}
+		if entry == nil {
+			t.Fatalf("zoo entry %s not found (zoo: %v)", name, zooNames())
+		}
+		net := run.Ring(3)
+		for _, strict := range []bool{false, true} {
+			rep, err := analyze.CheckConsistency(net, entry.Tr, entry.Full, analyze.SweepOptions{Seeds: 2, Strict: strict})
+			if err != nil {
+				t.Fatalf("%s strict=%v: %v", name, strict, err)
+			}
+			if !rep.Consistent() {
+				t.Errorf("%s strict=%v: %d distinct outputs, want 1", name, strict, len(rep.Outputs))
+			}
+		}
+	}
+}
+
+func zooNames() []string {
+	var names []string
+	for _, e := range analyze.Zoo() {
+		names = append(names, e.Name)
+	}
+	return names
+}

@@ -41,6 +41,17 @@ func NewRelation(arity int) *Relation { return fact.NewRelation(arity) }
 // Union returns a new instance containing the facts of both arguments.
 func Union(a, b *Instance) *Instance { return fact.Union(a, b) }
 
+// Intern pre-loads a value into the kernel's interning dictionary and
+// returns its dense ID. All relational storage is keyed by interned
+// IDs; loaders that generate values in a deterministic order can call
+// Intern up front to fix the ID assignment.
+func Intern(v Value) uint32 { return fact.Intern(v) }
+
+// InternedValues reports the current size of the interning dictionary
+// — the number of distinct values the process has ever stored in a
+// relation, a coarse gauge of the active universe.
+func InternedValues() int { return fact.InternedValues() }
+
 // Query is a k-ary database query over some schema — the abstract
 // local language L the transducer model is parameterized by. The
 // declnet/fo, declnet/datalog and declnet/while packages provide

@@ -50,10 +50,31 @@
 //		Out(1, fo.MustQuery("out", []string{"x"}, fo.OrF(fo.AtomF("S", "x"), fo.AtomF("R", "x")))).
 //		Build()
 //
+// # The interned relational kernel
+//
+// Underneath the facades, storage and evaluation share one kernel
+// (internal/fact). Values are interned into dense uint32 IDs by a
+// process-global dictionary, tuples are keyed by their packed ID
+// sequences, and relations are hash sets over those keys with lazily
+// built per-column hash indexes. The FO evaluator, the Datalog engine
+// and the relational algebra plan joins greedily around bound columns
+// and probe the indexes instead of scanning; semi-naive fixpoints run
+// on the kernel's delta-relation type, and FO queries expose exact
+// semi-naive delta evaluation for their positive branches.
+//
+// Simulation is incremental on top of that: each node of a running
+// network carries a firing cache (per-query results on the node
+// state, advanced by delta firing), so a delivery evaluates against
+// (state, Δ = delivered fact) for monotone/streaming transducers and
+// falls back to full evaluation for non-monotone ones — with effects
+// identical to the textbook transition either way. Intern pre-loads
+// values; InternedValues reports the dictionary size.
+//
 // The implementation lives under internal/ and is reachable only
 // through these facades. Four CLIs (cmd/transduce, cmd/datalogi,
 // cmd/calmcheck, cmd/dedalusrun) and five runnable examples
 // (examples/) exercise the public surface; the benchmark suite in
 // bench_test.go regenerates the experiment index E1-E14 against the
-// paper's claims.
+// paper's claims (BENCHMARKS.md has the index, BENCH_kernel.json the
+// measured trajectory).
 package declnet

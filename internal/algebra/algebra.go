@@ -110,10 +110,6 @@ func (s Select) Arity() int { return s.E.Arity() }
 
 // Eval implements Expr.
 func (s Select) Eval(I *fact.Instance) (*fact.Relation, error) {
-	in, err := s.E.Eval(I)
-	if err != nil {
-		return nil, err
-	}
 	for _, c := range s.Conds {
 		cols := []int{c.Col}
 		if !c.IsVal {
@@ -124,6 +120,19 @@ func (s Select) Eval(I *fact.Instance) (*fact.Relation, error) {
 				return nil, fmt.Errorf("algebra: selection column %d out of range for arity %d", col, s.E.Arity())
 			}
 		}
+	}
+	// Join fast path: a selection over a product with an equality
+	// condition bridging the two sides is a join; evaluate it by
+	// probing the right side's column hash index per left tuple
+	// instead of materializing the product.
+	if p, ok := s.E.(Product); ok {
+		if out, done, err := s.evalJoin(p, I); done || err != nil {
+			return out, err
+		}
+	}
+	in, err := s.E.Eval(I)
+	if err != nil {
+		return nil, err
 	}
 	out := fact.NewRelation(in.Arity())
 	in.Each(func(t fact.Tuple) bool {
@@ -136,6 +145,59 @@ func (s Select) Eval(I *fact.Instance) (*fact.Relation, error) {
 		return true
 	})
 	return out, nil
+}
+
+// evalJoin evaluates σ[conds](L × R) as an index nested-loop join when
+// some non-negated column equality spans the product boundary. done is
+// false when no such condition exists and the caller must fall back to
+// the generic path.
+func (s Select) evalJoin(p Product, I *fact.Instance) (*fact.Relation, bool, error) {
+	la := p.L.Arity()
+	lcol, rcol := -1, -1
+	for _, c := range s.Conds {
+		if c.IsVal || c.Negate {
+			continue
+		}
+		lo, hi := c.Col, c.OtherCol
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo < la && hi >= la {
+			lcol, rcol = lo, hi-la
+			break
+		}
+	}
+	if lcol < 0 {
+		return nil, false, nil
+	}
+	l, err := p.L.Eval(I)
+	if err != nil {
+		return nil, true, err
+	}
+	r, err := p.R.Eval(I)
+	if err != nil {
+		return nil, true, err
+	}
+	out := fact.NewRelation(l.Arity() + r.Arity())
+	l.Each(func(lt fact.Tuple) bool {
+		for _, rt := range r.Lookup(rcol, lt[lcol]) {
+			nt := make(fact.Tuple, 0, len(lt)+len(rt))
+			nt = append(nt, lt...)
+			nt = append(nt, rt...)
+			keep := true
+			for _, c := range s.Conds {
+				if !c.holds(nt) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out.Add(nt)
+			}
+		}
+		return true
+	})
+	return out, true, nil
 }
 
 func (s Select) String() string {

@@ -136,9 +136,21 @@ func (a Atom) Vars() []string {
 	return sortedKeys(set)
 }
 
-// Program is a finite set of rules.
+// Program is a finite set of rules. Programs are immutable after
+// construction: Rules must not be modified, which lets derived
+// analyses (stratification, dependency condensation) be computed once
+// and memoized — package dedalus re-evaluates the same program on
+// every time slice. The memos make Programs unsafe for concurrent
+// evaluation; give each goroutine its own Program.
 type Program struct {
 	Rules []Rule
+
+	// memoized analyses (see Stratify and eval).
+	strata       [][]string
+	strataErr    error
+	strataOK     bool
+	stratumRules [][]Rule
+	stratumPreds []map[string]bool
 }
 
 // NewProgram builds a program and validates safety and arity

@@ -11,6 +11,14 @@ import (
 // stratum. The result contains the input facts plus all derived
 // facts. The input is not modified.
 func (p *Program) Eval(edb *fact.Instance) (*fact.Instance, error) {
+	return p.eval(edb.Clone(), true)
+}
+
+// EvalOwned is Eval taking ownership of edb: the fixpoint is computed
+// in place and edb is returned. For callers that build a fresh EDB
+// per evaluation (package dedalus evaluates one per time slice) it
+// saves the defensive clone.
+func (p *Program) EvalOwned(edb *fact.Instance) (*fact.Instance, error) {
 	return p.eval(edb, true)
 }
 
@@ -18,7 +26,7 @@ func (p *Program) Eval(edb *fact.Instance) (*fact.Instance, error) {
 // re-evaluated against the full instance each round). It exists for
 // the semi-naive/naive ablation benchmark; results are identical.
 func (p *Program) EvalNaive(edb *fact.Instance) (*fact.Instance, error) {
-	return p.eval(edb, false)
+	return p.eval(edb.Clone(), false)
 }
 
 func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, error) {
@@ -26,22 +34,29 @@ func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, erro
 	if err != nil {
 		return nil, err
 	}
-	I := edb.Clone()
-	for _, stratum := range strata {
-		inStratum := map[string]bool{}
-		for _, pred := range stratum {
-			inStratum[pred] = true
-		}
-		var rules []Rule
-		for _, r := range p.Rules {
-			if inStratum[r.Head.Pred] {
-				rules = append(rules, r)
+	// Memoize the stratum → rules split alongside the stratification.
+	if p.stratumRules == nil {
+		p.stratumRules = make([][]Rule, len(strata))
+		p.stratumPreds = make([]map[string]bool, len(strata))
+		for i, stratum := range strata {
+			inStratum := map[string]bool{}
+			for _, pred := range stratum {
+				inStratum[pred] = true
+			}
+			p.stratumPreds[i] = inStratum
+			for _, r := range p.Rules {
+				if inStratum[r.Head.Pred] {
+					p.stratumRules[i] = append(p.stratumRules[i], r)
+				}
 			}
 		}
+	}
+	I := edb
+	for i := range strata {
 		if seminaive {
-			err = evalStratumSemiNaive(rules, inStratum, I)
+			err = evalStratumSemiNaive(p.stratumRules[i], p.stratumPreds[i], I)
 		} else {
-			err = evalStratumNaive(rules, I)
+			err = evalStratumNaive(p.stratumRules[i], I)
 		}
 		if err != nil {
 			return nil, err
@@ -71,24 +86,23 @@ func evalStratumNaive(rules []Rule, I *fact.Instance) error {
 }
 
 func evalStratumSemiNaive(rules []Rule, inStratum map[string]bool, I *fact.Instance) error {
-	// Round 0: fire every rule against the current instance.
-	delta := fact.NewInstance()
+	// Round 0: fire every rule against the current instance, staging
+	// derivations in the kernel's delta pair.
+	d := fact.NewDelta(I)
 	for _, r := range rules {
 		heads, err := fireRule(r, I, -1, nil)
 		if err != nil {
 			return err
 		}
 		for _, h := range heads {
-			if I.AddFact(h) {
-				delta.AddFact(h)
-			}
+			d.Stage(h)
 		}
 	}
 	// Delta rounds: each rule fires once per positive body literal
 	// over a stratum predicate, with that literal restricted to the
-	// previous round's delta.
-	for !delta.Empty() {
-		next := fact.NewInstance()
+	// previous round's committed delta.
+	for d.Dirty() {
+		delta := d.Commit()
 		for _, r := range rules {
 			for j, l := range r.Body {
 				if l.Kind != LitPos || !inStratum[l.Atom.Pred] {
@@ -99,16 +113,10 @@ func evalStratumSemiNaive(rules []Rule, inStratum map[string]bool, I *fact.Insta
 					return err
 				}
 				for _, h := range heads {
-					if !I.HasFact(h) {
-						next.AddFact(h)
-					}
+					d.Stage(h)
 				}
 			}
 		}
-		for _, h := range next.Facts() {
-			I.AddFact(h)
-		}
-		delta = next
 	}
 	return nil
 }
@@ -138,13 +146,29 @@ func FireRule(r Rule, I *fact.Instance) ([]fact.Fact, error) {
 	return fireRule(r, I, -1, nil)
 }
 
+// FireRuleBound is FireRule with variables pre-bound: every variable
+// in bound is fixed to its value before evaluation begins. Package
+// dedalus uses it to pin the reserved time variables NOW and NEXT to
+// the current timestamp without re-grounding the rule's syntax tree
+// on every step.
+func FireRuleBound(r Rule, I *fact.Instance, bound map[string]fact.Value) ([]fact.Fact, error) {
+	return fireRuleBound(r, I, -1, nil, bound)
+}
+
 // fireRule evaluates one rule against I and returns the derived head
 // facts. If deltaIdx >= 0, body literal deltaIdx (which must be
 // positive) draws its tuples from delta instead of I (semi-naive
 // evaluation).
 func fireRule(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance) ([]fact.Fact, error) {
+	return fireRuleBound(r, I, deltaIdx, delta, nil)
+}
+
+func fireRuleBound(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance, bound map[string]fact.Value) ([]fact.Fact, error) {
 	var out []fact.Fact
 	bind := map[string]fact.Value{}
+	for v, val := range bound {
+		bind[v] = val
+	}
 
 	// Greedy literal scheduling: at each step pick the first literal
 	// that is resolvable under the current bindings — any positive
@@ -182,12 +206,16 @@ func fireRule(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance) ([]f
 			if idx == deltaIdx {
 				rel = delta.Relation(l.Atom.Pred)
 			}
-			if rel == nil {
+			if rel == nil || rel.Arity() != len(l.Atom.Terms) {
 				return nil
 			}
 			var err error
-			rel.Each(func(t fact.Tuple) bool {
-				newly, ok := matchTuple(l.Atom.Terms, t, bind)
+			// scratch lives in this literal's frame: deeper recursion
+			// levels get their own, so reuse across the tuple loop is
+			// safe while bindings from outer levels stay intact.
+			var scratch [16]string
+			step := func(t fact.Tuple) bool {
+				newly, ok := matchTuple(l.Atom.Terms, t, bind, scratch[:0])
 				if ok {
 					if e := rec(remaining - 1); e != nil {
 						err = e
@@ -197,7 +225,20 @@ func fireRule(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance) ([]f
 					delete(bind, v)
 				}
 				return err == nil
-			})
+			}
+			// Probe the relation's column index when a term is already
+			// bound, instead of scanning every tuple.
+			for col, tm := range l.Atom.Terms {
+				if v, ok := resolveOK(tm, bind); ok {
+					for _, t := range rel.Lookup(col, v) {
+						if !step(t) {
+							break
+						}
+					}
+					return err
+				}
+			}
+			rel.Each(step)
 			return err
 		case LitNeg:
 			t := make(fact.Tuple, len(l.Atom.Terms))
@@ -244,8 +285,10 @@ func fireRule(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance) ([]f
 // bound side; negations and inequalities need all variables bound.
 func pickLiteral(body []Literal, done []bool, bind map[string]fact.Value) int {
 	// Prefer fully bound checks first (cheap filters), then
-	// equalities, then positive scans.
-	best := -1
+	// half-bound equalities (they bind a variable for free), then the
+	// positive literal with the most bound terms, which the evaluator
+	// turns into a column-index probe.
+	best, bestScore := -1, -1
 	for i, l := range body {
 		if done[i] {
 			continue
@@ -261,12 +304,19 @@ func pickLiteral(body []Literal, done []bool, bind map[string]fact.Value) int {
 			if lb && rb {
 				return i
 			}
-			if (lb || rb) && best < 0 {
-				best = i
+			const eqScore = 1 << 20 // above any atom's bound-term count
+			if (lb || rb) && bestScore < eqScore {
+				best, bestScore = i, eqScore
 			}
 		case LitPos:
-			if best < 0 {
-				best = i
+			score := 0
+			for _, tm := range l.Atom.Terms {
+				if _, ok := resolveOK(tm, bind); ok {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
 			}
 		}
 	}
@@ -309,12 +359,12 @@ func resolveOK(t Term, bind map[string]fact.Value) (fact.Value, bool) {
 
 // matchTuple unifies atom terms against a concrete tuple under the
 // current bindings. On success it returns the variables newly bound
-// (for the caller to undo) and true.
-func matchTuple(terms []Term, t fact.Tuple, bind map[string]fact.Value) ([]string, bool) {
+// (for the caller to undo) and true. newly grows the caller's scratch
+// buffer, avoiding a per-tuple allocation in the join loop.
+func matchTuple(terms []Term, t fact.Tuple, bind map[string]fact.Value, newly []string) ([]string, bool) {
 	if len(terms) != len(t) {
 		return nil, false
 	}
-	var newly []string
 	for i, tm := range terms {
 		if tm.IsVar() {
 			if v, ok := bind[tm.Var]; ok {

@@ -15,6 +15,7 @@ type Query struct {
 	Program *Program
 	Ans     string
 	ansAr   int
+	edb     fact.Schema
 }
 
 // NewQuery builds a Datalog query; the answer predicate must occur in
@@ -27,7 +28,12 @@ func NewQuery(p *Program, ans string) (*Query, error) {
 	if _, err := p.Stratify(); err != nil {
 		return nil, err
 	}
-	return &Query{Program: p, Ans: ans, ansAr: ar}, nil
+	edb := fact.Schema{}
+	arities := p.Arities()
+	for _, e := range p.EDB() {
+		edb[e] = arities[e]
+	}
+	return &Query{Program: p, Ans: ans, ansAr: ar, edb: edb}, nil
 }
 
 // MustQuery is NewQuery panicking on error.
@@ -50,17 +56,18 @@ func (q *Query) Rels() []string { return q.Program.EDB() }
 // monotone (classical Datalog least-fixpoint semantics).
 func (q *Query) SyntacticallyMonotone() bool { return q.Program.IsPositive() }
 
+// RelBounded implements query.RelBounded: evaluation restricts the
+// input to the program's EDB predicates, so the result depends on
+// nothing else.
+func (q *Query) RelBounded() bool { return true }
+
 // Eval implements query.Query.
 func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
 	// Evaluate on the restriction to EDB predicates so that stray
 	// relations named like IDB predicates cannot contaminate the
-	// least model.
-	edbSchema := fact.Schema{}
-	arities := q.Program.Arities()
-	for _, e := range q.Program.EDB() {
-		edbSchema[e] = arities[e]
-	}
-	out, err := q.Program.Eval(I.Restrict(edbSchema))
+	// least model. Restrict builds a fresh owned instance, so the
+	// fixpoint can run in place.
+	out, err := q.Program.EvalOwned(I.Restrict(q.edb))
 	if err != nil {
 		return nil, err
 	}

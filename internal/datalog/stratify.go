@@ -79,8 +79,18 @@ func (p *Program) IsNonrecursive() bool {
 //
 // The implementation condenses the dependency graph into strongly
 // connected components (Tarjan) and assigns each component the longest
-// negative-edge-count path below it.
+// negative-edge-count path below it. The result depends only on the
+// (immutable) rules and is memoized.
 func (p *Program) Stratify() ([][]string, error) {
+	if p.strataOK {
+		return p.strata, p.strataErr
+	}
+	p.strata, p.strataErr = p.stratify()
+	p.strataOK = true
+	return p.strata, p.strataErr
+}
+
+func (p *Program) stratify() ([][]string, error) {
 	idbSet := map[string]bool{}
 	for _, r := range p.Rules {
 		idbSet[r.Head.Pred] = true

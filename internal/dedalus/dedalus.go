@@ -26,7 +26,6 @@ package dedalus
 
 import (
 	"fmt"
-	"strconv"
 
 	"declnet/internal/datalog"
 	"declnet/internal/fact"
@@ -242,41 +241,6 @@ func mentionsTimeVar(r datalog.Rule) bool {
 		}
 	}
 	return false
-}
-
-// substTime replaces the reserved variables NOW and NEXT by the
-// timestamp constants t and t+1 in all rule terms.
-func substTime(r datalog.Rule, t int) datalog.Rule {
-	now := fact.Value(strconv.Itoa(t))
-	next := fact.Value(strconv.Itoa(t + 1))
-	substTerm := func(tm datalog.Term) datalog.Term {
-		switch tm.Var {
-		case VarNow:
-			return datalog.C(now)
-		case VarNext:
-			return datalog.C(next)
-		}
-		return tm
-	}
-	substAtom := func(a datalog.Atom) datalog.Atom {
-		terms := make([]datalog.Term, len(a.Terms))
-		for i, tm := range a.Terms {
-			terms[i] = substTerm(tm)
-		}
-		return datalog.Atom{Pred: a.Pred, Terms: terms}
-	}
-	out := datalog.Rule{Head: substAtom(r.Head), Body: make([]datalog.Literal, len(r.Body))}
-	for i, l := range r.Body {
-		nl := l
-		if l.Kind == datalog.LitPos || l.Kind == datalog.LitNeg {
-			nl.Atom = substAtom(l.Atom)
-		} else {
-			nl.L = substTerm(l.L)
-			nl.R = substTerm(l.R)
-		}
-		out.Body[i] = nl
-	}
-	return out
 }
 
 // D is a convenience constructor for deductive rules.

@@ -3,6 +3,7 @@ package dedalus
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"declnet/internal/datalog"
 	"declnet/internal/fact"
@@ -62,18 +63,21 @@ func (e *Exec) Step(extraEDB *fact.Instance) (*fact.Instance, error) {
 	if extraEDB != nil {
 		seed.UnionWith(extraEDB)
 	}
-	slice, err := e.p.deductive.Eval(seed)
+	slice, err := e.p.deductive.EvalOwned(seed)
 	if err != nil {
 		return nil, fmt.Errorf("dedalus: t=%d: %w", t, err)
 	}
 
 	asyncFired := false
+	timeBind := map[string]fact.Value{
+		VarNow:  fact.Value(strconv.Itoa(t)),
+		VarNext: fact.Value(strconv.Itoa(t + 1)),
+	}
 	for _, r := range e.p.Rules {
 		if r.Kind == Deductive {
 			continue
 		}
-		ground := substTime(datalog.Rule{Head: r.Head, Body: r.Body}, t)
-		heads, err := datalog.FireRule(ground, slice)
+		heads, err := datalog.FireRuleBound(datalog.Rule{Head: r.Head, Body: r.Body}, slice, timeBind)
 		if err != nil {
 			return nil, fmt.Errorf("dedalus: t=%d rule %s: %w", t, r, err)
 		}

@@ -1,0 +1,44 @@
+package fact
+
+// Delta is the kernel's reusable delta-relation pair: a growing Full
+// instance together with a staging area of facts discovered in the
+// current round. It is the shape shared by semi-naive Datalog
+// evaluation (package datalog) and incremental transducer firing
+// (package transducer): each round derives new facts against Full,
+// stages them, and commits the stage to obtain the next round's delta.
+type Delta struct {
+	// Full is the instance all facts committed so far, visible to the
+	// current round. The Delta owns it; callers that need the final
+	// result read it after the last Commit.
+	Full *Instance
+
+	staged *Instance
+}
+
+// NewDelta starts delta tracking over full, taking ownership of it.
+func NewDelta(full *Instance) *Delta {
+	return &Delta{Full: full, staged: NewInstance()}
+}
+
+// Stage records a fact derived in the current round. It reports
+// whether the fact is new (neither committed nor already staged).
+// Staged facts are invisible to Full until Commit, preserving the
+// round semantics of semi-naive evaluation.
+func (d *Delta) Stage(f Fact) bool {
+	if d.Full.HasFact(f) {
+		return false
+	}
+	return d.staged.AddFact(f)
+}
+
+// Dirty reports whether the current round staged any new fact.
+func (d *Delta) Dirty() bool { return !d.staged.Empty() }
+
+// Commit folds the staged facts into Full and returns them as the
+// delta instance for the next round. The staging area is reset.
+func (d *Delta) Commit() *Instance {
+	delta := d.staged
+	d.Full.UnionWith(delta)
+	d.staged = NewInstance()
+	return delta
+}

@@ -8,6 +8,14 @@
 // Instances are sets of facts; all set semantics live here. Message
 // buffers, which the paper models as multisets, are implemented in
 // package network on top of the Fact type.
+//
+// Internally the package is an interned relational kernel: every Value
+// is mapped to a dense uint32 ID by a process-global dictionary
+// (intern.go), tuples are keyed by their packed ID sequences, and
+// relations are hash sets over those packed keys with lazily built
+// per-column hash indexes (Lookup) that the join-based evaluators in
+// packages fo and datalog bind against. The string-typed API is a thin
+// surface over the interned representation.
 package fact
 
 import (
@@ -25,51 +33,27 @@ type Value string
 // Tuple is an ordered sequence of Values.
 type Tuple []Value
 
-// Key returns a canonical encoding of the tuple usable as a map key.
-// Values are escaped and the arity is prefixed so that no two distinct
-// tuples share a key (e.g. the empty tuple vs. a tuple of one empty
-// string).
+// Key returns a canonical encoding of the tuple usable as a map key:
+// the packed sequence of interned value IDs. No two distinct tuples
+// share a key (distinct arities give distinct key lengths; distinct
+// values give distinct IDs). Keys are only stable within a process.
 func (t Tuple) Key() string {
-	var b strings.Builder
-	n := 0
-	for _, v := range t {
-		n += len(v) + 3
-	}
-	b.Grow(n + 4)
-	writeInt(&b, len(t))
-	b.WriteByte(':')
-	for i, v := range t {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		escapeInto(&b, string(v))
-	}
-	return b.String()
+	return string(packTuple(make([]byte, 0, 4*len(t)), t))
 }
 
-// writeInt appends a non-negative integer without allocating.
-func writeInt(b *strings.Builder, n int) {
-	if n >= 10 {
-		writeInt(b, n/10)
+// Less reports whether t orders before u column-wise by value (the
+// deterministic order used by Tuples and Facts).
+func (t Tuple) Less(u Tuple) bool {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
 	}
-	b.WriteByte(byte('0' + n%10))
-}
-
-func escapeInto(b *strings.Builder, s string) {
-	for i := 0; i < len(s); i++ {
-		switch c := s[i]; c {
-		case ',':
-			b.WriteString("\\c")
-		case '\\':
-			b.WriteString("\\\\")
-		case '(':
-			b.WriteString("\\o")
-		case ')':
-			b.WriteString("\\e")
-		default:
-			b.WriteByte(c)
+	for i := 0; i < n; i++ {
+		if t[i] != u[i] {
+			return t[i] < u[i]
 		}
 	}
+	return len(t) < len(u)
 }
 
 // Equal reports whether two tuples have the same length and elements.
@@ -112,14 +96,14 @@ func NewFact(rel string, args ...Value) Fact {
 	return Fact{Rel: rel, Args: Tuple(args).Clone()}
 }
 
-// Key returns a canonical encoding of the fact usable as a map key.
+// Key returns a canonical encoding of the fact usable as a map key:
+// the interned ID of the relation name followed by the packed argument
+// IDs. Keys are only stable within a process.
 func (f Fact) Key() string {
-	var b strings.Builder
-	escapeInto(&b, f.Rel)
-	b.WriteByte('(')
-	b.WriteString(f.Args.Key())
-	b.WriteByte(')')
-	return b.String()
+	buf := make([]byte, 0, 4+4*len(f.Args))
+	buf = packTuple(buf, Tuple{Value(f.Rel)})
+	buf = packTuple(buf, f.Args)
+	return string(buf)
 }
 
 // Arity returns the number of arguments of the fact.
@@ -133,11 +117,24 @@ func (f Fact) Clone() Fact { return Fact{Rel: f.Rel, Args: f.Args.Clone()} }
 
 func (f Fact) String() string { return f.Rel + f.Args.String() }
 
-// Relation is a finite set of tuples of a fixed arity. The zero value
-// is not usable; construct with NewRelation.
+// Relation is a finite set of tuples of a fixed arity, stored as a
+// hash set over packed interned-ID keys. The zero value is not usable;
+// construct with NewRelation. Like the rest of the data model,
+// Relations are not safe for concurrent use: reads memoize (column
+// indexes, sorted order) in place. Only the interning dictionary is
+// shared safely across goroutines.
 type Relation struct {
 	arity  int
 	tuples map[string]Tuple
+
+	// idx[c], when non-nil, maps the interned ID of a value to the
+	// stored tuples whose column c holds that value. Indexes are built
+	// lazily by Lookup, maintained by Add and UnionWith, and dropped by
+	// Remove.
+	idx []map[uint32][]Tuple
+
+	// sorted memoizes Tuples(); mutations reset it.
+	sorted []Tuple
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -154,49 +151,103 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // Empty reports whether the relation has no tuples.
 func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
 
+// addKeyed inserts a stored tuple under its packed key, maintaining
+// any built indexes.
+func (r *Relation) addKeyed(k string, t Tuple) {
+	r.tuples[k] = t
+	r.sorted = nil
+	for c, m := range r.idx {
+		if m != nil {
+			id := keyID(k, c)
+			m[id] = append(m[id], t)
+		}
+	}
+}
+
 // Add inserts a tuple; it panics if the tuple has the wrong arity.
 // It reports whether the tuple was new.
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("fact: adding %d-tuple to %d-ary relation", len(t), r.arity))
 	}
-	k := t.Key()
-	if _, ok := r.tuples[k]; ok {
+	var scratch [64]byte
+	k := packTuple(scratch[:0], t)
+	if _, ok := r.tuples[string(k)]; ok {
 		return false
 	}
-	r.tuples[k] = t.Clone()
+	r.addKeyed(string(k), t.Clone())
 	return true
 }
 
-// Remove deletes a tuple, reporting whether it was present.
+// Remove deletes a tuple, reporting whether it was present. Built
+// column indexes are dropped (deletion is rare; the paper's
+// inflationary transducers never delete).
 func (r *Relation) Remove(t Tuple) bool {
-	k := t.Key()
-	if _, ok := r.tuples[k]; !ok {
+	var scratch [64]byte
+	k, ok := packTupleLookup(scratch[:0], t)
+	if !ok {
 		return false
 	}
-	delete(r.tuples, k)
+	if _, ok := r.tuples[string(k)]; !ok {
+		return false
+	}
+	delete(r.tuples, string(k))
+	r.idx = nil
+	r.sorted = nil
 	return true
 }
 
 // Contains reports whether the tuple is in the relation.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.tuples[t.Key()]
+	var scratch [64]byte
+	k, ok := packTupleLookup(scratch[:0], t)
+	if !ok {
+		return false
+	}
+	_, ok = r.tuples[string(k)]
 	return ok
 }
 
-// Tuples returns the tuples in deterministic (sorted-key) order.
-// The returned tuples are the stored ones and must not be modified.
+// Lookup returns the stored tuples whose column col equals v, backed
+// by a lazily built hash index on that column. The returned slice and
+// its tuples are shared storage and must not be modified. Column
+// indexes survive Add and UnionWith and are invalidated by Remove.
+func (r *Relation) Lookup(col int, v Value) []Tuple {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("fact: Lookup column %d out of range for arity %d", col, r.arity))
+	}
+	id, ok := lookupID(v)
+	if !ok {
+		return nil
+	}
+	if r.idx == nil {
+		r.idx = make([]map[uint32][]Tuple, r.arity)
+	}
+	m := r.idx[col]
+	if m == nil {
+		m = make(map[uint32][]Tuple, len(r.tuples))
+		for k, t := range r.tuples {
+			cid := keyID(k, col)
+			m[cid] = append(m[cid], t)
+		}
+		r.idx[col] = m
+	}
+	return m[id]
+}
+
+// Tuples returns the tuples in deterministic (column-wise value)
+// order. The returned slice and tuples are shared storage and must not
+// be modified; the sort is memoized until the next mutation.
 func (r *Relation) Tuples() []Tuple {
-	keys := make([]string, 0, len(r.tuples))
-	for k := range r.tuples {
-		keys = append(keys, k)
+	if r.sorted == nil {
+		out := make([]Tuple, 0, len(r.tuples))
+		for _, t := range r.tuples {
+			out = append(out, t)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+		r.sorted = out
 	}
-	sort.Strings(keys)
-	out := make([]Tuple, len(keys))
-	for i, k := range keys {
-		out[i] = r.tuples[k]
-	}
-	return out
+	return r.sorted
 }
 
 // Each calls fn for every tuple, in unspecified order, stopping early
@@ -211,9 +262,9 @@ func (r *Relation) Each(fn func(Tuple) bool) {
 
 // Clone returns a copy of the relation. Stored tuples are shared:
 // they are immutable by convention (Add stores a private copy and no
-// accessor exposes them for writing).
+// accessor exposes them for writing). Column indexes are not copied.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.arity)
+	c := &Relation{arity: r.arity, tuples: make(map[string]Tuple, len(r.tuples))}
 	for k, t := range r.tuples {
 		c.tuples[k] = t
 	}
@@ -230,7 +281,7 @@ func (r *Relation) UnionWith(s *Relation) {
 	}
 	for k, t := range s.tuples {
 		if _, ok := r.tuples[k]; !ok {
-			r.tuples[k] = t
+			r.addKeyed(k, t)
 		}
 	}
 }

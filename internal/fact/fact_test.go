@@ -359,3 +359,32 @@ func TestPropInstancePermutationGenericity(t *testing.T) {
 		}
 	}
 }
+
+func TestAdoptActiveDomain(t *testing.T) {
+	base := FromFacts(NewFact("R", "b"), NewFact("R", "d"))
+	_ = base.ActiveDomain() // materialize the memo
+	next := base.ShallowClone()
+	r := base.Relation("R").Clone()
+	r.Add(Tuple{"a"})
+	r.Add(Tuple{"c"})
+	r.Add(Tuple{"e"})
+	next.SetRelationOwned("R", r)
+	next.AdoptActiveDomain(base, []Value{"e", "a", "c", "a", "b"})
+	want := []Value{"a", "b", "c", "d", "e"}
+	if got := next.ActiveDomain(); !reflect.DeepEqual(got, want) {
+		t.Errorf("adopted adom = %v, want %v", got, want)
+	}
+	for _, v := range want {
+		if !next.AdomContains(v) {
+			t.Errorf("AdomContains(%s) = false", v)
+		}
+	}
+	if next.AdomContains("z") {
+		t.Error("phantom adom member")
+	}
+	// Recomputation from scratch agrees.
+	fresh := next.Clone()
+	if got := fresh.ActiveDomain(); !reflect.DeepEqual(got, want) {
+		t.Errorf("recomputed adom = %v, want %v", got, want)
+	}
+}

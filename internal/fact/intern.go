@@ -1,0 +1,105 @@
+package fact
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// The interning dictionary maps every Value ever stored in a Relation
+// to a dense uint32 ID. IDs are process-global: two relations (or two
+// instances) that contain the same value agree on its ID, which makes
+// tuple keys pure ID sequences and lets set operations (union, minus,
+// clone) move packed keys between relations without re-encoding.
+//
+// The table only grows. The paper's dom is an infinite universe, but
+// any single run touches finitely many values; a dictionary over the
+// touched values is exactly the compact state kernel the simulator
+// needs. Interning is safe for concurrent use so that future sharded
+// simulators can share the table.
+var interner = struct {
+	sync.RWMutex
+	ids  map[Value]uint32
+	vals []Value
+}{ids: make(map[Value]uint32, 1024)}
+
+// internValue returns the dense ID of v, assigning the next free ID on
+// first sight.
+func internValue(v Value) uint32 {
+	interner.RLock()
+	id, ok := interner.ids[v]
+	interner.RUnlock()
+	if ok {
+		return id
+	}
+	interner.Lock()
+	defer interner.Unlock()
+	if id, ok = interner.ids[v]; ok {
+		return id
+	}
+	id = uint32(len(interner.vals))
+	interner.vals = append(interner.vals, v)
+	interner.ids[v] = id
+	return id
+}
+
+// lookupID returns the ID of v if it has ever been interned. A miss
+// proves the value occurs in no relation, which turns many membership
+// tests into a single map probe.
+func lookupID(v Value) (uint32, bool) {
+	interner.RLock()
+	id, ok := interner.ids[v]
+	interner.RUnlock()
+	return id, ok
+}
+
+// internedValue returns the value with the given ID. IDs only come
+// from internValue, so the bounds check is a defensive guard.
+func internedValue(id uint32) Value {
+	interner.RLock()
+	defer interner.RUnlock()
+	return interner.vals[id]
+}
+
+// InternedValues reports the current size of the interning dictionary
+// (a coarse gauge of the active universe; exported for diagnostics and
+// benchmarks).
+func InternedValues() int {
+	interner.RLock()
+	defer interner.RUnlock()
+	return len(interner.vals)
+}
+
+// Intern pre-loads v into the dictionary and returns its dense ID.
+// Callers that generate values in a deterministic order (input
+// loaders, experiment generators) can use it to fix ID assignment up
+// front.
+func Intern(v Value) uint32 { return internValue(v) }
+
+// packTuple appends the 4-byte big-endian IDs of the tuple's values to
+// buf and returns the extended slice. The result is the relation key
+// of the tuple: no escaping, fixed width, and decodable back to IDs.
+func packTuple(buf []byte, t Tuple) []byte {
+	for _, v := range t {
+		buf = binary.BigEndian.AppendUint32(buf, internValue(v))
+	}
+	return buf
+}
+
+// packTupleLookup is packTuple without inserting unseen values; ok is
+// false when some value was never interned (the tuple is then in no
+// relation).
+func packTupleLookup(buf []byte, t Tuple) ([]byte, bool) {
+	for _, v := range t {
+		id, ok := lookupID(v)
+		if !ok {
+			return buf, false
+		}
+		buf = binary.BigEndian.AppendUint32(buf, id)
+	}
+	return buf, true
+}
+
+// keyID extracts the ID at column col of a packed key.
+func keyID(key string, col int) uint32 {
+	return binary.BigEndian.Uint32([]byte(key[4*col : 4*col+4]))
+}

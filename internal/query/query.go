@@ -36,6 +36,45 @@ type Query interface {
 	SyntacticallyMonotone() bool
 }
 
+// DeltaEvaluable is implemented by queries that support exact
+// semi-naive delta evaluation, the contract behind incremental
+// transducer firing (package transducer) and delta-driven fixpoints.
+type DeltaEvaluable interface {
+	Query
+
+	// CanDelta reports whether EvalDelta is exact for this query.
+	CanDelta() bool
+
+	// EvalDelta returns derivations that may involve at least one fact
+	// of delta, evaluated against full (which already contains delta).
+	// When CanDelta holds, the result satisfies
+	//
+	//	Eval(full) = Eval(full \ delta) ∪ EvalDelta(full, delta).
+	EvalDelta(full, delta *fact.Instance) (*fact.Relation, error)
+}
+
+// CanDelta reports whether q supports exact delta evaluation.
+func CanDelta(q Query) bool {
+	d, ok := q.(DeltaEvaluable)
+	return ok && d.CanDelta()
+}
+
+// RelBounded is implemented by queries whose result depends only on
+// the contents of the relations named by Rels() — not on the ambient
+// active domain of the evaluated instance. Such results stay valid as
+// long as the read relations are unchanged, no matter how the rest of
+// the instance grows; the incremental transducer firing uses this to
+// keep cached query results across unrelated state changes.
+type RelBounded interface {
+	RelBounded() bool
+}
+
+// IsRelBounded reports whether q declares rel-bounded evaluation.
+func IsRelBounded(q Query) bool {
+	b, ok := q.(RelBounded)
+	return ok && b.RelBounded()
+}
+
 // Empty is the query returning the empty k-ary relation on every
 // input. The paper uses it for deletion queries of inflationary
 // transducers and as the default for unspecified transducer queries.
@@ -56,6 +95,9 @@ func (e Empty) Eval(*fact.Instance) (*fact.Relation, error) {
 // trivially monotone.
 func (e Empty) SyntacticallyMonotone() bool { return true }
 
+// RelBounded implements RelBounded; a constant query reads nothing.
+func (e Empty) RelBounded() bool { return true }
+
 // Func wraps an arbitrary Go function as a query. This is the
 // "computationally complete query language" of Theorem 6(1): any
 // partial computable query is expressible. Declared relation reads and
@@ -66,10 +108,19 @@ type Func struct {
 	Monotone bool
 	Name     string
 	F        func(I *fact.Instance) (*fact.Relation, error)
+
+	// AdomSensitive marks functions whose result depends on the active
+	// domain of the whole instance, beyond the relations in Reads; it
+	// disables result caching across unrelated state growth.
+	AdomSensitive bool
 }
 
 // NewFunc builds a Func query. reads lists the relations f consults;
-// it is sorted and deduplicated.
+// it is sorted and deduplicated. The function must depend only on the
+// contents of the listed relations (every construction in this
+// repository evaluates on a restriction to its reads); a Func whose
+// result additionally depends on the ambient active domain must set
+// AdomSensitive.
 func NewFunc(name string, arity int, reads []string, monotone bool, f func(*fact.Instance) (*fact.Relation, error)) Func {
 	rs := dedupSorted(reads)
 	return Func{K: arity, Reads: rs, Monotone: monotone, Name: name, F: f}
@@ -95,6 +146,9 @@ func (q Func) Eval(I *fact.Instance) (*fact.Relation, error) {
 
 // SyntacticallyMonotone implements Query.
 func (q Func) SyntacticallyMonotone() bool { return q.Monotone }
+
+// RelBounded implements RelBounded per the NewFunc contract.
+func (q Func) RelBounded() bool { return !q.AdomSensitive }
 
 // Copy is the query that returns relation rel verbatim (the identity
 // query on one relation); it is monotone.
