@@ -25,6 +25,20 @@ bench:
 bench-raw:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# bench-parallel records the parallel-runtime benches (E15 workers
+# sweep + concurrent interning) to BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run xxx -bench 'Parallel' -benchtime $(BENCHTIME) . > benchp.out
+	$(GO) run ./cmd/benchjson -label local -workers 4 < benchp.out > BENCH_parallel.json
+	@rm -f benchp.out
+	@echo wrote BENCH_parallel.json
+
+# race-parallel runs the differential correctness harness under the
+# race detector: parallel ≡ sequential, firing ≡ Step, permutation
+# invariance.
+race-parallel:
+	$(GO) test -race -run 'Parallel|Differential' ./...
+
 # fuzz runs each parser fuzzer briefly (seed corpora are committed
 # under internal/*/testdata/fuzz).
 fuzz:

@@ -539,6 +539,87 @@ func BenchmarkA2Coalescing(b *testing.B) {
 	}
 }
 
+// BenchmarkE15ParallelRuntime is the parallel-vs-sequential ablation
+// for the sharded round runtime: three large E-suite configurations
+// (the E2 transitive closure, the E6 monotone stream, the E4 flood)
+// run to quiescence sequentially (workers=0, the fair random
+// scheduler) and on the parallel runtime at workers 1, 2 and 4. The
+// parallel trajectories are bit-identical across worker counts (the
+// differential harness in internal/dist proves it under -race); the
+// workers>1 rows measure the wall-clock effect of sharding on the
+// host's cores. steps/op reports the schedule length.
+func BenchmarkE15ParallelRuntime(b *testing.B) {
+	stream, err := build.MonotoneStreaming(declnet.Schema{"S": 2}, datalog.MustQuery(datalog.MustParse(`
+		tc(X, Y) :- S(X, Y).
+		tc(X, Z) :- S(X, Y), tc(Y, Z).
+	`), "tc"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	flood, err := build.Flood(declnet.Schema{"S": 2}, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		tr   *declnet.Transducer
+		I    *declnet.Instance
+		net  *run.Network
+	}{
+		{"tc/edges=24/complete6", build.TransitiveClosure(), chainEdges(24), run.Complete(6)},
+		{"stream/edges=20/star6", stream, chainEdges(20), run.Star(6)},
+		{"flood/facts=64/ring8", flood, chainEdges(64), run.Ring(8)},
+	}
+	for _, cfg := range configs {
+		part := run.RoundRobinSplit(cfg.I, cfg.net)
+		for _, workers := range []int{0, 1, 2, 4} {
+			name := fmt.Sprintf("%s/workers=%d", cfg.name, workers)
+			b.Run(name, func(b *testing.B) {
+				var steps, sends int
+				for i := 0; i < b.N; i++ {
+					sim, err := run.NewSim(cfg.net, cfg.tr, part, run.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var res run.Result
+					if workers > 0 {
+						res, err = sim.RunParallel(run.ParallelOptions{Seed: int64(i), Workers: workers})
+					} else {
+						res, err = sim.Run(run.NewRandomScheduler(int64(i)), 1000000)
+					}
+					if err != nil || !res.Quiescent {
+						b.Fatalf("%+v %v", res, err)
+					}
+					steps += res.Steps
+					sends += res.Sends
+				}
+				b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+				b.ReportMetric(float64(sends)/float64(b.N), "msgs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkInternParallel hammers the interning dictionary from all
+// procs at once — the hot read path of the parallel runtime, where
+// every transition packs tuple keys. Compare with the single-threaded
+// cost to see the contention overhead of the lock-free read path.
+func BenchmarkInternParallel(b *testing.B) {
+	vals := make([]declnet.Value, 4096)
+	for i := range vals {
+		vals[i] = declnet.Value(fmt.Sprintf("benchintern-%d", i))
+		declnet.Intern(vals[i])
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			declnet.Intern(vals[i&4095])
+			i++
+		}
+	})
+}
+
 // BenchmarkE14Schedulers is the scheduling ablation: random fair
 // scheduling vs round-robin FIFO on the same workload.
 func BenchmarkE14Schedulers(b *testing.B) {

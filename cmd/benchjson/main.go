@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	go test -run xxx -bench . -benchtime 300ms . | go run ./cmd/benchjson [-label name]
+//	go test -run xxx -bench . -benchtime 300ms . | go run ./cmd/benchjson [-label name] [-workers n]
+//
+// -workers records the worker count the benchmarked parallel runs
+// used (see the workers=N sub-benches of BenchmarkE15ParallelRuntime)
+// in the report header, so parallel bench artifacts are
+// self-describing.
 package main
 
 import (
@@ -31,16 +36,20 @@ type Result struct {
 
 // Report is the emitted document.
 type Report struct {
-	Label   string   `json:"label,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Workers is the parallel-runtime worker count the benchmarked
+	// runs used, when the caller passed -workers.
+	Workers int      `json:"workers,omitempty"`
 	Context []string `json:"context,omitempty"` // goos/goarch/pkg/cpu lines
 	Results []Result `json:"results"`
 }
 
 func main() {
 	label := flag.String("label", "", "optional label recorded in the report")
+	workers := flag.Int("workers", 0, "parallel worker count to record in the report header")
 	flag.Parse()
 
-	rep := Report{Label: *label}
+	rep := Report{Label: *label, Workers: *workers}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

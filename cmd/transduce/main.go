@@ -6,7 +6,14 @@
 // Usage:
 //
 //	transduce -t tc -topology ring:4 -facts edges.dl \
-//	          [-partition roundrobin] [-seed 1] [-steps 200000] [-list]
+//	          [-partition roundrobin] [-seed 1] [-steps 200000] \
+//	          [-workers 4] [-list]
+//
+// With -workers N > 0 the run executes on the parallel sharded
+// runtime: all nodes fire concurrently in rounds on N goroutines,
+// deterministically per seed (the worker count never changes the
+// outcome, only wall-clock time). -workers 0 (the default) keeps the
+// sequential fair random scheduler.
 //
 // Facts files use Datalog syntax: "S(a, b). S(b, c)."
 package main
@@ -28,6 +35,7 @@ func main() {
 	partition := flag.String("partition", "roundrobin", "partition strategy: roundrobin|replicate|first|byrelation|random:SEED")
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	steps := flag.Int("steps", 200000, "step budget")
+	workers := flag.Int("workers", 0, "parallel round runtime worker count (0 = sequential scheduler)")
 	list := flag.Bool("list", false, "list available transducers and exit")
 	strict := flag.Bool("strict", false, "strict multiset buffers (no duplicate coalescing)")
 	trace := flag.Bool("trace", false, "print every transition")
@@ -89,7 +97,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(run.NewRandomScheduler(*seed), *steps)
+	var res run.Result
+	if *workers > 0 {
+		res, err = sim.RunParallel(run.ParallelOptions{Seed: *seed, Workers: *workers, MaxSteps: *steps})
+	} else {
+		res, err = sim.Run(run.NewRandomScheduler(*seed), *steps)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -68,13 +68,45 @@
 // (state, Δ = delivered fact) for monotone/streaming transducers and
 // falls back to full evaluation for non-monotone ones — with effects
 // identical to the textbook transition either way. Intern pre-loads
-// values; InternedValues reports the dictionary size.
+// values; InternedValues reports the dictionary size. The dictionary's
+// read path is lock-free (value→ID through a sync.Map, ID→value
+// through an atomically published slice), so concurrent shards never
+// contend on it.
+//
+// # The parallel sharded runtime
+//
+// run.Options.Workers > 0 (or Sim.RunParallel directly) executes a
+// run in parallel rounds: every node performs one transition per
+// round — a heartbeat, or the delivery of a buffered fact chosen by
+// the node's own PCG stream — concurrently on a worker pool, and all
+// cross-node effects (sends, output tuples, counters) are merged at a
+// round barrier in stable node order. Each node's state, buffer,
+// firing cache and memos are owned by exactly one worker per round,
+// so the fire phase needs no locks.
+//
+// Rounds are sound because single-node transitions on distinct nodes
+// commute: a transition reads only its own node's state and one fact
+// of its own pre-round buffer, and sends only APPEND to neighbors'
+// buffers. Every round therefore equals the sequential interleaving
+// of the same per-node events in node order, and every parallel run
+// is a fair run of the paper's §3 semantics.
+//
+// Determinism: the trajectory is a pure function of the seed. The
+// worker count changes wall-clock time, never outputs, states,
+// buffers, counters or traces — Workers=8 is bit-identical to
+// Workers=1. The differential harness in internal/dist verifies this
+// under the race detector for every construction of the paper, and
+// cross-checks the incremental firing against the specification
+// evaluator under random schedules. The consistency and
+// topology-independence sweeps and the CALM analyses fan their
+// independent runs across all cores on top of the same runtime.
 //
 // The implementation lives under internal/ and is reachable only
 // through these facades. Four CLIs (cmd/transduce, cmd/datalogi,
 // cmd/calmcheck, cmd/dedalusrun) and five runnable examples
 // (examples/) exercise the public surface; the benchmark suite in
-// bench_test.go regenerates the experiment index E1-E14 against the
+// bench_test.go regenerates the experiment index E1-E15 against the
 // paper's claims (BENCHMARKS.md has the index, BENCH_kernel.json the
-// measured trajectory).
+// measured trajectory, BENCH_parallel.json the parallel-runtime
+// numbers).
 package declnet

@@ -9,10 +9,13 @@ package calm
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"declnet/internal/dist"
 	"declnet/internal/fact"
 	"declnet/internal/network"
+	"declnet/internal/par"
 	"declnet/internal/transducer"
 )
 
@@ -99,22 +102,54 @@ type FreeWitness struct {
 //
 // The test searches the witness partition family; a positive answer is
 // a proof (the witness run is exhibited), a negative answer means no
-// witness was found among the searched partitions.
+// witness was found among the searched partitions. The candidate
+// partitions are tried concurrently (each witness run owns its sim);
+// the reported witness is always the first successful partition in
+// family order, so the fan-out never changes the answer.
 func CoordinationFreeOn(net *network.Network, tr *transducer.Transducer, I *fact.Instance, expected *fact.Relation) (*FreeWitness, error) {
+	return coordinationFreeOn(net, tr, I, expected, 0)
+}
+
+// coordinationFreeOn is CoordinationFreeOn with an explicit worker
+// budget for the partition fan-out: CoordinationFree passes 1 because
+// it already fans out across networks (nesting unbounded pools would
+// oversubscribe the scheduler with workers² live sims).
+func coordinationFreeOn(net *network.Network, tr *transducer.Transducer, I *fact.Instance, expected *fact.Relation, workers int) (*FreeWitness, error) {
 	const maxRounds = 200
-	for _, p := range witnessPartitions(I, net) {
+	parts := witnessPartitions(I, net)
+	witnesses := make([]*FreeWitness, len(parts))
+	// best tracks the smallest successful partition index so far:
+	// higher-index candidates can be skipped once a lower witness is
+	// known (only the first-in-order witness is reported), restoring
+	// the sequential search's early exit without changing the answer.
+	var best atomic.Int64
+	best.Store(int64(len(parts)))
+	if err := par.For(workers, len(parts), func(i int) error {
+		if int64(i) > best.Load() {
+			return nil
+		}
+		p := parts[i]
 		sim, err := network.NewSim(net, tr, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		converged, err := sim.HeartbeatFixpoint(maxRounds)
 		if err != nil {
 			// A failing local query on this partition disqualifies the
 			// witness, not the transducer.
-			continue
+			return nil
 		}
 		if converged && sim.Output().Equal(expected) {
-			return &FreeWitness{Partition: p, Rounds: sim.Heartbeats / net.Size()}, nil
+			witnesses[i] = &FreeWitness{Partition: p, Rounds: sim.Heartbeats / net.Size()}
+			par.StoreMin(&best, int64(i))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i := range parts {
+		if witnesses[i] != nil {
+			return witnesses[i], nil
 		}
 	}
 	return nil, nil
@@ -122,14 +157,41 @@ func CoordinationFreeOn(net *network.Network, tr *transducer.Transducer, I *fact
 
 // CoordinationFree tests coordination-freeness across a topology zoo:
 // the §5 definition quantifies over ALL networks, which we sample.
-// It returns (free, firstFailingNetwork, error).
+// The networks are checked concurrently. It returns
+// (free, firstFailingNetwork, error); the failing network is the
+// first in name order, independent of the fan-out.
 func CoordinationFree(nets map[string]*network.Network, tr *transducer.Transducer, I *fact.Instance, expected *fact.Relation) (bool, string, error) {
-	for name, net := range nets {
-		w, err := CoordinationFreeOn(net, tr, I, expected)
-		if err != nil {
-			return false, name, err
+	names := make([]string, 0, len(nets))
+	for name := range nets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	witnesses := make([]*FreeWitness, len(names))
+	errs := make([]error, len(names))
+	// minFail tracks the smallest failing index so far; networks after
+	// it cannot change the reported (first-in-order) failure and are
+	// skipped. Indices below any recorded failure always run, so the
+	// scan below still finds the true first failure.
+	var minFail atomic.Int64
+	minFail.Store(int64(len(names)))
+	_ = par.For(0, len(names), func(i int) error {
+		if int64(i) > minFail.Load() {
+			witnesses[i] = &FreeWitness{} // placeholder: verdict unused past minFail
+			return nil
 		}
-		if w == nil {
+		// Inner fan-out budget 1: this For already spreads the
+		// networks across the cores.
+		witnesses[i], errs[i] = coordinationFreeOn(nets[names[i]], tr, I, expected, 1)
+		if witnesses[i] == nil || errs[i] != nil {
+			par.StoreMin(&minFail, int64(i))
+		}
+		return nil
+	})
+	for i, name := range names {
+		if errs[i] != nil {
+			return false, name, errs[i]
+		}
+		if witnesses[i] == nil {
 			return false, name, nil
 		}
 	}
@@ -154,15 +216,20 @@ type MonotoneViolation struct {
 }
 
 // CheckMonotone runs the empirical monotonicity test over a chain of
-// growing instances.
+// growing instances. The per-instance reference runs are independent,
+// so they fan out across all cores; the verdict is the first
+// violating pair in chain order regardless of the fan-out.
 func CheckMonotone(tr *transducer.Transducer, chain []*fact.Instance) (*MonotoneViolation, error) {
 	outs := make([]*fact.Relation, len(chain))
-	for i, inst := range chain {
-		out, err := ExpectedOutput(tr, inst)
+	if err := par.For(0, len(chain), func(i int) error {
+		out, err := ExpectedOutput(tr, chain[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		outs[i] = out
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for i := 0; i < len(chain); i++ {
 		for j := i + 1; j < len(chain); j++ {

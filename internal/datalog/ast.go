@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"declnet/internal/fact"
 )
@@ -140,15 +141,17 @@ func (a Atom) Vars() []string {
 // construction: Rules must not be modified, which lets derived
 // analyses (stratification, dependency condensation) be computed once
 // and memoized — package dedalus re-evaluates the same program on
-// every time slice. The memos make Programs unsafe for concurrent
-// evaluation; give each goroutine its own Program.
+// every time slice. The memos are built under sync.Once, so one
+// Program may be evaluated concurrently from many goroutines (the
+// parallel sharded runtime and the sweep fan-outs do).
 type Program struct {
 	Rules []Rule
 
-	// memoized analyses (see Stratify and eval).
+	// memoized analyses (see Stratify and eval), built once.
+	strataOnce   sync.Once
 	strata       [][]string
 	strataErr    error
-	strataOK     bool
+	splitOnce    sync.Once
 	stratumRules [][]Rule
 	stratumPreds []map[string]bool
 }

@@ -34,8 +34,10 @@ func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, erro
 	if err != nil {
 		return nil, err
 	}
-	// Memoize the stratum → rules split alongside the stratification.
-	if p.stratumRules == nil {
+	// Memoize the stratum → rules split alongside the stratification;
+	// Once-guarded so concurrent evaluations of a shared program are
+	// safe.
+	p.splitOnce.Do(func() {
 		p.stratumRules = make([][]Rule, len(strata))
 		p.stratumPreds = make([]map[string]bool, len(strata))
 		for i, stratum := range strata {
@@ -50,7 +52,7 @@ func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, erro
 				}
 			}
 		}
-	}
+	})
 	I := edb
 	for i := range strata {
 		if seminaive {

@@ -82,11 +82,9 @@ func (p *Program) IsNonrecursive() bool {
 // negative-edge-count path below it. The result depends only on the
 // (immutable) rules and is memoized.
 func (p *Program) Stratify() ([][]string, error) {
-	if p.strataOK {
-		return p.strata, p.strataErr
-	}
-	p.strata, p.strataErr = p.stratify()
-	p.strataOK = true
+	p.strataOnce.Do(func() {
+		p.strata, p.strataErr = p.stratify()
+	})
 	return p.strata, p.strataErr
 }
 

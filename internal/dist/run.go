@@ -3,23 +3,34 @@ package dist
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"declnet/internal/fact"
 	"declnet/internal/network"
+	"declnet/internal/par"
 	"declnet/internal/transducer"
 )
 
 // RunOptions configures one fair run.
 type RunOptions struct {
-	// Seed seeds the fair random scheduler (ignored when Scheduler is
-	// set).
+	// Seed seeds the schedule: the fair random scheduler in sequential
+	// mode, the per-node PCG streams in parallel mode. Ignored when
+	// Scheduler is set.
 	Seed int64
 	// MaxSteps bounds the run; 0 means a generous default.
 	MaxSteps int
 	// Strict disables duplicate coalescing, keeping the paper's exact
 	// multiset buffer semantics at the price of longer runs.
 	Strict bool
-	// Scheduler overrides the default fair random scheduler.
+	// Workers selects the parallel sharded runtime: when > 0 the run
+	// executes in rounds on that many worker goroutines (1 runs the
+	// identical round schedule serially — the differential reference;
+	// see network.ParallelOptions). The trajectory depends only on
+	// Seed, never on Workers. Scheduler is ignored in parallel mode.
+	// 0 keeps the sequential scheduler-driven runtime.
+	Workers int
+	// Scheduler overrides the default fair random scheduler
+	// (sequential mode only).
 	Scheduler network.Scheduler
 	// Trace, when non-nil, receives every executed transition.
 	Trace func(network.TraceEvent)
@@ -54,13 +65,21 @@ func NewSim(net *network.Network, tr *transducer.Transducer, p Partition, opt Ru
 
 // RunToQuiescence drives one fair run of the transducer network to a
 // quiescence point (Proposition 1) and returns the accumulated output
-// out(ρ). It is an error if the step budget is exhausted first.
+// out(ρ). It is an error if the step budget is exhausted first. With
+// Workers > 0 the run executes on the parallel sharded runtime — a
+// fair round-based run that is bit-identical for every worker count.
 func RunToQuiescence(net *network.Network, tr *transducer.Transducer, p Partition, opt RunOptions) (*fact.Relation, error) {
 	sim, err := NewSim(net, tr, p, opt)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(opt.scheduler(), opt.maxSteps())
+	var res network.RunResult
+	if opt.Workers > 0 {
+		res, err = sim.RunParallel(network.ParallelOptions{
+			Seed: opt.Seed, Workers: opt.Workers, MaxSteps: opt.maxSteps()})
+	} else {
+		res, err = sim.Run(opt.scheduler(), opt.maxSteps())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +97,16 @@ type SweepOptions struct {
 	MaxSteps int
 	// Strict disables duplicate coalescing in the swept runs.
 	Strict bool
+	// Workers fans the swept runs (one per partition × seed) out
+	// across that many goroutines; 0 means GOMAXPROCS, 1 keeps the
+	// sweep serial. The report is identical for every setting.
+	Workers int
+	// RunWorkers additionally runs each swept run on the parallel
+	// sharded runtime with that many workers (0 = sequential runs).
+	// Note the budgets multiply: Workers sweep jobs each spawn a
+	// RunWorkers-sized pool, so keep Workers x RunWorkers near the
+	// core count.
+	RunWorkers int
 }
 
 func (o SweepOptions) seeds() int {
@@ -96,6 +125,8 @@ type SweepReport struct {
 	// Outputs maps the rendering of each distinct observed output
 	// relation to the relation itself.
 	Outputs map[string]*fact.Relation
+
+	mu sync.Mutex
 }
 
 // Consistent reports whether all swept runs produced one output: the
@@ -116,10 +147,15 @@ func (r *SweepReport) TheOutput() *fact.Relation {
 }
 
 func (r *SweepReport) record(out *fact.Relation) {
+	// Render outside the lock: String sorts and joins every tuple,
+	// and serializing it would bottleneck the sweep fan-out.
+	key := out.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.Outputs == nil {
 		r.Outputs = map[string]*fact.Relation{}
 	}
-	r.Outputs[out.String()] = out
+	r.Outputs[key] = out
 	r.Runs++
 }
 
@@ -142,6 +178,7 @@ func sweepPartitions(I *fact.Instance, net *network.Network) []Partition {
 // partition family and the configured number of scheduler seeds, and
 // reports every distinct output. A consistent transducer network (§4)
 // yields a single output on every network, partition and fair run.
+// The sweep fans its runs out across SweepOptions.Workers goroutines.
 func CheckConsistency(net *network.Network, tr *transducer.Transducer, I *fact.Instance, opt SweepOptions) (*SweepReport, error) {
 	rep := &SweepReport{}
 	if err := sweepInto(rep, net, tr, I, opt); err != nil {
@@ -169,16 +206,29 @@ func CheckTopologyIndependence(nets map[string]*network.Network, tr *transducer.
 	return rep, nil
 }
 
+// sweepJob is one fair run of the sweep matrix.
+type sweepJob struct {
+	p    Partition
+	seed int64
+}
+
 func sweepInto(rep *SweepReport, net *network.Network, tr *transducer.Transducer, I *fact.Instance, opt SweepOptions) error {
+	var jobs []sweepJob
 	for _, p := range sweepPartitions(I, net) {
 		for seed := 0; seed < opt.seeds(); seed++ {
-			out, err := RunToQuiescence(net, tr, p,
-				RunOptions{Seed: int64(1000*seed + 17), MaxSteps: opt.MaxSteps, Strict: opt.Strict})
-			if err != nil {
-				return err
-			}
-			rep.record(out)
+			// Each job owns its partition copy: runs fan out across
+			// goroutines and NewSim reads the fragments.
+			jobs = append(jobs, sweepJob{p: p.Clone(), seed: int64(1000*seed + 17)})
 		}
 	}
-	return nil
+	return par.For(opt.Workers, len(jobs), func(i int) error {
+		out, err := RunToQuiescence(net, tr, jobs[i].p,
+			RunOptions{Seed: jobs[i].seed, MaxSteps: opt.MaxSteps,
+				Strict: opt.Strict, Workers: opt.RunWorkers})
+		if err != nil {
+			return err
+		}
+		rep.record(out)
+		return nil
+	})
 }

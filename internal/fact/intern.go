@@ -3,6 +3,7 @@ package fact
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 )
 
 // The interning dictionary maps every Value ever stored in a Relation
@@ -14,31 +15,52 @@ import (
 // The table only grows. The paper's dom is an infinite universe, but
 // any single run touches finitely many values; a dictionary over the
 // touched values is exactly the compact state kernel the simulator
-// needs. Interning is safe for concurrent use so that future sharded
-// simulators can share the table.
+// needs.
+//
+// The read path is lock-free: value→ID hits go through a sync.Map and
+// ID→value lookups index an immutable-prefix slice published through
+// an atomic pointer. Only the assignment of a fresh ID takes a lock.
+// This matters because the parallel sharded runtime (package network)
+// interns tuple keys from every worker goroutine on every transition;
+// under the previous RWMutex the dictionary was the one point of
+// cross-shard contention.
 var interner = struct {
-	sync.RWMutex
-	ids  map[Value]uint32
-	vals []Value
-}{ids: make(map[Value]uint32, 1024)}
+	// mu serializes ID assignment (and nothing else).
+	mu sync.Mutex
+	// ids maps Value → uint32. Loads are lock-free; stores happen under
+	// mu, after the value is in place in the published slice, so a
+	// successful load always finds the value via vals as well.
+	ids sync.Map
+	// vals points at the current values-by-ID slice. The prefix
+	// vals[:len] is immutable: a slot is written once, before the ID is
+	// published in ids, and appends replace the header (and possibly the
+	// backing array) rather than mutating published slots.
+	vals atomic.Pointer[[]Value]
+}{}
+
+func init() {
+	empty := make([]Value, 0, 1024)
+	interner.vals.Store(&empty)
+}
 
 // internValue returns the dense ID of v, assigning the next free ID on
 // first sight.
 func internValue(v Value) uint32 {
-	interner.RLock()
-	id, ok := interner.ids[v]
-	interner.RUnlock()
-	if ok {
-		return id
+	if id, ok := interner.ids.Load(v); ok {
+		return id.(uint32)
 	}
-	interner.Lock()
-	defer interner.Unlock()
-	if id, ok = interner.ids[v]; ok {
-		return id
+	interner.mu.Lock()
+	defer interner.mu.Unlock()
+	if id, ok := interner.ids.Load(v); ok {
+		return id.(uint32)
 	}
-	id = uint32(len(interner.vals))
-	interner.vals = append(interner.vals, v)
-	interner.ids[v] = id
+	cur := *interner.vals.Load()
+	id := uint32(len(cur))
+	next := append(cur, v)
+	interner.vals.Store(&next)
+	// Publish the ID only after the slot is readable through vals, so
+	// any goroutine that observes the ID can resolve it back.
+	interner.ids.Store(v, id)
 	return id
 }
 
@@ -46,33 +68,31 @@ func internValue(v Value) uint32 {
 // proves the value occurs in no relation, which turns many membership
 // tests into a single map probe.
 func lookupID(v Value) (uint32, bool) {
-	interner.RLock()
-	id, ok := interner.ids[v]
-	interner.RUnlock()
-	return id, ok
+	id, ok := interner.ids.Load(v)
+	if !ok {
+		return 0, false
+	}
+	return id.(uint32), true
 }
 
 // internedValue returns the value with the given ID. IDs only come
-// from internValue, so the bounds check is a defensive guard.
+// from internValue, so the index is always within the published
+// prefix of the slice.
 func internedValue(id uint32) Value {
-	interner.RLock()
-	defer interner.RUnlock()
-	return interner.vals[id]
+	return (*interner.vals.Load())[id]
 }
 
 // InternedValues reports the current size of the interning dictionary
 // (a coarse gauge of the active universe; exported for diagnostics and
 // benchmarks).
 func InternedValues() int {
-	interner.RLock()
-	defer interner.RUnlock()
-	return len(interner.vals)
+	return len(*interner.vals.Load())
 }
 
 // Intern pre-loads v into the dictionary and returns its dense ID.
 // Callers that generate values in a deterministic order (input
 // loaders, experiment generators) can use it to fix ID assignment up
-// front.
+// front. Safe for concurrent use.
 func Intern(v Value) uint32 { return internValue(v) }
 
 // packTuple appends the 4-byte big-endian IDs of the tuple's values to

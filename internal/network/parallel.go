@@ -1,0 +1,209 @@
+package network
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"declnet/internal/fact"
+)
+
+// This file implements the parallel sharded runtime: round-based
+// execution of a transducer network on a worker pool.
+//
+// Soundness. The paper defines runs as interleavings of single-node
+// transitions, but a transition only reads and writes its own node's
+// state, consumes at most one fact from its own buffer, and appends to
+// neighbors' buffers. A round that (1) lets every node fire once
+// against the pre-round configuration and (2) merges all sends and
+// outputs afterwards is therefore equivalent to the sequential
+// interleaving that executes the same per-node events in node order:
+// later nodes' buffers are only ever EXTENDED by earlier nodes'
+// sends, so a delivery index chosen against the pre-round buffer
+// denotes the same fact in both executions. Every parallel run is
+// thus a legal fair run of the paper's semantics.
+//
+// Determinism. The schedule is a function of (seed, node index,
+// round) only: each node owns a PCG stream seeded from the run seed
+// and its index, and the merge barrier applies cross-node effects in
+// stable (sorted) node order. The worker count changes wall-clock
+// time, never the configuration trajectory — Workers=8 is
+// bit-identical to Workers=1, which the differential harness in
+// internal/dist verifies for the whole construction zoo.
+//
+// Sharding. Nodes are the shard unit: during a round each node is
+// owned by exactly one worker (a persistent pool hands out node
+// indices through a shared counter), all its mutations (state, buffer
+// pop, firing cache, memos) stay inside its nodeRT, and cross-shard
+// message exchange goes through the per-node outboxes (roundAct.le)
+// merged at the barrier.
+
+// ParallelOptions configures a parallel round-based run.
+type ParallelOptions struct {
+	// Seed determines the schedule: per-node PCG streams are derived
+	// from (Seed, node index). Runs with equal seeds are bit-identical
+	// regardless of Workers.
+	Seed int64
+	// Workers is the worker-pool size; 0 means GOMAXPROCS, 1 executes
+	// the identical round schedule serially (the differential
+	// reference).
+	Workers int
+	// MaxSteps bounds the run in transitions (a round performs one
+	// transition per node; the budget is checked between rounds, so
+	// the last round may overshoot by at most |N|-1). 0 means one
+	// million.
+	MaxSteps int
+}
+
+func (o ParallelOptions) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return 1_000_000
+}
+
+// parallelStreamSalt separates the per-node PCG streams from the
+// sequential schedulers' streams (scheduler.go) and from each other.
+const parallelStreamSalt = 0xb5297a4d3f84d5a2
+
+// roundAct is one node's contribution to a round, computed
+// concurrently and applied at the merge barrier.
+type roundAct struct {
+	le         localEffect
+	isDelivery bool
+	delivered  *fact.Fact // trace only
+	err        error
+}
+
+// RunParallel drives the simulation in parallel rounds until the
+// saturation check reports quiescence or the step budget is
+// exhausted. Each round every node performs one transition — a
+// delivery of a uniformly chosen buffered fact, or a heartbeat with
+// probability 1/(1+|buffer|) — chosen from the node's own
+// deterministic PCG stream, so rounds are fair in the limit and the
+// whole run is replayable from the seed. See the file comment for the
+// equivalence with the paper's interleaved semantics.
+func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxSteps := opt.maxSteps()
+	n := len(s.order)
+	if workers > n {
+		workers = n
+	}
+	streams := make([]*rand.Rand, n)
+	for i := range streams {
+		streams[i] = rand.New(rand.NewPCG(uint64(opt.Seed), parallelStreamSalt^uint64(i)*0x9e3779b97f4a7c15))
+	}
+	acts := make([]roundAct, n)
+	verdicts := make([]bool, n)
+	errs := make([]error, n)
+
+	// Persistent worker pool: a run performs two phases (fire,
+	// quiescence probes) per round for possibly thousands of rounds,
+	// so the workers live for the whole run and each phase is a
+	// broadcast + a shared index counter instead of fresh goroutines.
+	var (
+		phaseFn func(int)
+		next    atomic.Int64
+		phaseWG sync.WaitGroup
+		startCh chan struct{}
+	)
+	runPhase := func(f func(int)) {
+		if workers <= 1 {
+			for i := 0; i < n; i++ {
+				f(i)
+			}
+			return
+		}
+		phaseFn = f
+		next.Store(0)
+		phaseWG.Add(workers)
+		for w := 0; w < workers; w++ {
+			startCh <- struct{}{}
+		}
+		phaseWG.Wait()
+	}
+	if workers > 1 {
+		startCh = make(chan struct{})
+		defer close(startCh)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for range startCh {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							break
+						}
+						phaseFn(i)
+					}
+					phaseWG.Done()
+				}
+			}()
+		}
+	}
+
+	quiescent := func() (bool, error) {
+		runPhase(func(i int) {
+			verdicts[i], errs[i] = s.quiescentAt(s.order[i])
+		})
+		all := true
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				return false, errs[i]
+			}
+			all = all && verdicts[i]
+		}
+		return all, nil
+	}
+
+	for {
+		q, err := quiescent()
+		if err != nil {
+			return RunResult{}, err
+		}
+		if q {
+			return RunResult{Output: s.Output(), Quiescent: true, Steps: s.Steps, Sends: s.Sends}, nil
+		}
+		if s.Steps >= maxSteps {
+			return RunResult{Output: s.Output(), Quiescent: false, Steps: s.Steps, Sends: s.Sends}, nil
+		}
+
+		// Fire phase: every node transitions against the pre-round
+		// configuration, concurrently, touching only its own nodeRT.
+		runPhase(func(i int) {
+			rt := s.order[i]
+			a := &acts[i]
+			*a = roundAct{}
+			k := streams[i].IntN(1 + len(rt.buf))
+			var rcv *fact.Instance
+			if k > 0 {
+				f := rt.buf[k-1]
+				rt.buf = append(rt.buf[:k-1:k-1], rt.buf[k:]...)
+				rcv = rt.rcvFor(f)
+				a.isDelivery = true
+				if s.Trace != nil {
+					a.delivered = &f
+				}
+			}
+			a.le, a.err = s.fireLocal(rt, rcv)
+		})
+
+		// Merge barrier: apply cross-node effects in stable node
+		// order. Errors surface deterministically: the lowest-index
+		// failing node wins, and no cross effects are applied for the
+		// aborted round.
+		for i := 0; i < n; i++ {
+			if acts[i].err != nil {
+				return RunResult{}, fmt.Errorf("network: parallel round at %s: %w", s.order[i].v, acts[i].err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			s.applyCross(s.order[i], acts[i].le, acts[i].isDelivery, acts[i].delivered)
+		}
+	}
+}

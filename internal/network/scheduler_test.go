@@ -1,0 +1,163 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+)
+
+// schedCase describes one scheduler under test.
+type schedCase struct {
+	name string
+	mk   func() Scheduler
+	// fair: every buffered fact is eventually delivered (drives the
+	// fairness smoke test).
+	fair bool
+	// delivers: the scheduler performs delivery transitions at all.
+	delivers bool
+}
+
+func schedCases() []schedCase {
+	return []schedCase{
+		{"Random", func() Scheduler { return NewRandomScheduler(42) }, true, true},
+		{"RoundRobinFIFO", func() Scheduler { return NewRoundRobinFIFO() }, true, true},
+		{"LIFODelay", func() Scheduler { return NewLIFODelay(42, 2) }, false, true},
+		{"HeartbeatOnly", func() Scheduler { return NewHeartbeatOnly() }, false, false},
+	}
+}
+
+// eventString renders a scheduled event for sequence comparison.
+func eventString(ev Event) string {
+	if ev.Deliver {
+		return fmt.Sprintf("deliver %s[%d]", ev.Node, ev.Index)
+	}
+	return fmt.Sprintf("heartbeat %s", ev.Node)
+}
+
+// driveRecording drives a fresh TC workload for steps transitions
+// with a fresh scheduler instance, recording and validating every
+// event before applying it.
+func driveRecording(t *testing.T, c schedCase, steps int) []string {
+	t.Helper()
+	s := parallelTestSim(t, Ring(4), 5, false)
+	sched := c.mk()
+	var events []string
+	nodeSet := map[string]bool{}
+	for _, v := range s.Net.Nodes() {
+		nodeSet[string(v)] = true
+	}
+	for i := 0; i < steps; i++ {
+		ev := sched.Next(s)
+		if !nodeSet[string(ev.Node)] {
+			t.Fatalf("%s: step %d schedules unknown node %s", c.name, i, ev.Node)
+		}
+		if ev.Deliver {
+			if b := s.Buffer(ev.Node); ev.Index < 0 || ev.Index >= len(b) {
+				t.Fatalf("%s: step %d delivery index %d out of bounds (buffer %d at %s)",
+					c.name, i, ev.Index, len(b), ev.Node)
+			}
+		}
+		events = append(events, eventString(ev))
+		var err error
+		if ev.Deliver {
+			err = s.DeliverIndex(ev.Node, ev.Index)
+		} else {
+			err = s.Heartbeat(ev.Node)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return events
+}
+
+// TestSchedulerSeedDeterminism: a freshly constructed scheduler with
+// the same seed produces the identical event sequence on the
+// identical workload — every run is replayable.
+func TestSchedulerSeedDeterminism(t *testing.T) {
+	for _, c := range schedCases() {
+		t.Run(c.name, func(t *testing.T) {
+			a := driveRecording(t, c, 300)
+			b := driveRecording(t, c, 300)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("step %d: %s vs %s", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerDeliveryBounds exercises the in-bounds check inside
+// driveRecording over a longer run and confirms the delivers flag.
+func TestSchedulerDeliveryBounds(t *testing.T) {
+	for _, c := range schedCases() {
+		t.Run(c.name, func(t *testing.T) {
+			events := driveRecording(t, c, 600)
+			delivered := 0
+			for _, e := range events {
+				if len(e) > 0 && e[0] == 'd' {
+					delivered++
+				}
+			}
+			if c.delivers && delivered == 0 {
+				t.Fatalf("%s never delivered in 600 steps", c.name)
+			}
+			if !c.delivers && delivered > 0 {
+				t.Fatalf("%s delivered %d times; it must only heartbeat", c.name, delivered)
+			}
+		})
+	}
+}
+
+// TestSchedulerFairnessSmoke: for the fair schedulers, no buffered
+// fact stays in a buffer longer than a generous bound. The test
+// mirrors every buffer with the step at which each slot was enqueued:
+// buffers only append at the tail (sends, possibly coalesced away)
+// and remove at one index (the delivery), so the mirror stays in
+// lock-step. Coalescing keeps the buffers bounded — under strict
+// multiset semantics the TC workload floods faster than any scheduler
+// drains and only limit fairness (not bounded-delay fairness) holds.
+func TestSchedulerFairnessSmoke(t *testing.T) {
+	const steps = 1500
+	const bound = 900
+	for _, c := range schedCases() {
+		if !c.fair {
+			continue
+		}
+		t.Run(c.name, func(t *testing.T) {
+			s := parallelTestSim(t, Ring(4), 4, true)
+			sched := c.mk()
+			ages := map[string][]int{}
+			for i := 0; i < steps; i++ {
+				ev := sched.Next(s)
+				var err error
+				if ev.Deliver {
+					a := ages[string(ev.Node)]
+					ages[string(ev.Node)] = append(a[:ev.Index:ev.Index], a[ev.Index+1:]...)
+					err = s.DeliverIndex(ev.Node, ev.Index)
+				} else {
+					err = s.Heartbeat(ev.Node)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range s.Net.Nodes() {
+					a := ages[string(v)]
+					for len(a) < len(s.Buffer(v)) {
+						a = append(a, i)
+					}
+					ages[string(v)] = a
+					if len(a) != len(s.Buffer(v)) {
+						t.Fatalf("mirror out of sync at %s: %d vs %d", v, len(a), len(s.Buffer(v)))
+					}
+					for _, born := range a {
+						if i-born > bound {
+							t.Fatalf("%s: fact enqueued at step %d still buffered at %s after %d steps",
+								c.name, born, v, i-born)
+						}
+					}
+				}
+			}
+		})
+	}
+}

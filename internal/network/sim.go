@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sort"
 
 	"declnet/internal/fact"
 	"declnet/internal/transducer"
@@ -15,47 +16,22 @@ import (
 // Buffers are ordered slices of facts: the order is the arrival order
 // (used by FIFO schedulers, e.g. the Theorem 16 construction), and
 // duplicates are retained, matching the paper's multiset semantics.
+//
+// All per-node runtime state (state instance, buffer, known set,
+// incremental evaluator and its memos) lives in one nodeRT struct per
+// node. The sharded parallel runtime (parallel.go) relies on this
+// layout: during a round each node is owned by exactly one worker, so
+// concurrent transitions touch disjoint memory and the only shared
+// writes are deferred to the merge barrier.
 type Sim struct {
 	Net *Network
 	Tr  *transducer.Transducer
 
-	state map[fact.Value]*fact.Instance
-	buf   map[fact.Value][]fact.Fact
-	// known tracks, per node, every distinct message fact that was
-	// ever buffered at or delivered to the node, keyed by the interned
-	// fact key. It drives the saturation-based quiescence check.
-	known map[fact.Value]map[string]fact.Fact
-
-	// firing holds the per-node incremental evaluator: cached query
-	// results advanced by delta firing on monotone/streaming
-	// transducers, with exact fallback to full evaluation otherwise.
-	// Built lazily; transitions and quiescence probes share it.
-	firing map[fact.Value]*transducer.Firing
-
-	// The firing returns pointer-stable relation objects while nothing
-	// changes, and out(ρ) and the known sets only ever grow. These
-	// memos exploit both: a probe or transition whose output (send)
-	// relation pointer was already verified against out (the known
-	// sets) skips the re-verification entirely.
-	probedOut  map[fact.Value]*fact.Relation
-	probedSnd  map[fact.Value]map[string]*fact.Relation
-	outApplied map[fact.Value]*fact.Relation
-	sndMemo    map[fact.Value]*sndCache
-
-	// rcvCache holds the single-fact receive instances handed to the
-	// firing, keyed by interned fact key; probes re-deliver the same
-	// known facts over and over, and the instances are read-only.
-	rcvCache map[string]*fact.Instance
-
-	// clean marks nodes whose last full quiescence probe succeeded and
-	// whose state has not changed since; pendingProbe lists the facts
-	// that became known at a clean node after its probe. Together they
-	// make the quiescence check incremental: conditions (i)-(iii) are
-	// monotone in the sets that can change under a clean node (output
-	// and neighbours' known sets only grow), so cached successes stay
-	// valid.
-	clean        map[fact.Value]bool
-	pendingProbe map[fact.Value][]fact.Fact
+	nodes map[fact.Value]*nodeRT
+	// order holds the nodes in the network's sorted node order: the
+	// deterministic iteration order of every sweep and of the parallel
+	// runtime's merge barrier.
+	order []*nodeRT
 
 	// CoalesceDuplicates, when true, skips enqueueing a message fact
 	// that is already pending in the destination buffer. Every run of
@@ -71,7 +47,8 @@ type Sim struct {
 
 	// Trace, when non-nil, is invoked after every transition with a
 	// description of what happened; used by cmd/transduce -trace and
-	// by debugging sessions.
+	// by debugging sessions. The parallel runtime emits events at the
+	// merge barrier, in node order within each round.
 	Trace func(TraceEvent)
 
 	// Counters for the experiment harness.
@@ -79,6 +56,56 @@ type Sim struct {
 	Heartbeats int
 	Deliveries int
 	Sends      int // total facts appended to buffers
+}
+
+// nodeRT is the complete runtime of one node: its configuration slice
+// (state and buffer), the saturation bookkeeping, the incremental
+// evaluator, and every per-node memo. Nothing in here is shared
+// between nodes, which is what lets the parallel runtime fire nodes
+// concurrently without locks.
+type nodeRT struct {
+	v fact.Value
+	// nbrs points at the neighbor runtimes in sorted node order.
+	nbrs []*nodeRT
+
+	state *fact.Instance
+	buf   []fact.Fact
+	// known tracks every distinct message fact that was ever buffered
+	// at or delivered to the node, keyed by the interned fact key. It
+	// drives the saturation-based quiescence check.
+	known map[string]fact.Fact
+
+	// firing holds the node's incremental evaluator: cached query
+	// results advanced by delta firing on monotone/streaming
+	// transducers, with exact fallback to full evaluation otherwise.
+	// Built lazily; transitions and quiescence probes share it.
+	firing *transducer.Firing
+
+	// The firing returns pointer-stable relation objects while nothing
+	// changes, and out(ρ) and the known sets only ever grow. These
+	// memos exploit both: a probe or transition whose output (send)
+	// relation pointer was already verified against out (the known
+	// sets) skips the re-verification entirely.
+	probedOut  *fact.Relation
+	probedSnd  map[string]*fact.Relation
+	outApplied *fact.Relation
+	sndMemo    *sndCache
+
+	// rcvCache holds the single-fact receive instances handed to the
+	// firing, keyed by interned fact key; probes re-deliver the same
+	// known facts over and over, and the instances are read-only.
+	// Per-node (not per-sim) so concurrent probes never share it.
+	rcvCache map[string]*fact.Instance
+
+	// clean marks a node whose last full quiescence probe succeeded
+	// and whose state has not changed since; pendingProbe lists the
+	// facts that became known at a clean node after its probe.
+	// Together they make the quiescence check incremental: conditions
+	// (i)-(iii) are monotone in the sets that can change under a clean
+	// node (output and neighbours' known sets only grow), so cached
+	// successes stay valid.
+	clean        bool
+	pendingProbe []fact.Fact
 }
 
 // TraceEvent describes one executed transition.
@@ -102,20 +129,10 @@ type TraceEvent struct {
 // partition start with empty input.
 func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*fact.Instance) (*Sim, error) {
 	s := &Sim{
-		Net:          net,
-		Tr:           tr,
-		state:        map[fact.Value]*fact.Instance{},
-		buf:          map[fact.Value][]fact.Fact{},
-		known:        map[fact.Value]map[string]fact.Fact{},
-		firing:       map[fact.Value]*transducer.Firing{},
-		probedOut:    map[fact.Value]*fact.Relation{},
-		probedSnd:    map[fact.Value]map[string]*fact.Relation{},
-		outApplied:   map[fact.Value]*fact.Relation{},
-		sndMemo:      map[fact.Value]*sndCache{},
-		rcvCache:     map[string]*fact.Instance{},
-		clean:        map[fact.Value]bool{},
-		pendingProbe: map[fact.Value][]fact.Fact{},
-		out:          fact.NewRelation(tr.Schema.OutArity),
+		Net:   net,
+		Tr:    tr,
+		nodes: map[fact.Value]*nodeRT{},
+		out:   fact.NewRelation(tr.Schema.OutArity),
 	}
 	nodes := net.Nodes()
 	nodeSet := map[fact.Value]bool{}
@@ -139,25 +156,46 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 		for _, w := range nodes {
 			st.AddFact(fact.NewFact(transducer.SysAll, w))
 		}
-		s.state[v] = st
-		s.known[v] = map[string]fact.Fact{}
+		n := &nodeRT{
+			v:        v,
+			state:    st,
+			known:    map[string]fact.Fact{},
+			rcvCache: map[string]*fact.Instance{},
+		}
+		s.nodes[v] = n
+		s.order = append(s.order, n)
+	}
+	for _, n := range s.order {
+		for _, w := range net.Neighbors(n.v) {
+			n.nbrs = append(n.nbrs, s.nodes[w])
+		}
 	}
 	return s, nil
 }
 
 // State returns the state of node v (not a copy; callers must not
 // mutate it).
-func (s *Sim) State(v fact.Value) *fact.Instance { return s.state[v] }
+func (s *Sim) State(v fact.Value) *fact.Instance {
+	if n := s.nodes[v]; n != nil {
+		return n.state
+	}
+	return nil
+}
 
 // Buffer returns the current message buffer of v (not a copy).
-func (s *Sim) Buffer(v fact.Value) []fact.Fact { return s.buf[v] }
+func (s *Sim) Buffer(v fact.Value) []fact.Fact {
+	if n := s.nodes[v]; n != nil {
+		return n.buf
+	}
+	return nil
+}
 
 // BufferedFacts returns the total number of buffered facts across all
 // nodes.
 func (s *Sim) BufferedFacts() int {
 	n := 0
-	for _, b := range s.buf {
-		n += len(b)
+	for _, rt := range s.order {
+		n += len(rt.buf)
 	}
 	return n
 }
@@ -169,30 +207,35 @@ func (s *Sim) Output() *fact.Relation { return s.out.Clone() }
 // Heartbeat performs a heartbeat transition at node v: the node
 // transitions without reading any message.
 func (s *Sim) Heartbeat(v fact.Value) error {
-	return s.transition(v, nil)
+	n := s.nodes[v]
+	if n == nil {
+		return fmt.Errorf("network: heartbeat at unknown node %s", v)
+	}
+	return s.transition(n, nil)
 }
 
 // DeliverIndex performs a delivery transition at node v, reading and
 // removing the buffered fact at the given index.
 func (s *Sim) DeliverIndex(v fact.Value, idx int) error {
-	b := s.buf[v]
-	if idx < 0 || idx >= len(b) {
-		return fmt.Errorf("network: delivery index %d out of range at %s (buffer %d)", idx, v, len(b))
+	n := s.nodes[v]
+	if n == nil {
+		return fmt.Errorf("network: delivery at unknown node %s", v)
 	}
-	f := b[idx]
-	s.buf[v] = append(b[:idx:idx], b[idx+1:]...)
-	return s.transition(v, s.rcvFor(f))
+	if idx < 0 || idx >= len(n.buf) {
+		return fmt.Errorf("network: delivery index %d out of range at %s (buffer %d)", idx, v, len(n.buf))
+	}
+	f := n.buf[idx]
+	n.buf = append(n.buf[:idx:idx], n.buf[idx+1:]...)
+	return s.transition(n, n.rcvFor(f))
 }
 
-// firingFor returns (lazily creating) the incremental evaluator of
-// node v.
-func (s *Sim) firingFor(v fact.Value) *transducer.Firing {
-	f := s.firing[v]
-	if f == nil {
-		f = transducer.NewFiring(s.Tr)
-		s.firing[v] = f
+// firingFor returns (lazily creating) the node's incremental
+// evaluator.
+func (s *Sim) firingFor(n *nodeRT) *transducer.Firing {
+	if n.firing == nil {
+		n.firing = transducer.NewFiring(s.Tr)
 	}
-	return f
+	return n.firing
 }
 
 // sndCache memoizes the sorted fact list and interned keys of a send
@@ -206,14 +249,14 @@ type sndCache struct {
 }
 
 // sentFacts returns the sorted facts of the send instance and their
-// interned keys, via the per-node memo.
-func (s *Sim) sentFacts(v fact.Value, snd *fact.Instance) ([]fact.Fact, []string) {
+// interned keys, via the node's memo.
+func (n *nodeRT) sentFacts(snd *fact.Instance) ([]fact.Fact, []string) {
 	names := snd.RelNames()
-	memo := s.sndMemo[v]
+	memo := n.sndMemo
 	if memo != nil && len(memo.rels) == len(names) {
 		hit := true
-		for _, n := range names {
-			if memo.rels[n] != snd.Relation(n) {
+		for _, nm := range names {
+			if memo.rels[nm] != snd.Relation(nm) {
 				hit = false
 				break
 			}
@@ -228,79 +271,134 @@ func (s *Sim) sentFacts(v fact.Value, snd *fact.Instance) ([]fact.Fact, []string
 		keys[i] = f.Key()
 	}
 	memo = &sndCache{rels: make(map[string]*fact.Relation, len(names)), facts: facts, keys: keys}
-	for _, n := range names {
-		memo.rels[n] = snd.Relation(n)
+	for _, nm := range names {
+		memo.rels[nm] = snd.Relation(nm)
 	}
-	s.sndMemo[v] = memo
+	n.sndMemo = memo
 	return facts, keys
 }
 
 // rcvFor returns the (shared, read-only) single-fact receive instance
 // for f, cached by interned fact key.
-func (s *Sim) rcvFor(f fact.Fact) *fact.Instance {
+func (n *nodeRT) rcvFor(f fact.Fact) *fact.Instance {
 	key := f.Key()
-	if i, ok := s.rcvCache[key]; ok {
+	if i, ok := n.rcvCache[key]; ok {
 		return i
 	}
 	i := fact.FromFacts(f)
-	s.rcvCache[key] = i
+	n.rcvCache[key] = i
 	return i
 }
 
-func (s *Sim) transition(v fact.Value, rcv *fact.Instance) error {
-	eff, stateChanged, err := s.firingFor(v).Step(s.state[v], rcv)
+// localEffect is the node-local half of one transition: everything
+// fireLocal computed without touching another node or the global
+// output. The caller (sequential transition or parallel merge) applies
+// the cross-node half.
+type localEffect struct {
+	stateChanged bool
+	// sent and keys are the facts the transition sends to every
+	// neighbor (shared memo storage; read-only).
+	sent []fact.Fact
+	keys []string
+	// outNew lists output tuples not yet in out(ρ) at fire time.
+	outNew []fact.Tuple
+}
+
+// fireLocal executes the node-local half of a transition from
+// (n.state, rcv): it advances the node's firing and state, resets the
+// node's saturation flags if the state changed, and reports the send
+// facts and candidate-new output tuples. It reads s.out but never
+// writes it, and touches no other node — the parallel runtime calls it
+// concurrently for distinct nodes.
+func (s *Sim) fireLocal(n *nodeRT, rcv *fact.Instance) (localEffect, error) {
+	eff, stateChanged, err := s.firingFor(n).Step(n.state, rcv)
 	if err != nil {
-		return err
+		return localEffect{}, err
 	}
-	sendsBefore := s.Sends
-	if s.clean[v] && stateChanged {
-		s.clean[v] = false
-		s.pendingProbe[v] = nil
+	if n.clean && stateChanged {
+		n.clean = false
+		n.pendingProbe = nil
 	}
-	s.state[v] = eff.State
-	var newOut []fact.Tuple
-	if s.outApplied[v] != eff.Out {
+	n.state = eff.State
+	var le localEffect
+	le.stateChanged = stateChanged
+	if n.outApplied != eff.Out {
 		eff.Out.Each(func(t fact.Tuple) bool {
-			if s.out.Add(t) && s.Trace != nil {
-				newOut = append(newOut, t)
+			if !s.out.Contains(t) {
+				le.outNew = append(le.outNew, t)
 			}
 			return true
 		})
-		s.outApplied[v] = eff.Out
+		// Each iterates in map order; sort so traces and the out(ρ)
+		// insertion order are deterministic run to run.
+		sort.Slice(le.outNew, func(a, b int) bool { return le.outNew[a].Less(le.outNew[b]) })
+		n.outApplied = eff.Out
 	}
-	sent, keys := s.sentFacts(v, eff.Snd)
-	for _, w := range s.Net.Neighbors(v) {
-		for i, f := range sent {
-			key := keys[i]
-			if _, seen := s.known[w][key]; !seen {
-				s.known[w][key] = f
-				if s.clean[w] {
-					s.pendingProbe[w] = append(s.pendingProbe[w], f)
-				}
-			} else if s.CoalesceDuplicates && bufferHas(s.buf[w], f) {
-				continue
-			}
-			s.buf[w] = append(s.buf[w], f)
-			s.Sends++
+	le.sent, le.keys = n.sentFacts(eff.Snd)
+	return le, nil
+}
+
+// enqueue appends fact f (with interned key) to w's buffer, updating
+// w's known set and saturation bookkeeping; it returns whether the
+// fact was actually buffered (false when coalesced away).
+func (s *Sim) enqueue(w *nodeRT, f fact.Fact, key string) bool {
+	if _, seen := w.known[key]; !seen {
+		w.known[key] = f
+		if w.clean {
+			w.pendingProbe = append(w.pendingProbe, f)
+		}
+	} else if s.CoalesceDuplicates && bufferHas(w.buf, f) {
+		return false
+	}
+	w.buf = append(w.buf, f)
+	s.Sends++
+	return true
+}
+
+// applyCross applies the cross-node half of a transition at n:
+// deliver the sent facts to every neighbor's buffer, add the new
+// output tuples to out(ρ), bump the counters and emit the trace
+// event (delivered is trace-only and may be nil even for deliveries
+// when tracing is off). The parallel merge barrier calls it for each
+// node in stable node order.
+func (s *Sim) applyCross(n *nodeRT, le localEffect, isDelivery bool, delivered *fact.Fact) {
+	sendsBefore := s.Sends
+	var newOut []fact.Tuple
+	for _, t := range le.outNew {
+		if s.out.Add(t) && s.Trace != nil {
+			newOut = append(newOut, t)
+		}
+	}
+	for _, w := range n.nbrs {
+		for i, f := range le.sent {
+			s.enqueue(w, f, le.keys[i])
 		}
 	}
 	s.Steps++
-	if rcv == nil {
-		s.Heartbeats++
-	} else {
+	if isDelivery {
 		s.Deliveries++
+	} else {
+		s.Heartbeats++
 	}
 	if s.Trace != nil {
-		ev := TraceEvent{Step: s.Steps, Node: v, Sent: s.Sends - sendsBefore,
-			NewOutput: newOut, StateChanged: stateChanged}
-		if rcv != nil {
-			facts := rcv.Facts()
-			if len(facts) == 1 {
-				ev.Delivered = &facts[0]
-			}
-		}
-		s.Trace(ev)
+		s.Trace(TraceEvent{Step: s.Steps, Node: n.v, Delivered: delivered,
+			Sent: s.Sends - sendsBefore, NewOutput: newOut, StateChanged: le.stateChanged})
 	}
+}
+
+func (s *Sim) transition(n *nodeRT, rcv *fact.Instance) error {
+	le, err := s.fireLocal(n, rcv)
+	if err != nil {
+		return err
+	}
+	var delivered *fact.Fact
+	if rcv != nil && s.Trace != nil {
+		facts := rcv.Facts()
+		if len(facts) == 1 {
+			delivered = &facts[0]
+		}
+	}
+	s.applyCross(n, le, rcv != nil, delivered)
 	return nil
 }
 
@@ -326,37 +424,51 @@ func bufferHas(buf []fact.Fact, f fact.Fact) bool {
 // This is the operational counterpart of the quiescence point of
 // Proposition 1.
 func (s *Sim) Quiescent() (bool, error) {
-	for _, v := range s.Net.Nodes() {
-		if s.clean[v] {
-			// Only the facts that became known since the last full
-			// probe need checking; the cached successes remain valid
-			// because the sets they depend on only grow.
-			pending := s.pendingProbe[v]
-			for i, f := range pending {
-				ok, err := s.probe(v, s.rcvFor(f))
-				if err != nil {
-					return false, err
-				}
-				if !ok {
-					s.pendingProbe[v] = pending[i:]
-					return false, nil
-				}
-			}
-			s.pendingProbe[v] = nil
-			continue
-		}
-		// Full probe: heartbeat plus every known distinct fact.
-		if ok, err := s.probe(v, nil); err != nil || !ok {
+	for _, n := range s.order {
+		ok, err := s.quiescentAt(n)
+		if err != nil || !ok {
 			return false, err
 		}
-		for _, f := range s.known[v] {
-			if ok, err := s.probe(v, s.rcvFor(f)); err != nil || !ok {
+	}
+	return true, nil
+}
+
+// quiescentAt runs the saturation check for one node: the incremental
+// pending-probe sweep when the node is clean, the full sweep
+// otherwise. It only mutates n (its memos and saturation flags), and
+// reads the neighbors' known sets — the parallel quiescence check
+// calls it concurrently for distinct nodes between rounds, when
+// nothing mutates those sets.
+func (s *Sim) quiescentAt(n *nodeRT) (bool, error) {
+	if n.clean {
+		// Only the facts that became known since the last full probe
+		// need checking; the cached successes remain valid because the
+		// sets they depend on only grow.
+		pending := n.pendingProbe
+		for i, f := range pending {
+			ok, err := s.probe(n, n.rcvFor(f))
+			if err != nil {
 				return false, err
 			}
+			if !ok {
+				n.pendingProbe = pending[i:]
+				return false, nil
+			}
 		}
-		s.clean[v] = true
-		s.pendingProbe[v] = nil
+		n.pendingProbe = nil
+		return true, nil
 	}
+	// Full probe: heartbeat plus every known distinct fact.
+	if ok, err := s.probe(n, nil); err != nil || !ok {
+		return false, err
+	}
+	for _, f := range n.known {
+		if ok, err := s.probe(n, n.rcvFor(f)); err != nil || !ok {
+			return false, err
+		}
+	}
+	n.clean = true
+	n.pendingProbe = nil
 	return true, nil
 }
 
@@ -370,12 +482,12 @@ func (s *Sim) Quiescent() (bool, error) {
 // of building the successor state. Conditions (ii) and (iii) are
 // memoized on the result pointers — sound because out(ρ) and the
 // known sets only grow.
-func (s *Sim) probe(v fact.Value, rcv *fact.Instance) (bool, error) {
-	stateChanged, snd, out, err := s.firingFor(v).ProbeParts(s.state[v], rcv)
+func (s *Sim) probe(n *nodeRT, rcv *fact.Instance) (bool, error) {
+	stateChanged, snd, out, err := s.firingFor(n).ProbeParts(n.state, rcv)
 	if err != nil || stateChanged {
 		return false, err
 	}
-	if s.probedOut[v] != out {
+	if n.probedOut != out {
 		ok := true
 		out.Each(func(t fact.Tuple) bool {
 			ok = s.out.Contains(t)
@@ -384,25 +496,23 @@ func (s *Sim) probe(v fact.Value, rcv *fact.Instance) (bool, error) {
 		if !ok {
 			return false, nil
 		}
-		s.probedOut[v] = out
+		n.probedOut = out
 	}
 	for _, sr := range snd {
 		if sr.R == nil || sr.R.Empty() {
 			continue
 		}
-		memo := s.probedSnd[v]
-		if memo == nil {
-			memo = map[string]*fact.Relation{}
-			s.probedSnd[v] = memo
+		if n.probedSnd == nil {
+			n.probedSnd = map[string]*fact.Relation{}
 		}
-		if memo[sr.Rel] == sr.R {
+		if n.probedSnd[sr.Rel] == sr.R {
 			continue
 		}
 		ok := true
 		sr.R.Each(func(t fact.Tuple) bool {
 			key := fact.Fact{Rel: sr.Rel, Args: t}.Key()
-			for _, w := range s.Net.Neighbors(v) {
-				if _, known := s.known[w][key]; !known {
+			for _, w := range n.nbrs {
+				if _, known := w.known[key]; !known {
 					ok = false
 					break
 				}
@@ -412,50 +522,44 @@ func (s *Sim) probe(v fact.Value, rcv *fact.Instance) (bool, error) {
 		if !ok {
 			return false, nil
 		}
-		memo[sr.Rel] = sr.R
+		n.probedSnd[sr.Rel] = sr.R
 	}
 	return true, nil
 }
 
 // Clone returns an independent deep copy of the configuration
 // (counters included), sharing the immutable network and transducer.
+// Evaluator caches and probe memos are not copied; they rebuild
+// lazily.
 func (s *Sim) Clone() *Sim {
 	c := &Sim{
 		Net: s.Net, Tr: s.Tr,
-		state:        map[fact.Value]*fact.Instance{},
-		buf:          map[fact.Value][]fact.Fact{},
-		known:        map[fact.Value]map[string]fact.Fact{},
-		firing:       map[fact.Value]*transducer.Firing{},
-		probedOut:    map[fact.Value]*fact.Relation{},
-		probedSnd:    map[fact.Value]map[string]*fact.Relation{},
-		outApplied:   map[fact.Value]*fact.Relation{},
-		sndMemo:      map[fact.Value]*sndCache{},
-		rcvCache:     map[string]*fact.Instance{},
-		clean:        map[fact.Value]bool{},
-		pendingProbe: map[fact.Value][]fact.Fact{},
-		out:          s.out.Clone(),
-		Steps:        s.Steps, Heartbeats: s.Heartbeats,
+		nodes: map[fact.Value]*nodeRT{},
+		out:   s.out.Clone(),
+		Steps: s.Steps, Heartbeats: s.Heartbeats,
 		Deliveries: s.Deliveries, Sends: s.Sends,
 		CoalesceDuplicates: s.CoalesceDuplicates,
 	}
-	for v, st := range s.state {
-		c.state[v] = st.Clone()
-	}
-	for v, b := range s.buf {
-		c.buf[v] = append([]fact.Fact(nil), b...)
-	}
-	for v, k := range s.known {
-		m := make(map[string]fact.Fact, len(k))
-		for key, f := range k {
-			m[key] = f
+	for _, n := range s.order {
+		cn := &nodeRT{
+			v:        n.v,
+			state:    n.state.Clone(),
+			buf:      append([]fact.Fact(nil), n.buf...),
+			known:    make(map[string]fact.Fact, len(n.known)),
+			rcvCache: map[string]*fact.Instance{},
+			clean:    n.clean,
 		}
-		c.known[v] = m
+		for key, f := range n.known {
+			cn.known[key] = f
+		}
+		cn.pendingProbe = append([]fact.Fact(nil), n.pendingProbe...)
+		c.nodes[n.v] = cn
+		c.order = append(c.order, cn)
 	}
-	for v, cl := range s.clean {
-		c.clean[v] = cl
-	}
-	for v, p := range s.pendingProbe {
-		c.pendingProbe[v] = append([]fact.Fact(nil), p...)
+	for _, cn := range c.order {
+		for _, w := range s.Net.Neighbors(cn.v) {
+			cn.nbrs = append(cn.nbrs, c.nodes[w])
+		}
 	}
 	return c
 }
@@ -471,13 +575,13 @@ func (s *Sim) Clone() *Sim {
 func (s *Sim) HeartbeatFixpoint(maxRounds int) (bool, error) {
 	for round := 0; round < maxRounds; round++ {
 		changed := false
-		for _, v := range s.Net.Nodes() {
-			before := s.state[v]
+		for _, n := range s.order {
+			before := n.state
 			outBefore := s.out.Len()
-			if err := s.Heartbeat(v); err != nil {
+			if err := s.transition(n, nil); err != nil {
 				return false, err
 			}
-			if !s.state[v].Equal(before) || s.out.Len() != outBefore {
+			if !n.state.Equal(before) || s.out.Len() != outBefore {
 				changed = true
 			}
 		}

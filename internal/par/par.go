@@ -1,0 +1,88 @@
+// Package par provides the small deterministic fan-out primitive the
+// parallel runtime and the sweep layers are built on: run n
+// independent jobs on a bounded worker pool and report the error of
+// the lowest-index failing job.
+//
+// Determinism contract: every job runs exactly once regardless of the
+// worker count (no early abort on error), and the returned error does
+// not depend on scheduling — it is always the failure with the
+// smallest index. Callers therefore observe identical results for any
+// Workers setting, which is what makes the parallel simulation
+// runtime's "Workers only changes wall-clock, never outcomes"
+// guarantee compose through the stack.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// StoreMin lowers a to i if i is smaller (atomic compare-and-swap
+// loop). Fan-outs use it to track the smallest index that succeeded
+// or failed, so higher indices can be skipped without changing a
+// first-in-order verdict.
+func StoreMin(a *atomic.Int64, i int64) {
+	for {
+		cur := a.Load()
+		if i >= cur || a.CompareAndSwap(cur, i) {
+			return
+		}
+	}
+}
+
+// For runs f(0), ..., f(n-1) on up to workers goroutines (workers <= 0
+// means GOMAXPROCS) and returns the error of the smallest index whose
+// job failed, or nil. Jobs are handed out by an atomic counter, so an
+// expensive job does not serialize the rest behind it. All jobs run
+// even when one fails; f must be safe to call concurrently for
+// distinct indices.
+func For(workers, n int, f func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

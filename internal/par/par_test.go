@@ -1,0 +1,50 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		counts := make([]atomic.Int32, n)
+		if err := For(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	want := errors.New("boom-3")
+	for _, workers := range []int{1, 2, 8} {
+		err := For(workers, 20, func(i int) error {
+			if i == 3 {
+				return want
+			}
+			if i > 10 {
+				return fmt.Errorf("boom-%d", i)
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, want)
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	if err := For(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

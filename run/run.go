@@ -8,8 +8,18 @@
 //	part := run.RoundRobinSplit(I, net)
 //	out, err := run.ToQuiescence(net, tr, part, run.Options{Seed: 42})
 //
+// Setting Options.Workers > 0 executes the run on the parallel
+// sharded runtime instead of the sequential scheduler loop: every
+// node fires once per round, concurrently on a worker pool, with
+// cross-node effects merged at a barrier in stable node order. The
+// trajectory is a function of the seed alone — Workers only changes
+// wall-clock time — and every parallel run is a fair run of the
+// paper's interleaved semantics (rounds of disjoint single-node
+// transitions commute into an interleaving).
+//
 // For finer control (tracing, custom schedulers, per-step inspection)
-// build a *Sim with NewSim and drive it yourself.
+// build a *Sim with NewSim and drive it yourself; Sim.RunParallel
+// (see ParallelOptions) is the round-based counterpart of Sim.Run.
 package run
 
 import (
@@ -119,6 +129,13 @@ type (
 	Scheduler = inetwork.Scheduler
 	// Event is a scheduled transition.
 	Event = inetwork.Event
+	// ParallelOptions configures Sim.RunParallel, the parallel sharded
+	// runtime: nodes fire concurrently in rounds on a worker pool,
+	// with per-node PCG streams and a merge barrier in stable node
+	// order. Runs are bit-identical for every Workers setting — the
+	// worker count changes wall-clock time only. Options.Workers > 0
+	// selects the same runtime through ToQuiescence.
+	ParallelOptions = inetwork.ParallelOptions
 )
 
 // NewRandomScheduler returns the seeded fair random scheduler.
