@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 300ms
 
-.PHONY: build test race bench bench-raw fuzz vet check clean
+.PHONY: build test race bench bench-raw bench-scenarios scenarios fuzz vet check clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,23 @@ bench-parallel:
 # invariance.
 race-parallel:
 	$(GO) test -race -run 'Parallel|Differential' ./...
+
+# scenarios runs the fault-scenario matrix under the race detector:
+# channel-model unit tests, the fair-channel bit-identity and
+# monotone-preservation property harness over the construction zoo,
+# and the CALM channel-robustness checks. All runs use fixed seeds —
+# deterministic per (seed, scenario).
+scenarios:
+	$(GO) test -race -run 'Channel|Scenario|Robust|Crash' ./...
+
+# bench-scenarios records the fault-scenario benchmark matrix (E16:
+# fair vs lossy/dup/partition/crash, sequential and parallel) to
+# BENCH_scenarios.json.
+bench-scenarios:
+	$(GO) test -run xxx -bench 'E16Scenarios' -benchtime $(BENCHTIME) . > benchs.out
+	$(GO) run ./cmd/benchjson -label local -scenario auto < benchs.out > BENCH_scenarios.json
+	@rm -f benchs.out
+	@echo wrote BENCH_scenarios.json
 
 # fuzz runs each parser fuzzer briefly (seed corpora are committed
 # under internal/*/testdata/fuzz).

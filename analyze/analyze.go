@@ -82,6 +82,24 @@ func ExpectedOutput(tr *itransducer.Transducer, I *ifact.Instance) (*ifact.Relat
 	return icalm.ExpectedOutput(tr, I)
 }
 
+// RobustOptions configures the channel-robustness check.
+type RobustOptions = icalm.RobustOptions
+
+// ChannelRobustnessReport is the outcome of the channel-robustness
+// check: per fault scenario, every distinct quiescent output observed
+// plus the runs that never quiesced.
+type ChannelRobustnessReport = icalm.ChannelRobustnessReport
+
+// CheckChannelRobustness runs the channel-robustness experiment: a
+// monotone / coordination-free program must reach the same quiescent
+// output under every fair channel model (loss, duplication,
+// partition-and-heal, crash/restart), while non-monotone programs can
+// be driven off the fair-channel answer — the report's Divergent()
+// exhibits the witnessing scenarios.
+func CheckChannelRobustness(net *inetwork.Network, tr *itransducer.Transducer, I *ifact.Instance, scenarios []string, opt RobustOptions) (*ChannelRobustnessReport, error) {
+	return icalm.CheckChannelRobustness(net, tr, I, scenarios, opt)
+}
+
 // MonotoneViolation is a counterexample to monotonicity: I ⊆ J with
 // Q(I) ⊄ Q(J).
 type MonotoneViolation = icalm.MonotoneViolation

@@ -142,3 +142,61 @@ func TestCatalogErrorsListAvailable(t *testing.T) {
 		t.Errorf("ParsePartition error should list strategies, got: %v", err)
 	}
 }
+
+// TestPublicChannelScenarios exercises the channel-model surface of
+// the facades: a lossy run through run.Options.Channel reproduces the
+// fair quiescent output for a monotone program, an explicit model
+// bound with Sim.SetChannel drives the same machinery, the robustness
+// analysis answers the CALM question, and unknown scenario specs list
+// the registry.
+func TestPublicChannelScenarios(t *testing.T) {
+	tr := build.TransitiveClosure()
+	I := declnet.FromFacts(
+		declnet.NewFact("S", "a", "b"), declnet.NewFact("S", "b", "c"))
+	net := run.Ring(3)
+	part := run.RoundRobinSplit(I, net)
+
+	want, err := run.ToQuiescence(net, tr, part, run.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.ToQuiescence(net, tr, part, run.Options{Seed: 9, Channel: "lossy:30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("lossy output %s != fair output %s for a monotone program", got, want)
+	}
+
+	sim, err := run.NewSim(net, tr, part, run.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetChannel(run.Duplicating(9, 50))
+	res, err := sim.Run(run.NewRandomScheduler(9), 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quiescent || !res.Output.Equal(want) {
+		t.Errorf("duplicating run output %s != %s", res.Output, want)
+	}
+	if sim.Duplicates == 0 {
+		t.Error("duplicating channel never redelivered")
+	}
+
+	rob, err := analyze.CheckChannelRobustness(net, tr, I,
+		[]string{"lossy:30", "dup:30"}, analyze.RobustOptions{Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rob.Robust() {
+		t.Errorf("transitive closure not channel-robust: %v", rob.Divergent())
+	}
+
+	if _, err := run.ParseChannel("no-such-channel"); err == nil || !strings.Contains(err.Error(), "lossy") {
+		t.Errorf("ParseChannel error should list scenarios, got: %v", err)
+	}
+	if len(run.ChannelScenarios()) < 5 {
+		t.Errorf("ChannelScenarios() = %v, want the five scenario families", run.ChannelScenarios())
+	}
+}

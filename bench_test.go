@@ -1,5 +1,5 @@
 // Benchmark harness for the experiment index of BENCHMARKS.md: one
-// bench per experiment E1-E14, each regenerating the validation of
+// bench per experiment E1-E16, each regenerating the validation of
 // one claim of the paper. Custom metrics report the quantities
 // tracked in BENCH_kernel.json: steps/op and msgs/op for run costs,
 // distinct outputs for consistency experiments, convergence
@@ -646,5 +646,58 @@ func BenchmarkE14Schedulers(b *testing.B) {
 			}
 			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
 		})
+	}
+}
+
+// BenchmarkE16Scenarios is the fault-scenario matrix (BENCHMARKS.md):
+// the E2 transitive-closure workload run to quiescence under each
+// channel model, sequentially and on the parallel runtime. The fair
+// row is the baseline; the fault rows measure what loss (extra
+// retransmissions), duplication (extra deliveries), partition epochs
+// (held messages) and crash/restart (re-derivation) cost in steps and
+// messages. All runs are seeded — deterministic per (seed, scenario)
+// — and the fault tallies are reported as drops/op, dups/op, held/op
+// and crashes/op.
+func BenchmarkE16Scenarios(b *testing.B) {
+	tr := build.TransitiveClosure()
+	I := chainEdges(16)
+	net := run.Ring(6)
+	part := run.RoundRobinSplit(I, net)
+	scenarios := []string{"fair", "lossy:25", "dup:25", "partition:24", "crash:1@40"}
+	for _, spec := range scenarios {
+		for _, workers := range []int{0, 2} {
+			b.Run(fmt.Sprintf("%s/workers=%d", spec, workers), func(b *testing.B) {
+				var steps, sends, drops, dups, held, crashes int
+				for i := 0; i < b.N; i++ {
+					sim, err := run.NewSim(net, tr, part,
+						run.Options{Seed: int64(i), Channel: spec})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var res run.Result
+					if workers > 0 {
+						res, err = sim.RunParallel(run.ParallelOptions{Seed: int64(i), Workers: workers})
+					} else {
+						res, err = sim.Run(run.NewRandomScheduler(int64(i)), 1000000)
+					}
+					if err != nil || !res.Quiescent {
+						b.Fatalf("%+v %v", res, err)
+					}
+					steps += res.Steps
+					sends += res.Sends
+					drops += sim.Drops
+					dups += sim.Duplicates
+					held += sim.Held
+					crashes += sim.Crashes
+				}
+				n := float64(b.N)
+				b.ReportMetric(float64(steps)/n, "steps/op")
+				b.ReportMetric(float64(sends)/n, "msgs/op")
+				b.ReportMetric(float64(drops)/n, "drops/op")
+				b.ReportMetric(float64(dups)/n, "dups/op")
+				b.ReportMetric(float64(held)/n, "held/op")
+				b.ReportMetric(float64(crashes)/n, "crashes/op")
+			})
+		}
 	}
 }

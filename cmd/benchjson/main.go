@@ -10,8 +10,12 @@
 //
 // -workers records the worker count the benchmarked parallel runs
 // used (see the workers=N sub-benches of BenchmarkE15ParallelRuntime)
-// in the report header, so parallel bench artifacts are
-// self-describing.
+// and -scenario the channel-model scenario matrix (see
+// BenchmarkE16Scenarios) in the report header, so bench artifacts are
+// self-describing. Every report embeds provenance — go version,
+// GOOS/GOARCH, NumCPU, GOMAXPROCS, git commit and dirty flag — so
+// caveats like "measured on a 1-CPU host" live in the artifact
+// itself.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -34,22 +40,70 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Provenance records the machine and source state the benchmarks ran
+// on, so caveats like "measured on a 1-CPU host" are machine-readable
+// in the artifact instead of README footnotes.
+type Provenance struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitCommit is the current HEAD ("unknown" outside a git
+	// checkout); GitDirty marks uncommitted changes in the worktree.
+	GitCommit string `json:"git_commit"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Label string `json:"label,omitempty"`
+	// Scenario is the channel-model scenario (or scenario matrix) the
+	// benchmarked runs used, when the caller passed -scenario.
+	Scenario string `json:"scenario,omitempty"`
 	// Workers is the parallel-runtime worker count the benchmarked
 	// runs used, when the caller passed -workers.
-	Workers int      `json:"workers,omitempty"`
-	Context []string `json:"context,omitempty"` // goos/goarch/pkg/cpu lines
-	Results []Result `json:"results"`
+	Workers    int        `json:"workers,omitempty"`
+	Provenance Provenance `json:"provenance"`
+	Context    []string   `json:"context,omitempty"` // goos/goarch/pkg/cpu lines
+	Results    []Result   `json:"results"`
+}
+
+// provenance gathers the environment of the run. Git queries fail
+// soft: a missing binary or non-repo directory yields "unknown", not
+// an error, so piping bench output works anywhere.
+func provenance() Provenance {
+	p := Provenance{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitCommit:  "unknown",
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		p.GitCommit = strings.TrimSpace(string(out))
+		// -uno: untracked files (bench.out scratch) don't count as
+		// dirty. The BENCH_*.json exclusion matters because the bench
+		// targets redirect into those tracked artifacts, truncating
+		// them BEFORE this process runs — the in-flight rewrite of the
+		// output artifact itself must not mark the source tree dirty.
+		if status, err := exec.Command("git", "status", "--porcelain", "-uno", "--",
+			".", ":(exclude)BENCH_*.json").Output(); err == nil {
+			p.GitDirty = len(strings.TrimSpace(string(status))) > 0
+		}
+	}
+	return p
 }
 
 func main() {
 	label := flag.String("label", "", "optional label recorded in the report")
 	workers := flag.Int("workers", 0, "parallel worker count to record in the report header")
+	scenario := flag.String("scenario", "",
+		"channel scenario (or scenario matrix) to record in the report header; \"auto\" derives it from the scenario sub-benchmark names")
 	flag.Parse()
 
-	rep := Report{Label: *label, Workers: *workers}
+	rep := Report{Label: *label, Workers: *workers, Scenario: *scenario, Provenance: provenance()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -73,12 +127,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if rep.Scenario == "auto" {
+		rep.Scenario = deriveScenarios(rep.Results)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// deriveScenarios extracts the distinct channel scenario specs from
+// the scenario-matrix sub-benchmark names
+// (Benchmark…Scenarios/<spec>/workers=N), in bench order. Deriving
+// the header from the measured results keeps it truthful: the matrix
+// is defined once, in the benchmark itself.
+func deriveScenarios(results []Result) string {
+	var specs []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		parts := strings.Split(r.Name, "/")
+		if len(parts) < 2 || !strings.HasSuffix(parts[0], "Scenarios") {
+			continue
+		}
+		if !seen[parts[1]] {
+			seen[parts[1]] = true
+			specs = append(specs, parts[1])
+		}
+	}
+	return strings.Join(specs, ",")
 }
 
 // parseLine parses one benchmark result line of the form

@@ -7,13 +7,19 @@
 //
 //	transduce -t tc -topology ring:4 -facts edges.dl \
 //	          [-partition roundrobin] [-seed 1] [-steps 200000] \
-//	          [-workers 4] [-list]
+//	          [-workers 4] [-channel lossy:25] [-list]
 //
 // With -workers N > 0 the run executes on the parallel sharded
 // runtime: all nodes fire concurrently in rounds on N goroutines,
 // deterministically per seed (the worker count never changes the
 // outcome, only wall-clock time). -workers 0 (the default) keeps the
 // sequential fair random scheduler.
+//
+// -channel selects the channel model / fault scenario: "fair" (the
+// default lossless §3 channel), "lossy:PCT" (message loss),
+// "dup:PCT" (duplicate delivery), "partition:EPOCH" (alternating
+// sever/heal epochs), "crash:NODE@STEP,..." (crash/restart). Every
+// scenario is deterministic per (seed, scenario).
 //
 // Facts files use Datalog syntax: "S(a, b). S(b, c)."
 package main
@@ -36,7 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	steps := flag.Int("steps", 200000, "step budget")
 	workers := flag.Int("workers", 0, "parallel round runtime worker count (0 = sequential scheduler)")
-	list := flag.Bool("list", false, "list available transducers and exit")
+	channelSpec := flag.String("channel", "", "channel model / fault scenario (see -list); empty = default fair channel on the fast path")
+	list := flag.Bool("list", false, "list available transducers and channel scenarios, then exit")
 	strict := flag.Bool("strict", false, "strict multiset buffers (no duplicate coalescing)")
 	trace := flag.Bool("trace", false, "print every transition")
 	flag.Parse()
@@ -45,6 +52,10 @@ func main() {
 		for _, n := range build.Names() {
 			e := build.Catalog()[n]
 			fmt.Printf("%-12s %-38s input: %s\n", n, e.Paper, e.Input)
+		}
+		fmt.Println("\nchannel scenarios (-channel):")
+		for _, line := range run.DescribeChannelScenarios() {
+			fmt.Println("  " + line)
 		}
 		return
 	}
@@ -77,9 +88,9 @@ func main() {
 	fmt.Printf("transducer %s on %s: oblivious=%v inflationary=%v monotone=%v\n",
 		tr.Name, net, tr.Oblivious(), tr.Inflationary(), tr.Monotone())
 
-	// Seed and step budget go to sim.Run below; Options carries only
-	// the per-sim knobs.
-	opt := run.Options{Strict: *strict}
+	// Step budget goes to sim.Run below; Options carries the per-sim
+	// knobs (the Seed doubles as the channel model's seed).
+	opt := run.Options{Strict: *strict, Seed: *seed, Channel: *channelSpec}
 	if *trace {
 		opt.Trace = func(ev run.TraceEvent) {
 			kind := "heartbeat"
@@ -112,6 +123,10 @@ func main() {
 	}
 	fmt.Printf("quiescent after %d steps (%d heartbeats, %d deliveries, %d messages)\n",
 		res.Steps, sim.Heartbeats, sim.Deliveries, res.Sends)
+	if sim.Drops+sim.Duplicates+sim.Crashes+sim.Held > 0 {
+		fmt.Printf("channel %s: %d drops, %d duplicate deliveries, %d held at partitions, %d crashes\n",
+			*channelSpec, sim.Drops, sim.Duplicates, sim.Held, sim.Crashes)
+	}
 	fmt.Printf("output (%d tuples):\n", res.Output.Len())
 	for _, t := range res.Output.Tuples() {
 		fmt.Println("  ", t)

@@ -101,12 +101,40 @@
 // topology-independence sweeps and the CALM analyses fan their
 // independent runs across all cores on top of the same runtime.
 //
+// # Channel models and fault scenarios
+//
+// The paper fixes one channel — arbitrary-order but fair and
+// lossless delivery. The simulator makes that channel pluggable
+// (internal/channel, surfaced through declnet/run): a ChannelModel
+// owns which buffered messages are deliverable, droppable or
+// duplicable at each step, which links are severed, and which nodes
+// crash. run.Options.Channel selects a scenario by spec — "fair"
+// (the default, bit-identical to pre-channel runs), "lossy:PCT"
+// (message loss recovered by retransmission), "dup:PCT"
+// (at-least-once delivery), "partition:EPOCH" (alternating
+// sever/heal epochs with held-message release at the heal) and
+// "crash:NODE@STEP,..." (crash/restart: buffer and volatile memory
+// lost, the Dedalus-style persisted relations — input fragment, Id,
+// All — retained). Both runtimes delegate their delivery decisions
+// to the model (the parallel rounds via each node's PCG stream, the
+// sequential loop by filtering scheduler proposals), so every
+// scenario is deterministic per (seed, scenario) and the
+// differential guarantees extend to faults unchanged.
+//
+// The CALM theorem predicts the behavior under weakened channels:
+// monotone / coordination-free programs reach the same quiescent
+// output under every fair channel model, while non-monotone programs
+// can be driven off the fair answer — analyze.CheckChannelRobustness
+// runs that experiment and exhibits the diverging scenarios.
+// SweepOptions.Channels fans the consistency sweeps across channel
+// models the way they already fan across partitions and networks.
+//
 // The implementation lives under internal/ and is reachable only
 // through these facades. Four CLIs (cmd/transduce, cmd/datalogi,
 // cmd/calmcheck, cmd/dedalusrun) and five runnable examples
 // (examples/) exercise the public surface; the benchmark suite in
-// bench_test.go regenerates the experiment index E1-E15 against the
+// bench_test.go regenerates the experiment index E1-E16 against the
 // paper's claims (BENCHMARKS.md has the index, BENCH_kernel.json the
 // measured trajectory, BENCH_parallel.json the parallel-runtime
-// numbers).
+// numbers, BENCH_scenarios.json the fault-scenario matrix).
 package declnet

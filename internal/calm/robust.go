@@ -1,0 +1,192 @@
+package calm
+
+// Channel-robustness: the CALM angle on the pluggable channel layer.
+// The paper's consistency and coordination-freeness results are
+// stated for the one idealized channel — arbitrary-order but fair and
+// lossless delivery. The interesting half of those claims is how they
+// degrade when the channel assumptions are weakened: a monotone
+// (coordination-free) program recomputes everything it needs from
+// state, so message loss, duplication and partition heal into the
+// same quiescent output, and crash/restart only costs re-derivation;
+// a non-monotone program reacts to completion certificates or arrival
+// order and can be driven to a different answer — or out of
+// quiescence entirely — by an adversarial channel.
+
+import (
+	"sort"
+	"sync"
+
+	"declnet/internal/channel"
+	"declnet/internal/dist"
+	"declnet/internal/fact"
+	"declnet/internal/network"
+	"declnet/internal/par"
+	"declnet/internal/transducer"
+)
+
+// RobustOptions configures CheckChannelRobustness.
+type RobustOptions struct {
+	// Seeds is the number of run seeds per scenario × partition
+	// (default 2).
+	Seeds int
+	// MaxSteps bounds each run; 0 means a generous default.
+	MaxSteps int
+	// Workers fans the scenario × partition × seed run matrix across
+	// that many goroutines; 0 means GOMAXPROCS. The report content is
+	// identical for every setting.
+	Workers int
+}
+
+func (o RobustOptions) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	return 2
+}
+
+// ChannelRobustnessReport is the outcome of the robustness check: for
+// every scenario, the distinct quiescent outputs observed across its
+// run matrix, plus the runs that failed to quiesce at all.
+type ChannelRobustnessReport struct {
+	// Expected is the reference answer from a fair-lossless run.
+	Expected *fact.Relation
+	// Outputs maps each scenario spec to its distinct observed
+	// quiescent outputs, keyed by canonical rendering.
+	Outputs map[string]map[string]*fact.Relation
+	// Failures maps a scenario spec to the error of its first failing
+	// run (in job order) — typically step-budget exhaustion without a
+	// quiescence point, itself a divergence witness.
+	Failures map[string]string
+
+	mu sync.Mutex
+}
+
+// RobustUnder reports whether every run of the scenario quiesced on
+// exactly the expected output.
+func (r *ChannelRobustnessReport) RobustUnder(spec string) bool {
+	if _, failed := r.Failures[spec]; failed {
+		return false
+	}
+	outs := r.Outputs[spec]
+	if len(outs) != 1 {
+		return false
+	}
+	for _, out := range outs {
+		return out.Equal(r.Expected)
+	}
+	return false
+}
+
+// Robust reports whether the program survived every checked scenario
+// with the expected output — the CALM prediction for monotone /
+// coordination-free programs.
+func (r *ChannelRobustnessReport) Robust() bool { return len(r.Divergent()) == 0 }
+
+// Divergent returns the scenario specs under which the program
+// diverged (different or multiple outputs, or failed runs), sorted —
+// the non-monotone witnesses.
+func (r *ChannelRobustnessReport) Divergent() []string {
+	seen := map[string]bool{}
+	for spec := range r.Outputs {
+		seen[spec] = true
+	}
+	for spec := range r.Failures {
+		seen[spec] = true
+	}
+	var out []string
+	for spec := range seen {
+		if !r.RobustUnder(spec) {
+			out = append(out, spec)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *ChannelRobustnessReport) record(spec string, out *fact.Relation) {
+	key := out.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Outputs[spec] == nil {
+		r.Outputs[spec] = map[string]*fact.Relation{}
+	}
+	r.Outputs[spec][key] = out
+}
+
+// robustJob is one run of the robustness matrix.
+type robustJob struct {
+	spec string
+	p    dist.Partition
+	seed int64
+}
+
+// CheckChannelRobustness runs the channel-robustness experiment for
+// (net, tr) on input I: the expected answer is computed by one
+// fair-lossless run, then every scenario in the list is swept over a
+// small partition family and several seeds, and the report records
+// every distinct quiescent output plus runs that never quiesced.
+// Monotone / coordination-free programs must come back Robust();
+// for non-monotone programs Divergent() exhibits the channel models
+// that drove them off the fair-channel answer.
+//
+// Scenario specs are validated up front (unknown names error with the
+// available list); run failures after that are divergence evidence,
+// recorded rather than returned.
+func CheckChannelRobustness(net *network.Network, tr *transducer.Transducer, I *fact.Instance, scenarios []string, opt RobustOptions) (*ChannelRobustnessReport, error) {
+	specs := make([]string, 0, len(scenarios))
+	for _, raw := range scenarios {
+		sc, err := channel.Parse(raw)
+		if err != nil {
+			return nil, err
+		}
+		if sc.Validate != nil {
+			if err := sc.Validate(net.Size()); err != nil {
+				return nil, err
+			}
+		}
+		specs = append(specs, sc.Spec)
+	}
+
+	expected, err := dist.RunToQuiescence(net, tr, dist.RoundRobinSplit(I, net),
+		dist.RunOptions{Seed: 1, MaxSteps: opt.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChannelRobustnessReport{
+		Expected: expected,
+		Outputs:  map[string]map[string]*fact.Relation{},
+		Failures: map[string]string{},
+	}
+
+	var jobs []robustJob
+	for _, spec := range specs {
+		parts := []dist.Partition{dist.RoundRobinSplit(I, net), dist.ReplicateAll(I, net)}
+		for _, p := range parts {
+			for seed := 0; seed < opt.seeds(); seed++ {
+				jobs = append(jobs, robustJob{spec: spec, p: p.Clone(), seed: int64(31*seed + 5)})
+			}
+		}
+	}
+	failures := make([]error, len(jobs))
+	_ = par.For(opt.Workers, len(jobs), func(i int) error {
+		out, err := dist.RunToQuiescence(net, tr, jobs[i].p,
+			dist.RunOptions{Seed: jobs[i].seed, MaxSteps: opt.MaxSteps, Channel: jobs[i].spec})
+		if err != nil {
+			failures[i] = err
+			return nil
+		}
+		rep.record(jobs[i].spec, out)
+		return nil
+	})
+	// First-in-job-order failure per scenario, independent of the
+	// fan-out.
+	for i, err := range failures {
+		if err == nil {
+			continue
+		}
+		if _, seen := rep.Failures[jobs[i].spec]; !seen {
+			rep.Failures[jobs[i].spec] = err.Error()
+		}
+	}
+	return rep, nil
+}

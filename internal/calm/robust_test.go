@@ -1,0 +1,125 @@
+package calm
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/channel"
+	"declnet/internal/dist"
+	"declnet/internal/fact"
+	"declnet/internal/network"
+)
+
+// TestRobustMonotoneAcrossChannels: the CALM prediction — a monotone,
+// coordination-free program reaches the same quiescent output under
+// every fair channel model: loss, duplication, partition-and-heal,
+// crash/restart.
+func TestRobustMonotoneAcrossChannels(t *testing.T) {
+	edges := fact.FromFacts(
+		fact.NewFact("S", "a", "b"), fact.NewFact("S", "b", "c"), fact.NewFact("S", "c", "d"))
+	scenarios := []string{"fair", "lossy:30", "dup:30", "partition:12", "crash:1@10"}
+	rep, err := CheckChannelRobustness(network.Line(3), dist.TransitiveClosure(), edges,
+		scenarios, RobustOptions{Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Robust() {
+		t.Fatalf("monotone transitive closure diverged under %v (failures: %v)",
+			rep.Divergent(), rep.Failures)
+	}
+	for _, spec := range []string{"fair", "lossy:30", "dup:30", "partition:12", "crash:1@10"} {
+		if !rep.RobustUnder(spec) {
+			t.Errorf("RobustUnder(%s) = false on a robust report", spec)
+		}
+	}
+}
+
+// TestRobustNonMonotoneDivergesUnderCrash: the adversarial converse.
+// EvenCardinality gates its parity output behind completion
+// certificates (CollectThenCompute); a crash wipes the collected
+// facts while gossiped certificates survive at the neighbours, so the
+// restarted node re-receives stale "your collection is complete"
+// evidence, opens the gate on a partial instance and emits the wrong
+// parity. The robustness check catches the divergence.
+func TestRobustNonMonotoneDivergesUnderCrash(t *testing.T) {
+	set := fact.FromFacts(
+		fact.NewFact("S", "x1"), fact.NewFact("S", "x2"), fact.NewFact("S", "x3"))
+	tr, err := dist.EvenCardinality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckChannelRobustness(network.Ring(3), tr, set,
+		[]string{"fair", "crash:0@20"}, RobustOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RobustUnder("fair") {
+		t.Error("parity is consistent under the fair channel; robustness check disagrees")
+	}
+	if rep.RobustUnder("crash:0@20") {
+		t.Error("parity survived crash/restart; expected stale-certificate divergence")
+	}
+	div := rep.Divergent()
+	if len(div) != 1 || div[0] != "crash:0@20" {
+		t.Errorf("Divergent() = %v, want [crash:0@20]", div)
+	}
+	// |S| = 3 is odd: the fair answer is the empty relation, and the
+	// divergence must include the wrong "even" verdict (the nullary
+	// tuple) produced from a partial collection.
+	if !rep.Expected.Empty() {
+		t.Errorf("expected fair answer {}, got %s", rep.Expected)
+	}
+	wrong := false
+	for _, out := range rep.Outputs["crash:0@20"] {
+		if !out.Empty() {
+			wrong = true
+		}
+	}
+	if !wrong {
+		t.Error("divergent outputs never include the wrong parity verdict")
+	}
+}
+
+// TestRobustSpecsValidatedUpFront: scenario specs are resolved through
+// the channel registry, so unknown names fail fast and list the
+// available scenarios.
+func TestRobustSpecsValidatedUpFront(t *testing.T) {
+	set := fact.FromFacts(fact.NewFact("S", "x1"))
+	_, err := CheckChannelRobustness(network.Line(2), dist.RelayOnly(), set,
+		[]string{"bogus"}, RobustOptions{})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range channel.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list scenario %q", err, name)
+		}
+	}
+}
+
+// TestRobustWorkersInvariant: the report verdict is identical for
+// every fan-out width.
+func TestRobustWorkersInvariant(t *testing.T) {
+	set := fact.FromFacts(fact.NewFact("S", "x1"), fact.NewFact("S", "x2"))
+	var first *ChannelRobustnessReport
+	for _, workers := range []int{1, 4} {
+		rep, err := CheckChannelRobustness(network.Line(2), dist.RelayOnly(), set,
+			[]string{"lossy:20", "dup:20"}, RobustOptions{Seeds: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = rep
+			continue
+		}
+		if rep.Robust() != first.Robust() {
+			t.Errorf("workers=%d: Robust() = %v, differs from workers=1", workers, rep.Robust())
+		}
+		for spec, outs := range first.Outputs {
+			if len(rep.Outputs[spec]) != len(outs) {
+				t.Errorf("workers=%d: scenario %s observed %d outputs, workers=1 saw %d",
+					workers, spec, len(rep.Outputs[spec]), len(outs))
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package channel
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// stream builds the per-node PCG stream the parallel runtime would
+// hand to Next.
+func stream(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+}
+
+// TestChannelFairMatchesPreRefactorDraw: FairLossless.Next consumes
+// exactly one IntN(1+buflen) draw and maps it the way parallel.go
+// did before the channel layer: k == 0 → heartbeat, k > 0 → deliver
+// buf[k-1].
+func TestChannelFairMatchesPreRefactorDraw(t *testing.T) {
+	m := FairLossless()
+	for _, buflen := range []int{0, 1, 3, 17} {
+		a, b := stream(42), stream(42)
+		for i := 0; i < 200; i++ {
+			d := m.Next(7, a, buflen)
+			k := b.IntN(1 + buflen)
+			if k == 0 {
+				if d.Action != Heartbeat {
+					t.Fatalf("buflen=%d draw %d: got %v, want heartbeat", buflen, i, d)
+				}
+			} else if d.Action != Deliver || d.Index != k-1 {
+				t.Fatalf("buflen=%d draw %d: got %v, want deliver %d", buflen, i, d, k-1)
+			}
+		}
+	}
+	if d := m.Filter(0, 10, 3, 5); d.Action != Deliver || d.Index != 3 {
+		t.Fatalf("fair Filter perturbed a delivery proposal: %v", d)
+	}
+	if d := m.Filter(0, 10, -1, 5); d.Action != Heartbeat {
+		t.Fatalf("fair Filter perturbed a heartbeat proposal: %v", d)
+	}
+}
+
+// TestChannelDeterminism: every model's decision sequence is a pure
+// function of (seed, scenario).
+func TestChannelDeterminism(t *testing.T) {
+	for _, spec := range []string{"fair", "lossy:30", "dup:30", "partition:8", "crash:1@5"} {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, m2 := sc.New(99, 4), sc.New(99, 4)
+		r1, r2 := stream(7), stream(7)
+		for i := 0; i < 500; i++ {
+			d1, d2 := m1.Next(i%4, r1, 5), m2.Next(i%4, r2, 5)
+			if d1 != d2 {
+				t.Fatalf("%s: Next diverged at draw %d: %v vs %v", spec, i, d1, d2)
+			}
+			f1, f2 := m1.Filter(i%4, i, i%6-1, 5), m2.Filter(i%4, i, i%6-1, 5)
+			if f1 != f2 {
+				t.Fatalf("%s: Filter diverged at draw %d: %v vs %v", spec, i, f1, f2)
+			}
+		}
+	}
+}
+
+// TestChannelLossyAndDupActions: the fault models actually emit their
+// distinguishing actions, with indices in range.
+func TestChannelLossyAndDupActions(t *testing.T) {
+	drops, dups := 0, 0
+	lm, dm := LossyFair(3, 50), Duplicating(3, 50)
+	lr, dr := stream(3), stream(3)
+	for i := 0; i < 400; i++ {
+		if d := lm.Next(0, lr, 4); d.Action == Drop {
+			drops++
+			if d.Index < 0 || d.Index >= 4 {
+				t.Fatalf("drop index %d out of range", d.Index)
+			}
+		} else if d.Action == Duplicate {
+			t.Fatal("lossy model emitted a duplicate")
+		}
+		if d := dm.Next(0, dr, 4); d.Action == Duplicate {
+			dups++
+		} else if d.Action == Drop {
+			t.Fatal("dup model emitted a drop")
+		}
+	}
+	if drops == 0 || dups == 0 {
+		t.Fatalf("fault models never faulted: drops=%d dups=%d", drops, dups)
+	}
+}
+
+// TestChannelPartitionEpochs: epoch 0 severs the halves, epoch 1
+// heals, intra-block links always work, and one-node networks are
+// never partitioned.
+func TestChannelPartitionEpochs(t *testing.T) {
+	m := Partition(10, 4)
+	if m.Connected(0, 2, 5) {
+		t.Error("cross-cut link connected during severed epoch")
+	}
+	if !m.Connected(0, 1, 5) || !m.Connected(2, 3, 5) {
+		t.Error("intra-block link severed")
+	}
+	if !m.Connected(0, 2, 15) {
+		t.Error("cross-cut link severed during healed epoch")
+	}
+	if m.Connected(0, 2, 25) {
+		t.Error("partition did not re-sever in epoch 2")
+	}
+	if one := Partition(10, 1); !one.Connected(0, 0, 5) {
+		t.Error("single-node network partitioned")
+	}
+}
+
+// TestChannelCrashWindows: CrashesIn returns exactly the events in
+// (from, to], so a runtime polling with a jumping step counter sees
+// every crash exactly once.
+func TestChannelCrashWindows(t *testing.T) {
+	m := CrashRestart([]CrashEvent{{Step: 5, Node: 1}, {Step: 12, Node: 0}, {Step: 12, Node: 2}})
+	if got := m.CrashesIn(0, 4); len(got) != 0 {
+		t.Fatalf("CrashesIn(0,4) = %v, want none", got)
+	}
+	if got := m.CrashesIn(4, 12); len(got) != 3 {
+		t.Fatalf("CrashesIn(4,12) = %v, want all three", got)
+	}
+	if got := m.CrashesIn(12, 50); len(got) != 0 {
+		t.Fatalf("CrashesIn(12,50) = %v, want none (already fired)", got)
+	}
+}
+
+// TestScenarioParse: specs round-trip to canonical names, defaults
+// apply, and errors follow the registry convention of listing the
+// available names.
+func TestScenarioParse(t *testing.T) {
+	for spec, want := range map[string]string{
+		"fair":           "fair",
+		"lossy":          "lossy:25",
+		"lossy:40":       "lossy:40",
+		"dup:10":         "dup:10",
+		"partition":      "partition:32",
+		"partition:8":    "partition:8",
+		"crash":          "crash:0@32",
+		"crash:2@9,0@40": "crash:2@9,0@40",
+	} {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if sc.Spec != want {
+			t.Errorf("Parse(%q).Spec = %q, want %q", spec, sc.Spec, want)
+		}
+		if m := sc.New(1, 4); m == nil {
+			t.Errorf("Parse(%q).New returned nil model", spec)
+		}
+	}
+
+	_, err := Parse("bogus")
+	if err == nil {
+		t.Fatal("Parse(bogus) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-scenario error %q does not list %q", err, name)
+		}
+	}
+	for _, bad := range []string{"lossy:150", "lossy:x", "partition:0", "crash:1", "crash:@5", "fair:1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+
+	// Crash schedules naming a node the network does not have must be
+	// rejected at bind time, not silently never fire.
+	sc, err := Parse("crash:7@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Validate == nil {
+		t.Fatal("crash scenario has no Validate hook")
+	}
+	if err := sc.Validate(4); err == nil {
+		t.Error("crash:7@5 validated against a 4-node network")
+	}
+	if err := sc.Validate(8); err != nil {
+		t.Errorf("crash:7@5 rejected on an 8-node network: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package channel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scenario is a named, parameterized channel-model family: a factory
+// producing a fresh Model per run. Runs with equal (seed, scenario)
+// are bit-identical, which is what lets the differential harness
+// treat fault scenarios exactly like scheduler seeds.
+type Scenario struct {
+	// Spec is the canonical spec string, e.g. "fair", "lossy:25",
+	// "partition:32", "crash:0@40".
+	Spec string
+	// Desc is a one-line description for listings.
+	Desc string
+	// New builds a fresh model for one run on a network of `nodes`
+	// nodes, drawing any sequential-filter randomness from seed.
+	New func(seed int64, nodes int) Model
+	// Validate, when non-nil, checks the scenario parameters against
+	// the run's node count before a model is built — e.g. a crash
+	// schedule naming a node the network does not have must error
+	// rather than silently never fire. Run layers call it once the
+	// network is known.
+	Validate func(nodes int) error
+}
+
+// scenarioDefaults are the parameter defaults of the parameterized
+// scenario families.
+const (
+	defaultLossPct   = 25
+	defaultDupPct    = 25
+	defaultEpochLen  = 32
+	defaultCrashStep = 32
+)
+
+// scenarioFamilies is the dispatch table of Parse. Each entry parses
+// the parameter part of a spec (the text after the family name and
+// optional colon; empty for the bare name).
+var scenarioFamilies = map[string]struct {
+	template string // spec template shown in listings
+	desc     string
+	parse    func(param string) (Scenario, error)
+}{
+	"fair": {
+		template: "fair",
+		desc:     "arbitrary-order, fair, lossless delivery (the paper's §3 channel; default)",
+		parse: func(param string) (Scenario, error) {
+			if param != "" {
+				return Scenario{}, fmt.Errorf("channel: scenario \"fair\" takes no parameter")
+			}
+			return Scenario{Spec: "fair", New: func(int64, int) Model { return FairLossless() }}, nil
+		},
+	},
+	"lossy": {
+		template: "lossy[:PCT]",
+		desc:     "fair delivery, each chosen delivery dropped with probability PCT% (default 25)",
+		parse: func(param string) (Scenario, error) {
+			pct, err := parsePct(param, defaultLossPct)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("channel: scenario \"lossy\": %w", err)
+			}
+			return Scenario{Spec: fmt.Sprintf("lossy:%d", pct),
+				New: func(seed int64, _ int) Model { return LossyFair(seed, pct) }}, nil
+		},
+	},
+	"dup": {
+		template: "dup[:PCT]",
+		desc:     "fair delivery, each chosen message redelivered with probability PCT% (default 25)",
+		parse: func(param string) (Scenario, error) {
+			pct, err := parsePct(param, defaultDupPct)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("channel: scenario \"dup\": %w", err)
+			}
+			return Scenario{Spec: fmt.Sprintf("dup:%d", pct),
+				New: func(seed int64, _ int) Model { return Duplicating(seed, pct) }}, nil
+		},
+	},
+	"partition": {
+		template: "partition[:EPOCH]",
+		desc:     "network split in two halves, severed/healed in alternating EPOCH-step epochs (default 32)",
+		parse: func(param string) (Scenario, error) {
+			epoch := defaultEpochLen
+			if param != "" {
+				n, err := strconv.Atoi(param)
+				if err != nil || n < 1 {
+					return Scenario{}, fmt.Errorf("channel: scenario \"partition\": epoch length %q must be a positive integer", param)
+				}
+				epoch = n
+			}
+			return Scenario{Spec: fmt.Sprintf("partition:%d", epoch),
+				New: func(_ int64, nodes int) Model { return Partition(epoch, nodes) }}, nil
+		},
+	},
+	"crash": {
+		template: "crash[:NODE@STEP,...]",
+		desc:     "crash/restart the scheduled nodes (buffer and volatile state lost, persisted relations kept); default 0@32",
+		parse: func(param string) (Scenario, error) {
+			schedule := []CrashEvent{{Step: defaultCrashStep, Node: 0}}
+			if param != "" {
+				schedule = schedule[:0]
+				for _, part := range strings.Split(param, ",") {
+					nodeStr, stepStr, ok := strings.Cut(part, "@")
+					if !ok {
+						return Scenario{}, fmt.Errorf("channel: scenario \"crash\": event %q must be NODE@STEP", part)
+					}
+					node, err1 := strconv.Atoi(nodeStr)
+					step, err2 := strconv.Atoi(stepStr)
+					if err1 != nil || err2 != nil || node < 0 || step < 1 {
+						return Scenario{}, fmt.Errorf("channel: scenario \"crash\": event %q must be NODE@STEP with NODE ≥ 0 and STEP ≥ 1", part)
+					}
+					schedule = append(schedule, CrashEvent{Step: step, Node: node})
+				}
+			}
+			sort.Slice(schedule, func(i, j int) bool {
+				if schedule[i].Step != schedule[j].Step {
+					return schedule[i].Step < schedule[j].Step
+				}
+				return schedule[i].Node < schedule[j].Node
+			})
+			m := CrashRestart(schedule)
+			return Scenario{Spec: m.Name(),
+				New: func(_ int64, _ int) Model { return CrashRestart(schedule) },
+				Validate: func(nodes int) error {
+					for _, e := range schedule {
+						if e.Node >= nodes {
+							return fmt.Errorf("channel: scenario %q: node %d out of range for a %d-node network", m.Name(), e.Node, nodes)
+						}
+					}
+					return nil
+				}}, nil
+		},
+	},
+}
+
+// Names returns the recognized scenario spec templates, sorted — the
+// list embedded in unknown-name errors.
+func Names() []string {
+	out := make([]string, 0, len(scenarioFamilies))
+	for _, fam := range scenarioFamilies {
+		out = append(out, fam.template)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns "template — description" lines for the recognized
+// scenario families, sorted by template; CLI -list output.
+func Describe() []string {
+	out := make([]string, 0, len(scenarioFamilies))
+	for _, fam := range scenarioFamilies {
+		out = append(out, fmt.Sprintf("%-24s %s", fam.template, fam.desc))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves a channel scenario spec ("fair", "lossy:25",
+// "dup:10", "partition:64", "crash:0@40,2@90"). Unknown names list
+// the available scenarios, matching the registry convention for
+// transducers, topologies and partitions.
+func Parse(spec string) (Scenario, error) {
+	name, param, _ := strings.Cut(spec, ":")
+	fam, ok := scenarioFamilies[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("channel: unknown scenario %q; available: %s",
+			spec, strings.Join(Names(), ", "))
+	}
+	sc, err := fam.parse(param)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc.Desc = fam.desc
+	return sc, nil
+}
+
+func parsePct(param string, def int) (int, error) {
+	if param == "" {
+		return def, nil
+	}
+	pct, err := strconv.Atoi(param)
+	if err != nil || pct < 0 || pct > 99 {
+		return 0, fmt.Errorf("probability %q must be an integer percentage in [0, 99]", param)
+	}
+	return pct, nil
+}

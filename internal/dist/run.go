@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"declnet/internal/channel"
 	"declnet/internal/fact"
 	"declnet/internal/network"
 	"declnet/internal/par"
@@ -32,6 +33,14 @@ type RunOptions struct {
 	// Scheduler overrides the default fair random scheduler
 	// (sequential mode only).
 	Scheduler network.Scheduler
+	// Channel selects the channel model / fault scenario of the run by
+	// registry spec: "fair", "lossy[:PCT]", "dup[:PCT]",
+	// "partition[:EPOCH]", "crash[:NODE@STEP,...]". Empty keeps the
+	// default FairLossless semantics on the zero-overhead fast path
+	// (bit-identical to the pre-channel-layer runtime); any other spec
+	// routes delivery decisions through the named model, deterministic
+	// per (Seed, Channel) in both the sequential and parallel runtimes.
+	Channel string
 	// Trace, when non-nil, receives every executed transition.
 	Trace func(network.TraceEvent)
 }
@@ -52,7 +61,7 @@ func (o RunOptions) scheduler() network.Scheduler {
 
 // NewSim builds the initial configuration of the transducer network
 // (net, tr) on the given horizontal partition, with the options'
-// coalescing and tracing applied.
+// coalescing, tracing and channel model applied.
 func NewSim(net *network.Network, tr *transducer.Transducer, p Partition, opt RunOptions) (*network.Sim, error) {
 	sim, err := network.NewSim(net, tr, p)
 	if err != nil {
@@ -60,6 +69,18 @@ func NewSim(net *network.Network, tr *transducer.Transducer, p Partition, opt Ru
 	}
 	sim.CoalesceDuplicates = !opt.Strict
 	sim.Trace = opt.Trace
+	if opt.Channel != "" {
+		sc, err := channel.Parse(opt.Channel)
+		if err != nil {
+			return nil, err
+		}
+		if sc.Validate != nil {
+			if err := sc.Validate(net.Size()); err != nil {
+				return nil, err
+			}
+		}
+		sim.SetChannel(sc.New(opt.Seed, net.Size()))
+	}
 	return sim, nil
 }
 
@@ -107,6 +128,18 @@ type SweepOptions struct {
 	// RunWorkers-sized pool, so keep Workers x RunWorkers near the
 	// core count.
 	RunWorkers int
+	// Channels fans the sweep across channel-model scenarios the way
+	// it already fans across partitions and seeds: each spec (see
+	// RunOptions.Channel) multiplies the run matrix. Empty means the
+	// default FairLossless channel only.
+	Channels []string
+}
+
+func (o SweepOptions) channels() []string {
+	if len(o.Channels) > 0 {
+		return o.Channels
+	}
+	return []string{""}
 }
 
 func (o SweepOptions) seeds() int {
@@ -208,23 +241,26 @@ func CheckTopologyIndependence(nets map[string]*network.Network, tr *transducer.
 
 // sweepJob is one fair run of the sweep matrix.
 type sweepJob struct {
-	p    Partition
-	seed int64
+	p       Partition
+	seed    int64
+	channel string
 }
 
 func sweepInto(rep *SweepReport, net *network.Network, tr *transducer.Transducer, I *fact.Instance, opt SweepOptions) error {
 	var jobs []sweepJob
 	for _, p := range sweepPartitions(I, net) {
 		for seed := 0; seed < opt.seeds(); seed++ {
-			// Each job owns its partition copy: runs fan out across
-			// goroutines and NewSim reads the fragments.
-			jobs = append(jobs, sweepJob{p: p.Clone(), seed: int64(1000*seed + 17)})
+			for _, ch := range opt.channels() {
+				// Each job owns its partition copy: runs fan out across
+				// goroutines and NewSim reads the fragments.
+				jobs = append(jobs, sweepJob{p: p.Clone(), seed: int64(1000*seed + 17), channel: ch})
+			}
 		}
 	}
 	return par.For(opt.Workers, len(jobs), func(i int) error {
 		out, err := RunToQuiescence(net, tr, jobs[i].p,
 			RunOptions{Seed: jobs[i].seed, MaxSteps: opt.MaxSteps,
-				Strict: opt.Strict, Workers: opt.RunWorkers})
+				Strict: opt.Strict, Workers: opt.RunWorkers, Channel: jobs[i].channel})
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"declnet/internal/channel"
 	"declnet/internal/fact"
 )
 
@@ -69,22 +70,29 @@ func (o ParallelOptions) maxSteps() int {
 const parallelStreamSalt = 0xb5297a4d3f84d5a2
 
 // roundAct is one node's contribution to a round, computed
-// concurrently and applied at the merge barrier.
+// concurrently and applied at the merge barrier. The channel-fault
+// tallies (drops, dups) are accumulated here during the concurrent
+// fire phase and folded into the Sim counters at the barrier, so the
+// fire phase writes no shared memory.
 type roundAct struct {
 	le         localEffect
 	isDelivery bool
 	delivered  *fact.Fact // trace only
+	drops      int
+	dups       int
 	err        error
 }
 
 // RunParallel drives the simulation in parallel rounds until the
 // saturation check reports quiescence or the step budget is
-// exhausted. Each round every node performs one transition — a
-// delivery of a uniformly chosen buffered fact, or a heartbeat with
-// probability 1/(1+|buffer|) — chosen from the node's own
-// deterministic PCG stream, so rounds are fair in the limit and the
-// whole run is replayable from the seed. See the file comment for the
-// equivalence with the paper's interleaved semantics.
+// exhausted. Each round every node performs one transition, chosen by
+// the bound channel model from the node's own deterministic PCG
+// stream; the default FairLossless model delivers a uniformly chosen
+// buffered fact or heartbeats with probability 1/(1+|buffer|) —
+// exactly the pre-channel schedule — while fault models may also drop
+// or duplicate the chosen message. Rounds are fair in the limit and
+// the whole run is replayable from (seed, scenario). See the file
+// comment for the equivalence with the paper's interleaved semantics.
 func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -148,6 +156,13 @@ func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
 	}
 
 	quiescent := func() (bool, error) {
+		// Same held-message gate as the sequential Quiescent(): parked
+		// content the receiver has never seen forbids the verdict.
+		// Checked on the coordinating goroutine between phases, where
+		// no worker owns any node.
+		if s.heldUnseen() {
+			return false, nil
+		}
 		runPhase(func(i int) {
 			verdicts[i], errs[i] = s.quiescentAt(s.order[i])
 		})
@@ -162,6 +177,10 @@ func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
 	}
 
 	for {
+		// Channel time effects between rounds, while no worker owns a
+		// node: scheduled crashes fire, healed links release held
+		// messages. No-op without a channel model.
+		s.advanceChannel()
 		q, err := quiescent()
 		if err != nil {
 			return RunResult{}, err
@@ -175,19 +194,41 @@ func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
 
 		// Fire phase: every node transitions against the pre-round
 		// configuration, concurrently, touching only its own nodeRT.
+		// The channel model chooses each node's fate from the node's
+		// own PCG stream; a nil channel keeps the historical draw
+		// (deliver a uniform buffered fact or heartbeat) verbatim.
 		runPhase(func(i int) {
 			rt := s.order[i]
 			a := &acts[i]
 			*a = roundAct{}
-			k := streams[i].IntN(1 + len(rt.buf))
+			var d channel.Decision
+			if s.channel == nil {
+				if k := streams[i].IntN(1 + len(rt.buf)); k > 0 {
+					d = channel.Decision{Action: channel.Deliver, Index: k - 1}
+				}
+			} else {
+				d = s.channel.Next(i, streams[i], len(rt.buf))
+			}
 			var rcv *fact.Instance
-			if k > 0 {
-				f := rt.buf[k-1]
-				rt.buf = append(rt.buf[:k-1:k-1], rt.buf[k:]...)
-				rcv = rt.rcvFor(f)
-				a.isDelivery = true
-				if s.Trace != nil {
-					a.delivered = &f
+			switch d.Action {
+			case channel.Deliver, channel.Duplicate:
+				if d.Index >= 0 && d.Index < len(rt.buf) {
+					f := rt.buf[d.Index]
+					if d.Action == channel.Deliver {
+						rt.buf = removeAt(rt.buf, d.Index)
+					} else {
+						a.dups = 1
+					}
+					rcv = rt.rcvFor(f)
+					a.isDelivery = true
+					if s.Trace != nil {
+						a.delivered = &f
+					}
+				}
+			case channel.Drop:
+				if d.Index >= 0 && d.Index < len(rt.buf) {
+					rt.buf = removeAt(rt.buf, d.Index)
+					a.drops = 1
 				}
 			}
 			a.le, a.err = s.fireLocal(rt, rcv)
@@ -203,6 +244,8 @@ func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
 			}
 		}
 		for i := 0; i < n; i++ {
+			s.Drops += acts[i].drops
+			s.Duplicates += acts[i].dups
 			s.applyCross(s.order[i], acts[i].le, acts[i].isDelivery, acts[i].delivered)
 		}
 	}

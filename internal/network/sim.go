@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"declnet/internal/channel"
 	"declnet/internal/fact"
 	"declnet/internal/transducer"
 )
@@ -45,6 +46,20 @@ type Sim struct {
 
 	out *fact.Relation
 
+	// channel is the bound channel model (see SetChannel). nil keeps
+	// the default FairLossless semantics on the zero-overhead fast
+	// path that predates the channel layer — bit-identical schedules,
+	// no per-enqueue interface calls.
+	channel channel.Model
+	// held queues messages the channel refuses to admit right now
+	// (severed partition links): they have left the sender but not
+	// reached the receiver's buffer or known set, and are re-offered
+	// as the step counter advances.
+	held []heldMsg
+	// lastCrashStep is the step count up to which the channel's crash
+	// schedule has been polled.
+	lastCrashStep int
+
 	// Trace, when non-nil, is invoked after every transition with a
 	// description of what happened; used by cmd/transduce -trace and
 	// by debugging sessions. The parallel runtime emits events at the
@@ -56,6 +71,20 @@ type Sim struct {
 	Heartbeats int
 	Deliveries int
 	Sends      int // total facts appended to buffers
+	// Channel-fault counters: messages dropped undelivered, extra
+	// (duplicate) deliveries, node crash/restarts, and sends held at
+	// severed partition links.
+	Drops      int
+	Duplicates int
+	Crashes    int
+	Held       int
+}
+
+// heldMsg is one message parked at a severed channel link.
+type heldMsg struct {
+	src, dst *nodeRT
+	f        fact.Fact
+	key      string
 }
 
 // nodeRT is the complete runtime of one node: its configuration slice
@@ -65,11 +94,19 @@ type Sim struct {
 // concurrently without locks.
 type nodeRT struct {
 	v fact.Value
+	// idx is the node's position in the network's sorted node order:
+	// the stable index channel models and parallel PCG streams key on.
+	idx int
 	// nbrs points at the neighbor runtimes in sorted node order.
 	nbrs []*nodeRT
 
 	state *fact.Instance
 	buf   []fact.Fact
+	// persist is the crash-surviving snapshot of the node's initial
+	// state — the Dedalus-style persisted relations: input fragment,
+	// Id and All. Captured by SetChannel; nil when no channel model is
+	// bound (crashes impossible).
+	persist *fact.Instance
 	// known tracks every distinct message fact that was ever buffered
 	// at or delivered to the node, keyed by the interned fact key. It
 	// drives the saturation-based quiescence check.
@@ -158,6 +195,7 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 		}
 		n := &nodeRT{
 			v:        v,
+			idx:      len(s.order),
 			state:    st,
 			known:    map[string]fact.Fact{},
 			rcvCache: map[string]*fact.Instance{},
@@ -221,12 +259,146 @@ func (s *Sim) DeliverIndex(v fact.Value, idx int) error {
 	if n == nil {
 		return fmt.Errorf("network: delivery at unknown node %s", v)
 	}
+	return s.deliverAt(n, idx, false)
+}
+
+// deliverAt delivers the buffered fact at idx to n; with keep, a copy
+// stays in the buffer (a duplicating channel's at-least-once
+// delivery).
+func (s *Sim) deliverAt(n *nodeRT, idx int, keep bool) error {
 	if idx < 0 || idx >= len(n.buf) {
-		return fmt.Errorf("network: delivery index %d out of range at %s (buffer %d)", idx, v, len(n.buf))
+		return fmt.Errorf("network: delivery index %d out of range at %s (buffer %d)", idx, n.v, len(n.buf))
 	}
 	f := n.buf[idx]
-	n.buf = append(n.buf[:idx:idx], n.buf[idx+1:]...)
+	if keep {
+		s.Duplicates++
+	} else {
+		n.buf = removeAt(n.buf, idx)
+	}
 	return s.transition(n, n.rcvFor(f))
+}
+
+// removeAt removes the buffer element at i, copying the tail so the
+// prefix's backing array is never shared with the result.
+func removeAt(buf []fact.Fact, i int) []fact.Fact {
+	return append(buf[:i:i], buf[i+1:]...)
+}
+
+// SetChannel binds a channel model (internal/channel) to the sim: the
+// model owns which buffered messages are deliverable, droppable or
+// duplicable, which links are severed, and which nodes crash. nil (or
+// never calling SetChannel) keeps the default fair-lossless semantics
+// on the pre-channel fast path. Binding captures each node's
+// persisted-state snapshot, so it must happen before the first
+// transition.
+func (s *Sim) SetChannel(m channel.Model) {
+	if s.Steps > 0 {
+		panic("network: SetChannel after the run started")
+	}
+	s.channel = m
+	if m == nil {
+		return
+	}
+	for _, n := range s.order {
+		if n.persist == nil {
+			n.persist = n.state.Clone()
+		}
+	}
+}
+
+// ChannelModel returns the bound channel model (nil means the default
+// FairLossless fast path).
+func (s *Sim) ChannelModel() channel.Model { return s.channel }
+
+// PendingHeld returns the number of messages currently parked at
+// severed channel links.
+func (s *Sim) PendingHeld() int { return len(s.held) }
+
+// Crash crashes node v: its message buffer and volatile state
+// (memory relations, evaluator caches) are dropped, and it restarts
+// from the Dedalus-style persisted relations — the input fragment,
+// Id and All captured at SetChannel time. The accumulated run output
+// out(ρ) is durable and survives.
+func (s *Sim) Crash(v fact.Value) error {
+	n := s.nodes[v]
+	if n == nil {
+		return fmt.Errorf("network: crash at unknown node %s", v)
+	}
+	if n.persist == nil {
+		return fmt.Errorf("network: crash at %s: no persisted snapshot (bind a channel model with SetChannel first)", v)
+	}
+	s.crash(n)
+	return nil
+}
+
+// crash resets n to its persisted snapshot. The known set is run-level
+// bookkeeping of the saturation check (every message fact the channel
+// ever carried toward n), not node state, so it survives — keeping it
+// is what makes the quiescence check conservative across crashes: a
+// quiescence point is only declared once re-delivering any previously
+// seen fact to the restarted node is a no-op again.
+func (s *Sim) crash(n *nodeRT) {
+	n.state = n.persist.Clone()
+	n.buf = nil
+	n.firing = nil
+	n.probedOut = nil
+	n.probedSnd = nil
+	n.outApplied = nil
+	n.sndMemo = nil
+	n.clean = false
+	n.pendingProbe = nil
+	s.Crashes++
+}
+
+// advanceChannel applies the channel's time-driven effects up to the
+// current step count: scheduled crashes fire, then messages parked at
+// links that have healed are released into their destination buffers.
+// Both runtimes call it between transitions (the sequential loop) or
+// rounds (the parallel merge barrier), where no worker owns any node.
+// A nil channel makes it a no-op, preserving the fast path exactly.
+func (s *Sim) advanceChannel() {
+	if s.channel == nil {
+		return
+	}
+	for _, idx := range s.channel.CrashesIn(s.lastCrashStep, s.Steps) {
+		if idx >= 0 && idx < len(s.order) {
+			s.crash(s.order[idx])
+		}
+	}
+	s.lastCrashStep = s.Steps
+	if len(s.held) == 0 {
+		return
+	}
+	kept := s.held[:0]
+	for _, h := range s.held {
+		if s.channel.Connected(h.src.idx, h.dst.idx, s.Steps) {
+			s.admit(h.dst, h.f, h.key)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	s.held = kept
+}
+
+// execute performs the channel model's decision at node n.
+func (s *Sim) execute(n *nodeRT, d channel.Decision) error {
+	switch d.Action {
+	case channel.Deliver:
+		return s.deliverAt(n, d.Index, false)
+	case channel.Duplicate:
+		return s.deliverAt(n, d.Index, true)
+	case channel.Drop:
+		// The fact leaves the buffer undelivered; the step is spent on
+		// a heartbeat. Senders recover by retransmission: send
+		// relations are recomputed from state on every transition.
+		if d.Index >= 0 && d.Index < len(n.buf) {
+			n.buf = removeAt(n.buf, d.Index)
+			s.Drops++
+		}
+		return s.transition(n, nil)
+	default:
+		return s.transition(n, nil)
+	}
 }
 
 // firingFor returns (lazily creating) the node's incremental
@@ -338,10 +510,38 @@ func (s *Sim) fireLocal(n *nodeRT, rcv *fact.Instance) (localEffect, error) {
 	return le, nil
 }
 
-// enqueue appends fact f (with interned key) to w's buffer, updating
+// enqueue routes fact f (with interned key) from src toward w: the
+// channel model may hold it at a severed link (it then reaches
+// neither w's buffer nor its known set until the link heals);
+// otherwise it is admitted into w's buffer. Returns whether the fact
+// was actually buffered (false when held or coalesced away).
+func (s *Sim) enqueue(src, w *nodeRT, f fact.Fact, key string) bool {
+	if s.channel != nil && !s.channel.Connected(src.idx, w.idx, s.Steps) {
+		if s.CoalesceDuplicates && s.heldHas(w, key) {
+			return false
+		}
+		s.held = append(s.held, heldMsg{src: src, dst: w, f: f, key: key})
+		s.Held++
+		return false
+	}
+	return s.admit(w, f, key)
+}
+
+// heldHas reports whether an identical message toward w is already
+// parked at a severed link.
+func (s *Sim) heldHas(w *nodeRT, key string) bool {
+	for _, h := range s.held {
+		if h.dst == w && h.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// admit appends fact f (with interned key) to w's buffer, updating
 // w's known set and saturation bookkeeping; it returns whether the
 // fact was actually buffered (false when coalesced away).
-func (s *Sim) enqueue(w *nodeRT, f fact.Fact, key string) bool {
+func (s *Sim) admit(w *nodeRT, f fact.Fact, key string) bool {
 	if _, seen := w.known[key]; !seen {
 		w.known[key] = f
 		if w.clean {
@@ -371,7 +571,7 @@ func (s *Sim) applyCross(n *nodeRT, le localEffect, isDelivery bool, delivered *
 	}
 	for _, w := range n.nbrs {
 		for i, f := range le.sent {
-			s.enqueue(w, f, le.keys[i])
+			s.enqueue(n, w, f, le.keys[i])
 		}
 	}
 	s.Steps++
@@ -424,6 +624,9 @@ func bufferHas(buf []fact.Fact, f fact.Fact) bool {
 // This is the operational counterpart of the quiescence point of
 // Proposition 1.
 func (s *Sim) Quiescent() (bool, error) {
+	if s.heldUnseen() {
+		return false, nil
+	}
 	for _, n := range s.order {
 		ok, err := s.quiescentAt(n)
 		if err != nil || !ok {
@@ -431,6 +634,21 @@ func (s *Sim) Quiescent() (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// heldUnseen reports whether a message parked at a severed channel
+// link carries content its receiver has never seen. Such a message is
+// an obligation the future still owes: the saturation probes cannot
+// cover it (they sweep known facts only), so the configuration is not
+// quiescent until the link heals and the fact at least reaches the
+// known set. Both runtimes gate their quiescence verdicts on it.
+func (s *Sim) heldUnseen() bool {
+	for _, h := range s.held {
+		if _, known := h.dst.known[h.key]; !known {
+			return true
+		}
+	}
+	return false
 }
 
 // quiescentAt runs the saturation check for one node: the incremental
@@ -530,7 +748,10 @@ func (s *Sim) probe(n *nodeRT, rcv *fact.Instance) (bool, error) {
 // Clone returns an independent deep copy of the configuration
 // (counters included), sharing the immutable network and transducer.
 // Evaluator caches and probe memos are not copied; they rebuild
-// lazily.
+// lazily. The channel model binding is NOT carried over — models are
+// stateful per run — so the clone reverts to fair-lossless delivery;
+// messages parked at severed links are flushed into their destination
+// buffers (the clone's channel is healed from step one).
 func (s *Sim) Clone() *Sim {
 	c := &Sim{
 		Net: s.Net, Tr: s.Tr,
@@ -538,16 +759,22 @@ func (s *Sim) Clone() *Sim {
 		out:   s.out.Clone(),
 		Steps: s.Steps, Heartbeats: s.Heartbeats,
 		Deliveries: s.Deliveries, Sends: s.Sends,
+		Drops: s.Drops, Duplicates: s.Duplicates,
+		Crashes: s.Crashes, Held: s.Held,
 		CoalesceDuplicates: s.CoalesceDuplicates,
 	}
 	for _, n := range s.order {
 		cn := &nodeRT{
 			v:        n.v,
+			idx:      n.idx,
 			state:    n.state.Clone(),
 			buf:      append([]fact.Fact(nil), n.buf...),
 			known:    make(map[string]fact.Fact, len(n.known)),
 			rcvCache: map[string]*fact.Instance{},
 			clean:    n.clean,
+		}
+		if n.persist != nil {
+			cn.persist = n.persist.Clone()
 		}
 		for key, f := range n.known {
 			cn.known[key] = f
@@ -561,6 +788,14 @@ func (s *Sim) Clone() *Sim {
 			cn.nbrs = append(cn.nbrs, c.nodes[w])
 		}
 	}
+	// Flush held messages into the clone's buffers without disturbing
+	// the copied counters: the flush is a change of channel semantics
+	// (the clone's links are all healed), not new traffic.
+	sends := c.Sends
+	for _, h := range s.held {
+		c.admit(c.nodes[h.dst.v], h.f, h.key)
+	}
+	c.Sends = sends
 	return c
 }
 
@@ -616,6 +851,9 @@ func (s *Sim) Run(sched Scheduler, maxSteps int) (RunResult, error) {
 	}
 	sinceCheck := checkEvery // force an initial check
 	for s.Steps < maxSteps {
+		// Channel time effects first (no-op without a channel model):
+		// scheduled crashes fire, healed links release held messages.
+		s.advanceChannel()
 		if sinceCheck >= checkEvery {
 			sinceCheck = 0
 			q, err := s.Quiescent()
@@ -628,10 +866,27 @@ func (s *Sim) Run(sched Scheduler, maxSteps int) (RunResult, error) {
 		}
 		ev := sched.Next(s)
 		var err error
-		if ev.Deliver {
-			err = s.DeliverIndex(ev.Node, ev.Index)
+		if s.channel == nil {
+			// Pre-channel fast path: scheduler proposals execute
+			// directly, bit-identical to the historical runtime.
+			if ev.Deliver {
+				err = s.DeliverIndex(ev.Node, ev.Index)
+			} else {
+				err = s.Heartbeat(ev.Node)
+			}
 		} else {
-			err = s.Heartbeat(ev.Node)
+			// The scheduler proposes; the channel model decides
+			// whether the chosen message is deliverable, droppable or
+			// duplicable.
+			n := s.nodes[ev.Node]
+			if n == nil {
+				return RunResult{}, fmt.Errorf("network: scheduler chose unknown node %s", ev.Node)
+			}
+			idx := -1
+			if ev.Deliver {
+				idx = ev.Index
+			}
+			err = s.execute(n, s.channel.Filter(n.idx, s.Steps, idx, len(n.buf)))
 		}
 		if err != nil {
 			return RunResult{}, err

@@ -17,6 +17,13 @@
 // paper's interleaved semantics (rounds of disjoint single-node
 // transitions commute into an interleaving).
 //
+// Setting Options.Channel to a scenario spec ("lossy:25", "dup:25",
+// "partition:64", "crash:0@40") swaps the paper's fair-lossless
+// channel for an adversarial one: messages may be dropped,
+// redelivered, parked at severed partition links, or nodes may
+// crash and restart from their persisted relations. Every scenario
+// is deterministic per (seed, scenario) in both runtimes.
+//
 // For finer control (tracing, custom schedulers, per-step inspection)
 // build a *Sim with NewSim and drive it yourself; Sim.RunParallel
 // (see ParallelOptions) is the round-based counterpart of Sim.Run.
@@ -24,6 +31,7 @@ package run
 
 import (
 	icalm "declnet/internal/calm"
+	ichannel "declnet/internal/channel"
 	idist "declnet/internal/dist"
 	ifact "declnet/internal/fact"
 	inetwork "declnet/internal/network"
@@ -152,6 +160,69 @@ func NewLIFODelay(seed int64, delay int) Scheduler { return inetwork.NewLIFODela
 // NewHeartbeatOnly returns the scheduler that never delivers
 // messages; it drives the coordination-freeness witness runs of §5.
 func NewHeartbeatOnly() Scheduler { return inetwork.NewHeartbeatOnly() }
+
+// Channel models and fault scenarios: the pluggable delivery layer.
+// A ChannelModel owns which buffered messages are deliverable,
+// droppable or duplicable at each step, which links are severed, and
+// which nodes crash; Sim.SetChannel binds one, or set Options.Channel
+// to a scenario spec and let NewSim bind it. The default (no model)
+// is the paper's fair-lossless §3 channel on a zero-overhead fast
+// path, bit-identical to runs recorded before the channel layer
+// existed.
+type (
+	// ChannelModel decides the fate of buffered messages each step.
+	ChannelModel = ichannel.Model
+	// ChannelScenario is a named, parameterized channel-model family:
+	// a factory producing a fresh model per run, deterministic per
+	// (seed, scenario).
+	ChannelScenario = ichannel.Scenario
+	// ChannelDecision is a model's verdict for one node at one step.
+	ChannelDecision = ichannel.Decision
+	// CrashEvent schedules one crash/restart: node (index into the
+	// sorted node order) crashes when the step counter reaches Step.
+	CrashEvent = ichannel.CrashEvent
+)
+
+// FairLossless returns the default channel model: arbitrary-order,
+// fair, lossless delivery.
+func FairLossless() ChannelModel { return ichannel.FairLossless() }
+
+// LossyFair returns a fair-but-lossy channel dropping each chosen
+// delivery with probability pct/100; senders recover by
+// retransmission, so every fact still gets through eventually.
+func LossyFair(seed int64, pct int) ChannelModel { return ichannel.LossyFair(seed, pct) }
+
+// Duplicating returns an at-least-once channel that redelivers each
+// chosen message with probability pct/100.
+func Duplicating(seed int64, pct int) ChannelModel { return ichannel.Duplicating(seed, pct) }
+
+// PartitionChannel returns the epoch-alternating network partition:
+// links between the two halves of the node set are severed during
+// even epochs of epochLen steps and heal during odd ones; held
+// messages are released at the heal. nodes must be the Size() of the
+// network the model is bound to — a mismatched count splits at the
+// wrong boundary, and nodes < 2 degrades to the fair channel (a
+// one-node network cannot be partitioned). Prefer Options.Channel
+// ("partition:EPOCH"), which passes the node count automatically.
+func PartitionChannel(epochLen, nodes int) ChannelModel { return ichannel.Partition(epochLen, nodes) }
+
+// CrashRestart returns the crash/restart channel: scheduled nodes
+// lose their buffer and volatile state but keep the Dedalus-style
+// persisted relations (input fragment, Id, All).
+func CrashRestart(schedule []CrashEvent) ChannelModel { return ichannel.CrashRestart(schedule) }
+
+// ChannelScenarios returns the recognized channel scenario spec
+// templates, sorted.
+func ChannelScenarios() []string { return iregistry.ChannelScenarios() }
+
+// DescribeChannelScenarios returns "template — description" lines for
+// the channel scenarios, for CLI listings.
+func DescribeChannelScenarios() []string { return iregistry.DescribeChannelScenarios() }
+
+// ParseChannel resolves a channel scenario spec ("fair", "lossy:25",
+// "dup:25", "partition:64", "crash:0@40"); unknown names list the
+// available scenarios.
+func ParseChannel(spec string) (ChannelScenario, error) { return iregistry.ParseChannel(spec) }
 
 // Options configures a run.
 type Options = idist.RunOptions
