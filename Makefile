@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 300ms
 
-.PHONY: build test race bench bench-raw bench-scenarios scenarios fuzz vet check clean
+.PHONY: build test race bench bench-raw bench-plan bench-scenarios scenarios fuzz vet check clean
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,15 @@ race-parallel:
 # deterministic per (seed, scenario).
 scenarios:
 	$(GO) test -race -run 'Channel|Scenario|Robust|Crash' ./...
+
+# bench-plan records the compiled query-plan ablation (E17:
+# compile-once vs re-plan vs map-bindings reference, plus the
+# end-to-end large-config run) to BENCH_plan.json.
+bench-plan:
+	$(GO) test -run xxx -bench 'E17PlanRuntime' -benchtime $(BENCHTIME) . > benchq.out
+	$(GO) run ./cmd/benchjson -label local < benchq.out > BENCH_plan.json
+	@rm -f benchq.out
+	@echo wrote BENCH_plan.json
 
 # bench-scenarios records the fault-scenario benchmark matrix (E16:
 # fair vs lossy/dup/partition/crash, sequential and parallel) to

@@ -600,6 +600,126 @@ func BenchmarkE15ParallelRuntime(b *testing.B) {
 	}
 }
 
+// BenchmarkE17PlanRuntime is the compiled query-plan ablation
+// (BENCHMARKS.md E17): the hot transducer queries of the E-suite
+// evaluated through
+//
+//   - compiled: the production path — the plan compiled once at query
+//     construction, its cached schedule executed over register slots;
+//   - replan: query (and plan) rebuilt every evaluation — what
+//     per-eval planning costs;
+//   - mapjoin: the plan layer's reference executor — join order
+//     re-derived greedily per evaluation, bindings in a hash map (the
+//     pre-plan-layer strategy, fo only);
+//
+// plus an end-to-end run row on the large E2/E15 configuration, whose
+// every firing exercises the cached delta-pinned schedules. The fo
+// query is E2's transitive-closure insertion query on a large
+// chain+shortcut instance; the datalog program is the E7/E14
+// transitive closure on a 64-edge chain.
+func BenchmarkE17PlanRuntime(b *testing.B) {
+	// Large fo instance: a 40-chain S plus T pre-seeded with all pairs
+	// within distance 6 (the closure frontier mid-run).
+	foInst := declnet.NewInstance()
+	for i := 0; i < 40; i++ {
+		foInst.AddFact(ff("S", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+1))))
+	}
+	for i := 0; i <= 40; i++ {
+		for d := 1; d <= 6 && i+d <= 40; d++ {
+			foInst.AddFact(ff("T", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+d))))
+		}
+	}
+	insT := func() *fo.Query {
+		return fo.MustQuery("insT", []string{"x", "y"},
+			fo.OrF(
+				fo.AtomF("S", "x", "y"),
+				fo.AtomF("T", "x", "y"),
+				fo.ExistsF([]string{"z"}, fo.AndF(fo.AtomF("T", "x", "z"), fo.AtomF("T", "z", "y"))),
+			))
+	}
+	foWant, err := insT().Eval(foInst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checkFo := func(b *testing.B, out *declnet.Relation, err error) {
+		b.Helper()
+		if err != nil || !out.Equal(foWant) {
+			b.Fatalf("wrong result (%v)", err)
+		}
+	}
+	b.Run("fo=insT/mode=compiled", func(b *testing.B) {
+		q := insT()
+		for i := 0; i < b.N; i++ {
+			out, err := q.Eval(foInst)
+			checkFo(b, out, err)
+		}
+	})
+	b.Run("fo=insT/mode=replan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := insT().Eval(foInst)
+			checkFo(b, out, err)
+		}
+	})
+	b.Run("fo=insT/mode=mapjoin", func(b *testing.B) {
+		q := insT()
+		for i := 0; i < b.N; i++ {
+			out, err := q.EvalReference(foInst)
+			checkFo(b, out, err)
+		}
+	})
+
+	// Datalog: the E7/E14 transitive closure on a 64-edge chain.
+	tcSrc := `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Z) :- e(X, Y), tc(Y, Z).
+	`
+	dlProg := datalog.MustParse(tcSrc)
+	dlInst := declnet.NewInstance()
+	for i := 0; i < 64; i++ {
+		dlInst.AddFact(ff("e", declnet.Value(fmt.Sprintf("v%d", i)), declnet.Value(fmt.Sprintf("v%d", i+1))))
+	}
+	dlWant, err := datalog.MustQuery(dlProg, "tc").Eval(dlInst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checkDl := func(b *testing.B, out *declnet.Relation, err error) {
+		b.Helper()
+		if err != nil || !out.Equal(dlWant) {
+			b.Fatalf("wrong result (%v)", err)
+		}
+	}
+	b.Run("datalog=tc64/mode=compiled", func(b *testing.B) {
+		q := datalog.MustQuery(dlProg, "tc")
+		for i := 0; i < b.N; i++ {
+			out, err := q.Eval(dlInst)
+			checkDl(b, out, err)
+		}
+	})
+	b.Run("datalog=tc64/mode=replan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh Program per evaluation: every rule plan, schedule
+			// and stratification memo is rebuilt.
+			out, err := datalog.MustQuery(datalog.MustParse(tcSrc), "tc").Eval(dlInst)
+			checkDl(b, out, err)
+		}
+	})
+
+	// End-to-end: the large E2/E15 transitive-closure run; every
+	// transition fires through the cached delta-pinned plans.
+	b.Run("run=tc/edges=24/complete6", func(b *testing.B) {
+		tr := build.TransitiveClosure()
+		I := chainEdges(24)
+		net := run.Complete(6)
+		part := run.RoundRobinSplit(I, net)
+		var steps int
+		for i := 0; i < b.N; i++ {
+			sim := runOnce(b, net, tr, part, int64(i))
+			steps += sim.Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+}
+
 // BenchmarkInternParallel hammers the interning dictionary from all
 // procs at once — the hot read path of the parallel runtime, where
 // every transition packs tuple keys. Compare with the single-threaded

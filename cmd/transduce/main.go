@@ -7,7 +7,12 @@
 //
 //	transduce -t tc -topology ring:4 -facts edges.dl \
 //	          [-partition roundrobin] [-seed 1] [-steps 200000] \
-//	          [-workers 4] [-channel lossy:25] [-list]
+//	          [-workers 4] [-channel lossy:25] [-explain] [-list]
+//
+// With -explain the compiled physical query plan of every transducer
+// query is printed (join order, index-probe columns, guard placement,
+// delta-pinned semi-naive variants) and the command exits; diff the
+// output across commits to catch plan regressions.
 //
 // With -workers N > 0 the run executes on the parallel sharded
 // runtime: all nodes fire concurrently in rounds on N goroutines,
@@ -43,6 +48,7 @@ func main() {
 	steps := flag.Int("steps", 200000, "step budget")
 	workers := flag.Int("workers", 0, "parallel round runtime worker count (0 = sequential scheduler)")
 	channelSpec := flag.String("channel", "", "channel model / fault scenario (see -list); empty = default fair channel on the fast path")
+	explain := flag.Bool("explain", false, "print the compiled query plans of the transducer (join order, probe columns, guards, delta pins), then exit")
 	list := flag.Bool("list", false, "list available transducers and channel scenarios, then exit")
 	strict := flag.Bool("strict", false, "strict multiset buffers (no duplicate coalescing)")
 	trace := flag.Bool("trace", false, "print every transition")
@@ -57,6 +63,14 @@ func main() {
 		for _, line := range run.DescribeChannelScenarios() {
 			fmt.Println("  " + line)
 		}
+		return
+	}
+	if *explain {
+		tr, err := build.Lookup(*name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(run.Explain(tr))
 		return
 	}
 	if *factsPath == "" {

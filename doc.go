@@ -56,11 +56,27 @@
 // (internal/fact). Values are interned into dense uint32 IDs by a
 // process-global dictionary, tuples are keyed by their packed ID
 // sequences, and relations are hash sets over those keys with lazily
-// built per-column hash indexes. The FO evaluator, the Datalog engine
-// and the relational algebra plan joins greedily around bound columns
-// and probe the indexes instead of scanning; semi-naive fixpoints run
-// on the kernel's delta-relation type, and FO queries expose exact
+// built per-column hash indexes; semi-naive fixpoints run on the
+// kernel's delta-relation type, and FO queries expose exact
 // semi-naive delta evaluation for their positive branches.
+//
+// # The compiled query-plan layer
+//
+// Every local query language evaluates through one physical plan
+// layer (internal/plan): conjunctive joins are described as atoms
+// over compile-time numbered registers plus filters (anti-probe
+// negation, (in)equalities, residual-guard hooks), compiled ONCE per
+// query by a cost-driven static orderer (bound-term count, relation
+// cardinality tie-breaks from the first bound instance) into a
+// schedule of scan / index-probe / check / guard / project ops, and
+// executed over dense register slots instead of per-call binding
+// maps. FO branch conjunctions, Datalog rule bodies (with Dedalus'
+// NOW/NEXT as pre-bound input registers) and the algebra's bridging
+// σ(L×R) join all lower onto it; the per-pinned-atom delta schedules
+// behind EvalDelta and incremental firing are cached alongside, each
+// sync.Once-guarded so one plan serves every worker of the parallel
+// runtime. run.Explain renders the compiled plans of a transducer's
+// queries in a stable, diffable format (transduce -explain).
 //
 // Simulation is incremental on top of that: each node of a running
 // network carries a firing cache (per-query results on the node
@@ -133,8 +149,9 @@
 // through these facades. Four CLIs (cmd/transduce, cmd/datalogi,
 // cmd/calmcheck, cmd/dedalusrun) and five runnable examples
 // (examples/) exercise the public surface; the benchmark suite in
-// bench_test.go regenerates the experiment index E1-E16 against the
+// bench_test.go regenerates the experiment index E1-E17 against the
 // paper's claims (BENCHMARKS.md has the index, BENCH_kernel.json the
 // measured trajectory, BENCH_parallel.json the parallel-runtime
-// numbers, BENCH_scenarios.json the fault-scenario matrix).
+// numbers, BENCH_scenarios.json the fault-scenario matrix,
+// BENCH_plan.json the compiled query-plan ablation).
 package declnet

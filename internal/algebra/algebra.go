@@ -9,9 +9,12 @@ package algebra
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"declnet/internal/fact"
+	"declnet/internal/plan"
 )
 
 // Expr is a relational algebra expression. Every expression has a
@@ -147,26 +150,27 @@ func (s Select) Eval(I *fact.Instance) (*fact.Relation, error) {
 	return out, nil
 }
 
-// evalJoin evaluates σ[conds](L × R) as an index nested-loop join when
-// some non-negated column equality spans the product boundary. done is
-// false when no such condition exists and the caller must fall back to
-// the generic path.
+// joinPlans caches the compiled two-op probe plan per join shape.
+// Condition CONSTANTS are not part of the shape: they become plan
+// input registers whose values are supplied per evaluation, so the
+// cache is bounded by the structurally distinct condition lists a
+// process builds (arities, column indexes, negation flags), not by
+// the data values flowing through them. Entries are published once
+// (LoadOrStore) and shared by every goroutine; algebra expressions
+// are plain value types with no construction point to hang a
+// per-object cache on, which is why this one lives at package level.
+var joinPlans sync.Map // shape key (string) → *plan.Plan
+
+// evalJoin evaluates σ[conds](L × R) when some non-negated column
+// equality spans the product boundary, by lowering to a two-op probe
+// plan (scan one side, index-probe the other on the bridging columns
+// via fact.Lookup, filter the remaining conditions, project all
+// columns) instead of materializing the product. done is false when
+// no bridging condition exists and the caller must fall back to the
+// generic path.
 func (s Select) evalJoin(p Product, I *fact.Instance) (*fact.Relation, bool, error) {
-	la := p.L.Arity()
-	lcol, rcol := -1, -1
-	for _, c := range s.Conds {
-		if c.IsVal || c.Negate {
-			continue
-		}
-		lo, hi := c.Col, c.OtherCol
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		if lo < la && hi >= la {
-			lcol, rcol = lo, hi-la
-			break
-		}
-	}
+	la, ra := p.L.Arity(), p.R.Arity()
+	lcol, rcol, bridge := findBridge(s.Conds, la)
 	if lcol < 0 {
 		return nil, false, nil
 	}
@@ -178,26 +182,125 @@ func (s Select) evalJoin(p Product, I *fact.Instance) (*fact.Relation, bool, err
 	if err != nil {
 		return nil, true, err
 	}
-	out := fact.NewRelation(l.Arity() + r.Arity())
-	l.Each(func(lt fact.Tuple) bool {
-		for _, rt := range r.Lookup(rcol, lt[lcol]) {
-			nt := make(fact.Tuple, 0, len(lt)+len(rt))
-			nt = append(nt, lt...)
-			nt = append(nt, rt...)
-			keep := true
-			for _, c := range s.Conds {
-				if !c.holds(nt) {
-					keep = false
-					break
-				}
-			}
-			if keep {
-				out.Add(nt)
-			}
+	pl, err := bridgePlan(la, ra, lcol, rcol, bridge, s.Conds)
+	if err != nil {
+		return nil, true, err
+	}
+	// The constant of every IsVal condition feeds an input register,
+	// in condition order — the same order bridgePlan allocates them.
+	var args []fact.Value
+	for ci, c := range s.Conds {
+		if ci != bridge && c.IsVal {
+			args = append(args, c.Val)
 		}
-		return true
-	})
+	}
+	out := fact.NewRelation(la + ra)
+	if err := pl.RunRels([]*fact.Relation{l, r}, args, out); err != nil {
+		return nil, true, err
+	}
 	return out, true, nil
+}
+
+// findBridge locates the first non-negated column equality spanning
+// the product boundary: the join condition the probe plan binds on.
+// Returns (-1, -1, -1) when none exists.
+func findBridge(conds []Cond, la int) (lcol, rcol, bridge int) {
+	for ci, c := range conds {
+		if c.IsVal || c.Negate {
+			continue
+		}
+		lo, hi := c.Col, c.OtherCol
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo < la && hi >= la {
+			return lo, hi - la, ci
+		}
+	}
+	return -1, -1, -1
+}
+
+// bridgePlan returns (compiling and caching on first use) the join
+// plan for the shape: product columns become registers, the bridging
+// equality shares one register across both atoms, and the remaining
+// conditions become comparison filters.
+func bridgePlan(la, ra, lcol, rcol, bridge int, conds []Cond) (*plan.Plan, error) {
+	// The key is injective in the STRUCTURE of the shape: all fields
+	// are fixed-width integers and booleans (constant values are
+	// excluded — they flow through input registers at run time). Built
+	// with strconv appends into a stack buffer — this runs on the hot
+	// join path, before every cache hit.
+	var kbuf [96]byte
+	kb := kbuf[:0]
+	for _, n := range [...]int{la, ra, lcol, rcol, bridge} {
+		kb = strconv.AppendInt(kb, int64(n), 10)
+		kb = append(kb, '|')
+	}
+	for _, c := range conds {
+		kb = strconv.AppendInt(kb, int64(c.Col), 10)
+		kb = append(kb, ',')
+		kb = strconv.AppendInt(kb, int64(c.OtherCol), 10)
+		kb = append(kb, boolByte(c.IsVal), boolByte(c.Negate), '|')
+	}
+	key := string(kb)
+	if pl, ok := joinPlans.Load(key); ok {
+		return pl.(*plan.Plan), nil
+	}
+	// Register of product column c: left columns map to themselves,
+	// right columns shift by la, and the probed right column aliases
+	// the bridging left register.
+	regOf := func(c int) int {
+		if c >= la && c-la == rcol {
+			return lcol
+		}
+		return c
+	}
+	spec := plan.Spec{Name: fmt.Sprintf("σ×join/%d×%d", la, ra), NumRegs: la + ra}
+	lterms := make([]plan.Term, la)
+	for i := range lterms {
+		lterms[i] = plan.Reg(i)
+	}
+	rterms := make([]plan.Term, ra)
+	for j := range rterms {
+		rterms[j] = plan.Reg(regOf(la + j))
+	}
+	spec.Atoms = []plan.Atom{{Rel: "L", Terms: lterms}, {Rel: "R", Terms: rterms}}
+	for ci, c := range conds {
+		if ci == bridge {
+			continue // expressed by the shared register
+		}
+		f := plan.Filter{Kind: plan.FilterEq, L: plan.Reg(regOf(c.Col))}
+		if c.IsVal {
+			// One fresh input register per constant condition; the
+			// caller supplies the value as an argument per evaluation.
+			f.R = plan.Reg(spec.NumRegs)
+			spec.Inputs = append(spec.Inputs, spec.NumRegs)
+			spec.NumRegs++
+		} else {
+			f.R = plan.Reg(regOf(c.OtherCol))
+		}
+		if c.Negate {
+			f.Kind = plan.FilterNeq
+		}
+		spec.Filters = append(spec.Filters, f)
+	}
+	spec.Head = make([]plan.Term, la+ra)
+	for c := range spec.Head {
+		spec.Head[c] = plan.Reg(regOf(c))
+	}
+	pl, err := plan.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := joinPlans.LoadOrStore(key, pl)
+	return actual.(*plan.Plan), nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 't'
+	}
+	return 'f'
 }
 
 func (s Select) String() string {

@@ -1,0 +1,119 @@
+package algebra
+
+import (
+	"fmt"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+// evalGenericSelect computes σ[conds](e) the slow way — materialize,
+// then filter — as the oracle for the bridging-join plan.
+func evalGenericSelect(t *testing.T, s Select, I *fact.Instance) *fact.Relation {
+	t.Helper()
+	in, err := s.E.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fact.NewRelation(in.Arity())
+	in.Each(func(tp fact.Tuple) bool {
+		for _, c := range s.Conds {
+			if !c.holds(tp) {
+				return true
+			}
+		}
+		out.Add(tp)
+		return true
+	})
+	return out
+}
+
+// TestJoinPlanCacheKeyInjective: two Selects with the same arity
+// shape but different conditions — crafted so that naive
+// string-concatenated cache keys would collide through a constant
+// value containing separator characters — must not share a compiled
+// plan.
+func TestJoinPlanCacheKeyInjective(t *testing.T) {
+	I := fact.FromFacts(
+		ff("A", "x", "m"), ff("A", "x'|$1='y", "m"),
+		ff("B", "m", "y"),
+	)
+	prod := Product{L: Rel{"A", 2}, R: Rel{"B", 2}}
+	bridge := Cond{Col: 1, OtherCol: 2}
+	// One condition whose value embeds the rendering of two conditions.
+	tricky := Select{E: prod, Conds: []Cond{bridge, {Col: 0, Val: "x'|$1='y", IsVal: true}}}
+	// Two plain conditions that a non-escaped key would render identically.
+	plain := Select{E: prod, Conds: []Cond{bridge, {Col: 0, Val: "x", IsVal: true}, {Col: 3, Val: "y", IsVal: true}}}
+	for _, s := range []Select{tricky, plain, tricky} { // either order, cache warm or cold
+		got, err := s.Eval(I)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := evalGenericSelect(t, s, I)
+		if !got.Equal(want) {
+			t.Fatalf("σ%v: join plan %v != generic %v", s.Conds, got, want)
+		}
+	}
+}
+
+// TestJoinPlanCacheBoundedByStructure: Selects that differ only in
+// their condition constants share one cached plan — the cache grows
+// with structurally distinct shapes, never with data values.
+func TestJoinPlanCacheBoundedByStructure(t *testing.T) {
+	I := fact.FromFacts(ff("A", "a", "m"), ff("B", "m", "z"))
+	prod := Product{L: Rel{"A", 2}, R: Rel{"B", 2}}
+	count := func() int {
+		n := 0
+		joinPlans.Range(func(any, any) bool { n++; return true })
+		return n
+	}
+	// Warm the shape once, then sweep 50 distinct constants.
+	first := Select{E: prod, Conds: []Cond{{Col: 1, OtherCol: 2}, {Col: 0, Val: "v0", IsVal: true}}}
+	if _, err := first.Eval(I); err != nil {
+		t.Fatal(err)
+	}
+	before := count()
+	for i := 1; i < 50; i++ {
+		s := Select{E: prod, Conds: []Cond{{Col: 1, OtherCol: 2}, {Col: 0, Val: fact.Value(fmt.Sprintf("v%d", i)), IsVal: true}}}
+		want := evalGenericSelect(t, s, I)
+		got, err := s.Eval(I)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("cond v%d: join plan %v != generic %v", i, got, want)
+		}
+	}
+	if after := count(); after != before {
+		t.Fatalf("cache grew with constant values: %d -> %d entries", before, after)
+	}
+}
+
+// TestJoinPlanMatchesGeneric sweeps bridging-join shapes against the
+// materialize-then-filter oracle.
+func TestJoinPlanMatchesGeneric(t *testing.T) {
+	I := fact.FromFacts(
+		ff("A", "a", "b"), ff("A", "b", "b"), ff("A", "c", "a"),
+		ff("B", "b", "z"), ff("B", "b", "b"), ff("B", "a", "a"),
+	)
+	prod := Product{L: Rel{"A", 2}, R: Rel{"B", 2}}
+	cases := [][]Cond{
+		{{Col: 1, OtherCol: 2}},
+		{{Col: 1, OtherCol: 2}, {Col: 0, Val: "b", IsVal: true}},
+		{{Col: 1, OtherCol: 2}, {Col: 3, Val: "z", IsVal: true, Negate: true}},
+		{{Col: 1, OtherCol: 2}, {Col: 0, OtherCol: 3}},
+		{{Col: 1, OtherCol: 2}, {Col: 0, OtherCol: 3, Negate: true}},
+		{{Col: 0, OtherCol: 2}, {Col: 1, OtherCol: 3}},
+	}
+	for _, conds := range cases {
+		s := Select{E: prod, Conds: conds}
+		got, err := s.Eval(I)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := evalGenericSelect(t, s, I)
+		if !got.Equal(want) {
+			t.Fatalf("σ%v: join plan %v != generic %v", conds, got, want)
+		}
+	}
+}

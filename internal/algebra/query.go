@@ -1,7 +1,9 @@
 package algebra
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"declnet/internal/fact"
 )
@@ -38,6 +40,44 @@ func (q Query) Rels() []string {
 // Adom, selections, projections, products and unions all preserve
 // containment.)
 func (q Query) SyntacticallyMonotone() bool { return diffFree(q.E) }
+
+// ExplainPlan implements query.PlanExplainer: the expression tree,
+// with the compiled two-op probe plan of every bridging σ(L×R) join.
+func (q Query) ExplainPlan() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algebra query %s: %s\n", q.Name, q.E)
+	explainJoins(q.E, &b)
+	return b.String()
+}
+
+func explainJoins(e Expr, b *strings.Builder) {
+	switch x := e.(type) {
+	case Select:
+		if p, ok := x.E.(Product); ok {
+			la, ra := p.L.Arity(), p.R.Arity()
+			if lcol, rcol, bridge := findBridge(x.Conds, la); lcol >= 0 {
+				fmt.Fprintf(b, "join %s:\n", x)
+				if pl, err := bridgePlan(la, ra, lcol, rcol, bridge, x.Conds); err == nil {
+					b.WriteString(pl.Explain(-1))
+				} else {
+					fmt.Fprintf(b, "  <unschedulable: %v>\n", err)
+				}
+			}
+		}
+		explainJoins(x.E, b)
+	case Project:
+		explainJoins(x.E, b)
+	case Product:
+		explainJoins(x.L, b)
+		explainJoins(x.R, b)
+	case Union:
+		explainJoins(x.L, b)
+		explainJoins(x.R, b)
+	case Diff:
+		explainJoins(x.L, b)
+		explainJoins(x.R, b)
+	}
+}
 
 func collectRels(e Expr, out map[string]bool) {
 	switch x := e.(type) {

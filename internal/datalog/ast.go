@@ -147,12 +147,17 @@ func (a Atom) Vars() []string {
 type Program struct {
 	Rules []Rule
 
-	// memoized analyses (see Stratify and eval), built once.
+	// memoized analyses (see Stratify, eval and compile.go), built
+	// once. planOnce guards the per-rule compiled plans — the compiled
+	// query-plan layer's cache, shared by every concurrent evaluation
+	// of the program.
 	strataOnce   sync.Once
 	strata       [][]string
 	strataErr    error
+	planOnce     sync.Once
+	compiled     []*compiledRule
 	splitOnce    sync.Once
-	stratumRules [][]Rule
+	stratumRules [][]*compiledRule
 	stratumPreds []map[string]bool
 }
 

@@ -1,15 +1,14 @@
 package datalog
 
 import (
-	"fmt"
-
 	"declnet/internal/fact"
 )
 
 // Eval computes the stratified semantics of the program on the given
 // extensional database, using semi-naive evaluation within each
-// stratum. The result contains the input facts plus all derived
-// facts. The input is not modified.
+// stratum over the program's compiled rule plans (see compile.go).
+// The result contains the input facts plus all derived facts. The
+// input is not modified.
 func (p *Program) Eval(edb *fact.Instance) (*fact.Instance, error) {
 	return p.eval(edb.Clone(), true)
 }
@@ -23,8 +22,11 @@ func (p *Program) EvalOwned(edb *fact.Instance) (*fact.Instance, error) {
 }
 
 // EvalNaive is Eval using naive fixpoint iteration (every rule
-// re-evaluated against the full instance each round). It exists for
-// the semi-naive/naive ablation benchmark; results are identical.
+// re-evaluated against the full instance each round) on the plan
+// layer's reference executor (join order re-derived per firing,
+// bindings in a hash map). It exists for the semi-naive/naive
+// ablation benchmark and as the independent oracle of the
+// differential tests; results are identical to Eval.
 func (p *Program) EvalNaive(edb *fact.Instance) (*fact.Instance, error) {
 	return p.eval(edb.Clone(), false)
 }
@@ -34,11 +36,12 @@ func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, erro
 	if err != nil {
 		return nil, err
 	}
+	crs := p.compiledRules()
 	// Memoize the stratum → rules split alongside the stratification;
 	// Once-guarded so concurrent evaluations of a shared program are
-	// safe.
+	// safe (the same discipline as the plan caches themselves).
 	p.splitOnce.Do(func() {
-		p.stratumRules = make([][]Rule, len(strata))
+		p.stratumRules = make([][]*compiledRule, len(strata))
 		p.stratumPreds = make([]map[string]bool, len(strata))
 		for i, stratum := range strata {
 			inStratum := map[string]bool{}
@@ -46,9 +49,9 @@ func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, erro
 				inStratum[pred] = true
 			}
 			p.stratumPreds[i] = inStratum
-			for _, r := range p.Rules {
-				if inStratum[r.Head.Pred] {
-					p.stratumRules[i] = append(p.stratumRules[i], r)
+			for _, cr := range crs {
+				if inStratum[cr.headPred] {
+					p.stratumRules[i] = append(p.stratumRules[i], cr)
 				}
 			}
 		}
@@ -67,19 +70,20 @@ func (p *Program) eval(edb *fact.Instance, seminaive bool) (*fact.Instance, erro
 	return I, nil
 }
 
-func evalStratumNaive(rules []Rule, I *fact.Instance) error {
+func evalStratumNaive(crs []*compiledRule, I *fact.Instance) error {
 	for {
 		changed := false
-		for _, r := range rules {
-			heads, err := fireRule(r, I, -1, nil)
+		for _, cr := range crs {
+			heads, err := cr.fireReference(I, -1, nil, nil)
 			if err != nil {
 				return err
 			}
-			for _, h := range heads {
-				if I.AddFact(h) {
+			heads.Each(func(t fact.Tuple) bool {
+				if I.AddFact(fact.Fact{Rel: cr.headPred, Args: t}) {
 					changed = true
 				}
-			}
+				return true
+			})
 		}
 		if !changed {
 			return nil
@@ -87,40 +91,44 @@ func evalStratumNaive(rules []Rule, I *fact.Instance) error {
 	}
 }
 
-func evalStratumSemiNaive(rules []Rule, inStratum map[string]bool, I *fact.Instance) error {
+func evalStratumSemiNaive(crs []*compiledRule, inStratum map[string]bool, I *fact.Instance) error {
 	// Round 0: fire every rule against the current instance, staging
 	// derivations in the kernel's delta pair.
 	d := fact.NewDelta(I)
-	for _, r := range rules {
-		heads, err := fireRule(r, I, -1, nil)
+	for _, cr := range crs {
+		heads, err := cr.fire(I, -1, nil, nil)
 		if err != nil {
 			return err
 		}
-		for _, h := range heads {
-			d.Stage(h)
-		}
+		stageRel(d, cr.headPred, heads)
 	}
 	// Delta rounds: each rule fires once per positive body literal
-	// over a stratum predicate, with that literal restricted to the
-	// previous round's committed delta.
+	// over a stratum predicate, with that literal pinned to the
+	// previous round's committed delta (the plan caches one schedule
+	// per pin).
 	for d.Dirty() {
 		delta := d.Commit()
-		for _, r := range rules {
-			for j, l := range r.Body {
+		for _, cr := range crs {
+			for j, l := range cr.rule.Body {
 				if l.Kind != LitPos || !inStratum[l.Atom.Pred] {
 					continue
 				}
-				heads, err := fireRule(r, I, j, delta)
+				heads, err := cr.fire(I, j, delta, nil)
 				if err != nil {
 					return err
 				}
-				for _, h := range heads {
-					d.Stage(h)
-				}
+				stageRel(d, cr.headPred, heads)
 			}
 		}
 	}
 	return nil
+}
+
+func stageRel(d *fact.Delta, pred string, heads *fact.Relation) {
+	heads.Each(func(t fact.Tuple) bool {
+		d.Stage(fact.Fact{Rel: pred, Args: t})
+		return true
+	})
 }
 
 // TP applies the immediate consequence operator once: every rule is
@@ -129,263 +137,46 @@ func evalStratumSemiNaive(rules []Rule, inStratum map[string]bool, I *fact.Insta
 // operator the Theorem 6(5) transducer applies continuously.
 func (p *Program) TP(I *fact.Instance) (*fact.Instance, error) {
 	out := fact.NewInstance()
-	for _, r := range p.Rules {
-		heads, err := fireRule(r, I, -1, nil)
+	for _, cr := range p.compiledRules() {
+		heads, err := cr.fire(I, -1, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		for _, h := range heads {
-			out.AddFact(h)
-		}
+		heads.Each(func(t fact.Tuple) bool {
+			out.AddFact(fact.Fact{Rel: cr.headPred, Args: t})
+			return true
+		})
 	}
 	return out, nil
 }
 
 // FireRule evaluates a single (safe) rule against an instance and
-// returns the derived head facts. Package dedalus uses it to fire
-// inductive and asynchronous rules against a completed time slice.
+// returns the derived head facts, compiling the rule's plan on the
+// fly. Callers firing the same rule repeatedly should hold a
+// CompiledRule instead (package dedalus does).
 func FireRule(r Rule, I *fact.Instance) ([]fact.Fact, error) {
-	return fireRule(r, I, -1, nil)
+	cr := compileRule(r, nil)
+	out, err := cr.fire(I, -1, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return relFacts(cr.headPred, out), nil
 }
 
 // FireRuleBound is FireRule with variables pre-bound: every variable
-// in bound is fixed to its value before evaluation begins. Package
-// dedalus uses it to pin the reserved time variables NOW and NEXT to
-// the current timestamp without re-grounding the rule's syntax tree
-// on every step.
+// in bound is fixed to its value before evaluation begins. It
+// compiles per call; for the repeated-firing case (the NOW/NEXT
+// pinning of package dedalus) use CompileRule once and Fire many
+// times.
 func FireRuleBound(r Rule, I *fact.Instance, bound map[string]fact.Value) ([]fact.Fact, error) {
-	return fireRuleBound(r, I, -1, nil, bound)
-}
-
-// fireRule evaluates one rule against I and returns the derived head
-// facts. If deltaIdx >= 0, body literal deltaIdx (which must be
-// positive) draws its tuples from delta instead of I (semi-naive
-// evaluation).
-func fireRule(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance) ([]fact.Fact, error) {
-	return fireRuleBound(r, I, deltaIdx, delta, nil)
-}
-
-func fireRuleBound(r Rule, I *fact.Instance, deltaIdx int, delta *fact.Instance, bound map[string]fact.Value) ([]fact.Fact, error) {
-	var out []fact.Fact
-	bind := map[string]fact.Value{}
-	for v, val := range bound {
-		bind[v] = val
-	}
-
-	// Greedy literal scheduling: at each step pick the first literal
-	// that is resolvable under the current bindings — any positive
-	// atom; an (in)equality whose variables are bound; or a negation
-	// whose variables are bound. Safety guarantees progress.
-	done := make([]bool, len(r.Body))
-	var rec func(remaining int) error
-	rec = func(remaining int) error {
-		if remaining == 0 {
-			t := make(fact.Tuple, len(r.Head.Terms))
-			for i, tm := range r.Head.Terms {
-				if tm.IsVar() {
-					v, ok := bind[tm.Var]
-					if !ok {
-						return fmt.Errorf("datalog: unbound head variable %s in %s", tm.Var, r)
-					}
-					t[i] = v
-				} else {
-					t[i] = tm.Const
-				}
-			}
-			out = append(out, fact.Fact{Rel: r.Head.Pred, Args: t})
-			return nil
-		}
-		idx := pickLiteral(r.Body, done, bind)
-		if idx < 0 {
-			return fmt.Errorf("datalog: no resolvable literal in %s (unsafe rule escaped Check)", r)
-		}
-		done[idx] = true
-		defer func() { done[idx] = false }()
-		l := r.Body[idx]
-		switch l.Kind {
-		case LitPos:
-			rel := I.Relation(l.Atom.Pred)
-			if idx == deltaIdx {
-				rel = delta.Relation(l.Atom.Pred)
-			}
-			if rel == nil || rel.Arity() != len(l.Atom.Terms) {
-				return nil
-			}
-			var err error
-			// scratch lives in this literal's frame: deeper recursion
-			// levels get their own, so reuse across the tuple loop is
-			// safe while bindings from outer levels stay intact.
-			var scratch [16]string
-			step := func(t fact.Tuple) bool {
-				newly, ok := matchTuple(l.Atom.Terms, t, bind, scratch[:0])
-				if ok {
-					if e := rec(remaining - 1); e != nil {
-						err = e
-					}
-				}
-				for _, v := range newly {
-					delete(bind, v)
-				}
-				return err == nil
-			}
-			// Probe the relation's column index when a term is already
-			// bound, instead of scanning every tuple.
-			for col, tm := range l.Atom.Terms {
-				if v, ok := resolveOK(tm, bind); ok {
-					for _, t := range rel.Lookup(col, v) {
-						if !step(t) {
-							break
-						}
-					}
-					return err
-				}
-			}
-			rel.Each(step)
-			return err
-		case LitNeg:
-			t := make(fact.Tuple, len(l.Atom.Terms))
-			for i, tm := range l.Atom.Terms {
-				t[i] = resolve(tm, bind)
-			}
-			rel := I.Relation(l.Atom.Pred)
-			if rel != nil && rel.Contains(t) {
-				return nil
-			}
-			return rec(remaining - 1)
-		case LitEq, LitNeq:
-			lv, lBound := resolveOK(l.L, bind)
-			rv, rBound := resolveOK(l.R, bind)
-			if l.Kind == LitEq && lBound != rBound {
-				// One side unbound: equality binds it.
-				if lBound {
-					bind[l.R.Var] = lv
-					defer delete(bind, l.R.Var)
-				} else {
-					bind[l.L.Var] = rv
-					defer delete(bind, l.L.Var)
-				}
-				return rec(remaining - 1)
-			}
-			if (l.Kind == LitEq && lv == rv) || (l.Kind == LitNeq && lv != rv) {
-				return rec(remaining - 1)
-			}
-			return nil
-		}
-		return nil
-	}
-	if err := rec(len(r.Body)); err != nil {
+	vars := sortedVarNames(bound)
+	cr, err := CompileRule(r, vars...)
+	if err != nil {
 		return nil, err
 	}
-	// In a delta round, a rule with no literal over the delta index
-	// must not fire; callers arrange deltaIdx to point at a positive
-	// literal, so nothing to do here.
-	return out, nil
-}
-
-// pickLiteral returns the index of the next resolvable body literal,
-// or -1. Positive literals are always resolvable; equalities need one
-// bound side; negations and inequalities need all variables bound.
-func pickLiteral(body []Literal, done []bool, bind map[string]fact.Value) int {
-	// Prefer fully bound checks first (cheap filters), then
-	// half-bound equalities (they bind a variable for free), then the
-	// positive literal with the most bound terms, which the evaluator
-	// turns into a column-index probe.
-	best, bestScore := -1, -1
-	for i, l := range body {
-		if done[i] {
-			continue
-		}
-		switch l.Kind {
-		case LitNeg, LitNeq:
-			if allBound(l, bind) {
-				return i
-			}
-		case LitEq:
-			_, lb := resolveOK(l.L, bind)
-			_, rb := resolveOK(l.R, bind)
-			if lb && rb {
-				return i
-			}
-			const eqScore = 1 << 20 // above any atom's bound-term count
-			if (lb || rb) && bestScore < eqScore {
-				best, bestScore = i, eqScore
-			}
-		case LitPos:
-			score := 0
-			for _, tm := range l.Atom.Terms {
-				if _, ok := resolveOK(tm, bind); ok {
-					score++
-				}
-			}
-			if score > bestScore {
-				best, bestScore = i, score
-			}
-		}
+	args := make([]fact.Value, len(vars))
+	for i, v := range vars {
+		args[i] = bound[v]
 	}
-	return best
-}
-
-func allBound(l Literal, bind map[string]fact.Value) bool {
-	switch l.Kind {
-	case LitNeg:
-		for _, t := range l.Atom.Terms {
-			if t.IsVar() {
-				if _, ok := bind[t.Var]; !ok {
-					return false
-				}
-			}
-		}
-		return true
-	case LitNeq, LitEq:
-		_, lb := resolveOK(l.L, bind)
-		_, rb := resolveOK(l.R, bind)
-		return lb && rb
-	}
-	return true
-}
-
-func resolve(t Term, bind map[string]fact.Value) fact.Value {
-	if t.IsVar() {
-		return bind[t.Var]
-	}
-	return t.Const
-}
-
-func resolveOK(t Term, bind map[string]fact.Value) (fact.Value, bool) {
-	if t.IsVar() {
-		v, ok := bind[t.Var]
-		return v, ok
-	}
-	return t.Const, true
-}
-
-// matchTuple unifies atom terms against a concrete tuple under the
-// current bindings. On success it returns the variables newly bound
-// (for the caller to undo) and true. newly grows the caller's scratch
-// buffer, avoiding a per-tuple allocation in the join loop.
-func matchTuple(terms []Term, t fact.Tuple, bind map[string]fact.Value, newly []string) ([]string, bool) {
-	if len(terms) != len(t) {
-		return nil, false
-	}
-	for i, tm := range terms {
-		if tm.IsVar() {
-			if v, ok := bind[tm.Var]; ok {
-				if v != t[i] {
-					for _, n := range newly {
-						delete(bind, n)
-					}
-					return nil, false
-				}
-			} else {
-				bind[tm.Var] = t[i]
-				newly = append(newly, tm.Var)
-			}
-		} else if tm.Const != t[i] {
-			for _, n := range newly {
-				delete(bind, n)
-			}
-			return nil, false
-		}
-	}
-	return newly, true
+	return cr.Fire(I, args...)
 }

@@ -16,6 +16,17 @@ func FuzzParse(f *testing.F) {
 		"eq(X, Y) :- s(X), X = Y.",
 		"p('a const', X) :- q(X).",
 		"p(X) :- q(X). % trailing comment\n r(X) :- p(X).",
+		// Planner-stressing shapes (mirrored in testdata/fuzz): wide
+		// multi-atom joins, repeated variables, equality binding,
+		// negation after a join.
+		"w(A, E) :- r(A, B), r(B, C), r(C, D), r(D, E).",
+		"d(X) :- r(X, X). t(X, Y) :- r(X, Y), r(Y, X).",
+		"p(X, Z) :- r(X, Y), r(Y, Z), not r(X, Z).",
+		"p(X, Y) :- r(X, Y), Z = Y, s(Z).",
+		"n(X, Y) :- r(X, Y), s(X), X != Y.",
+		"t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z). nt(X, Y) :- node(X), node(Y), not t(X, Y).",
+		"c(X) :- r('a', X), r(X, 'b').",
+		"f('a', 'b'). g(X) :- f(X, Y), f(Y, Z).",
 		"# comment only\n",
 		"a() :- b().",
 		"p(X) :- q(X)",

@@ -74,6 +74,18 @@ func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
 	return out.RelationOr(q.Ans, q.ansAr).Clone(), nil
 }
 
+// EvalNaive is Eval on the naive reference engine (full re-firing
+// each round, runtime-greedy join order, map bindings) — identical
+// results, no shared evaluation strategy. The differential tests use
+// it as the oracle for the compiled plan path.
+func (q *Query) EvalNaive(I *fact.Instance) (*fact.Relation, error) {
+	out, err := q.Program.EvalNaive(I.Restrict(q.edb))
+	if err != nil {
+		return nil, err
+	}
+	return out.RelationOr(q.Ans, q.ansAr).Clone(), nil
+}
+
 func (q *Query) String() string {
 	return fmt.Sprintf("datalog query [%s]:\n%s", q.Ans, q.Program)
 }

@@ -79,6 +79,19 @@ type Program struct {
 	Rules []Rule
 
 	deductive *datalog.Program // cached stratified slice program
+
+	// temporal holds the inductive and asynchronous rules compiled
+	// once onto the physical plan layer, with NOW and NEXT as
+	// pre-bound input registers: Exec re-fires them per time slice by
+	// supplying fresh timestamp values, never re-grounding or
+	// re-planning the rule.
+	temporal []temporalRule
+}
+
+// temporalRule pairs a non-deductive rule with its compiled plan.
+type temporalRule struct {
+	rule     Rule
+	compiled *datalog.CompiledRule
 }
 
 // New validates the program: the deductive subset must be safe and
@@ -103,7 +116,13 @@ func New(rules ...Rule) (*Program, error) {
 				return nil, fmt.Errorf("dedalus: rule %s: NOW/NEXT are only available in inductive and async rules", r)
 			}
 			ded = append(ded, dr)
+			continue
 		}
+		cr, err := datalog.CompileRule(dr, VarNow, VarNext)
+		if err != nil {
+			return nil, fmt.Errorf("dedalus: rule %s: %w", r, err)
+		}
+		p.temporal = append(p.temporal, temporalRule{rule: r, compiled: cr})
 	}
 	dedProg, err := datalog.NewProgram(ded...)
 	if err != nil {

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"strconv"
 
-	"declnet/internal/datalog"
 	"declnet/internal/fact"
 )
 
@@ -69,15 +68,13 @@ func (e *Exec) Step(extraEDB *fact.Instance) (*fact.Instance, error) {
 	}
 
 	asyncFired := false
-	timeBind := map[string]fact.Value{
-		VarNow:  fact.Value(strconv.Itoa(t)),
-		VarNext: fact.Value(strconv.Itoa(t + 1)),
-	}
-	for _, r := range e.p.Rules {
-		if r.Kind == Deductive {
-			continue
-		}
-		heads, err := datalog.FireRuleBound(datalog.Rule{Head: r.Head, Body: r.Body}, slice, timeBind)
+	now := fact.Value(strconv.Itoa(t))
+	next := fact.Value(strconv.Itoa(t + 1))
+	for _, tr := range e.p.temporal {
+		r := tr.rule
+		// The rule's plan was compiled once at New with NOW/NEXT as
+		// input registers; only the timestamp values change per slice.
+		heads, err := tr.compiled.Fire(slice, now, next)
 		if err != nil {
 			return nil, fmt.Errorf("dedalus: t=%d rule %s: %w", t, r, err)
 		}

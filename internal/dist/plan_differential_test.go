@@ -1,0 +1,189 @@
+package dist
+
+// Differential harness for the compiled query-plan layer: every FO
+// and Datalog query of every zoo construction is evaluated on real
+// run states through three independent engines —
+//
+//   - the compiled plan executor (static cached schedule, register
+//     slots): the production path behind Eval;
+//   - the plan layer's reference executor (join order re-derived
+//     greedily per evaluation, map bindings): the pre-refactor
+//     strategy, fo.EvalReference / datalog EvalNaive;
+//   - the generic evaluators that never touch the plan layer at all
+//     (fo's active-domain enumerator);
+//
+// — and every delta-pinned plan variant is checked against the
+// semi-naive union equation Eval(full) = Eval(full\Δ) ∪
+// EvalDelta(full, Δ) on the same states.
+
+import (
+	"strings"
+	"testing"
+
+	"declnet/internal/datalog"
+	"declnet/internal/fact"
+	"declnet/internal/fo"
+	"declnet/internal/query"
+	"declnet/internal/transducer"
+)
+
+// zooQueries enumerates a transducer's queries with stable keys.
+func zooQueries(tr *transducer.Transducer) map[string]query.Query {
+	out := map[string]query.Query{}
+	for rel, q := range tr.Snd {
+		out["snd:"+rel] = q
+	}
+	for rel, q := range tr.Ins {
+		out["ins:"+rel] = q
+	}
+	for rel, q := range tr.Del {
+		out["del:"+rel] = q
+	}
+	if tr.Out != nil {
+		out["out"] = tr.Out
+	}
+	return out
+}
+
+// zooStates collects evaluation states for one construction: the
+// full-input node state the firing differential uses, plus every
+// node's quiescent state after a sequential run.
+func zooStates(t *testing.T, e diffExample) []*fact.Instance {
+	t.Helper()
+	nodes := e.net.Nodes()
+	initial := fact.NewInstance()
+	initial.UnionWith(e.I)
+	initial.AddFact(fact.NewFact(transducer.SysId, nodes[0]))
+	for _, v := range nodes {
+		initial.AddFact(fact.NewFact(transducer.SysAll, v))
+	}
+	states := []*fact.Instance{initial}
+	sim, err := NewSim(e.net, e.tr, RoundRobinSplit(e.I, e.net), RunOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(RunOptions{Seed: 11}.scheduler(), 200000); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range nodes {
+		states = append(states, sim.State(v))
+	}
+	return states
+}
+
+// checkDeltaPins verifies the semi-naive union equation for every
+// read relation of a CanDelta query — each relation split drives a
+// different pinned plan variant.
+func checkDeltaPins(t *testing.T, key string, q query.Query, state *fact.Instance) {
+	t.Helper()
+	d, ok := q.(query.DeltaEvaluable)
+	if !ok || !d.CanDelta() {
+		return
+	}
+	want, err := q.Eval(state)
+	if err != nil {
+		t.Fatalf("%s: eval: %v", key, err)
+	}
+	splits := q.Rels()
+	splits = append(splits, "") // "" = combined split over every read relation
+	for _, target := range splits {
+		delta := fact.NewInstance()
+		old := state.Clone()
+		for _, rel := range q.Rels() {
+			if target != "" && rel != target {
+				continue
+			}
+			r := state.Relation(rel)
+			if r == nil {
+				continue
+			}
+			for i, tpl := range r.Tuples() {
+				if i%2 == 0 {
+					delta.AddFact(fact.Fact{Rel: rel, Args: tpl})
+					old.Relation(rel).Remove(tpl)
+				}
+			}
+		}
+		if delta.Empty() {
+			continue
+		}
+		base, err := q.Eval(old)
+		if err != nil {
+			t.Fatalf("%s: eval(old): %v", key, err)
+		}
+		dr, err := d.EvalDelta(state, delta)
+		if err != nil {
+			t.Fatalf("%s: evalDelta: %v", key, err)
+		}
+		got := base.Clone()
+		got.UnionWith(dr)
+		if !got.Equal(want) {
+			t.Errorf("%s: split %q: semi-naive union %v != full %v (base %v, delta contribution %v)",
+				key, target, got, want, base, dr)
+		}
+	}
+}
+
+// TestDifferentialPlanVsOracles: the compiled plan path vs the
+// independent engines, over all zoo constructions and their run
+// states, including every delta-pinned variant.
+func TestDifferentialPlanVsOracles(t *testing.T) {
+	for _, e := range diffZoo(t) {
+		t.Run(e.name, func(t *testing.T) {
+			states := zooStates(t, e)
+			for key, q := range zooQueries(e.tr) {
+				for si, I := range states {
+					switch tq := q.(type) {
+					case *fo.Query:
+						want, err := tq.Eval(I)
+						if err != nil {
+							t.Fatalf("%s state %d: eval: %v", key, si, err)
+						}
+						gen, err := tq.EvalGeneric(I)
+						if err != nil {
+							t.Fatalf("%s state %d: generic: %v", key, si, err)
+						}
+						if !want.Equal(gen) {
+							t.Errorf("%s state %d: plan %v != generic active-domain %v", key, si, want, gen)
+						}
+						ref, err := tq.EvalReference(I)
+						if err != nil {
+							t.Fatalf("%s state %d: reference: %v", key, si, err)
+						}
+						if !want.Equal(ref) {
+							t.Errorf("%s state %d: plan %v != reference executor %v", key, si, want, ref)
+						}
+					case *datalog.Query:
+						want, err := tq.Eval(I)
+						if err != nil {
+							t.Fatalf("%s state %d: eval: %v", key, si, err)
+						}
+						naive, err := tq.EvalNaive(I)
+						if err != nil {
+							t.Fatalf("%s state %d: naive: %v", key, si, err)
+						}
+						if !want.Equal(naive) {
+							t.Errorf("%s state %d: plan %v != naive reference %v", key, si, want, naive)
+						}
+					}
+					checkDeltaPins(t, key, q, I)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainPlansZoo: run.Explain's substrate renders a plan section
+// for every query of every zoo construction without panicking, and
+// plan-backed transducers expose at least one compiled schedule.
+func TestExplainPlansZoo(t *testing.T) {
+	for _, e := range diffZoo(t) {
+		out := transducer.ExplainPlans(e.tr)
+		if !strings.Contains(out, "transducer "+e.tr.Name) {
+			t.Errorf("%s: explain output missing header:\n%s", e.name, out)
+		}
+		if !strings.Contains(out, "==") {
+			t.Errorf("%s: explain output has no query sections:\n%s", e.name, out)
+		}
+	}
+}

@@ -43,6 +43,11 @@ func NewQuery(name string, head []string, body Formula) (*Query, error) {
 	q := &Query{Name: name, Head: hv, Body: body}
 	if noShadowing(body, seen) {
 		q.branches = normalizeBranches(body)
+		// Lower conforming branches onto the compiled plan layer once,
+		// here; evaluations reuse the cached join schedules.
+		for i := range q.branches {
+			compileBranch(fmt.Sprintf("%s#%d", name, i+1), hv, &q.branches[i])
+		}
 		q.deltaOK = true
 		for _, b := range q.branches {
 			if b.slow != nil && !IsPositive(b.slow) {
@@ -286,14 +291,7 @@ func evalQuant(vars []Var, body Formula, I *fact.Instance, adom []fact.Value, en
 	var rec func(i int) (bool, error)
 	rec = func(i int) (bool, error) {
 		if i == len(vars) {
-			ok, err := eval(body, I, adom, env)
-			if err != nil {
-				return false, err
-			}
-			if universal {
-				return ok, nil
-			}
-			return ok, nil
+			return eval(body, I, adom, env)
 		}
 		for _, a := range adom {
 			env[vars[i]] = a

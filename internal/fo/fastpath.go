@@ -1,27 +1,25 @@
 package fo
 
 import (
+	"fmt"
+	"strings"
+
 	"declnet/internal/fact"
+	"declnet/internal/plan"
 )
 
-// This file implements a join-based fast path for the common shape of
-// transducer queries: disjunctions of positive existential conjunctions
-// of atoms (e.g. "S(x,y) | R(x,y) | exists z (T(x,z) & T(z,y))").
-// Such branches are evaluated by backtracking joins over the stored
-// relations instead of enumerating adom^k assignments; branches that
-// do not fit the shape (negation, equality, universal quantification)
-// fall back to the generic active-domain evaluator per branch. The
-// semantics is unchanged: positive existential formulas only ever bind
-// variables to values occurring in relations, which are a subset of
-// the active domain.
-//
-// Joins are index-driven: at every depth the planner greedily picks
-// the pending atom with the most bound terms and, when a term is
-// bound, probes the relation's per-column hash index (fact.Lookup)
-// instead of scanning. The same machinery powers EvalDelta, the
-// semi-naive delta evaluation used by incremental transducer firing:
-// a branch atom is pinned to the delta relation and the remaining
-// atoms join against the full instance.
+// This file lowers the common shape of transducer queries —
+// disjunctions of positive existential conjunctions of atoms, possibly
+// with residual guard conjuncts — onto the compiled physical plan
+// layer (internal/plan). Each conforming branch is compiled ONCE, at
+// NewQuery time, into a join plan executed over dense register slots;
+// the plan caches its join schedule (and the per-pinned-atom delta
+// schedules that EvalDelta needs) across evaluations. Branches that do
+// not fit the shape (negation, equality, universal quantification
+// outside a guarded position) fall back to the generic active-domain
+// evaluator per branch. The semantics is unchanged: positive
+// existential formulas only ever bind variables to values occurring in
+// relations, which are a subset of the active domain.
 
 // branch is one disjunct of the decomposed formula, in one of three
 // shapes: a conjunction of positive atoms (fast: atoms only), a
@@ -36,6 +34,15 @@ type branch struct {
 	guard       []Formula
 	guardClosed []Formula
 	slow        Formula
+
+	// p is the compiled join plan for fast and guarded branches whose
+	// atoms bind the head; nil forces the enumeration fallback. Guard
+	// conjuncts appear in the plan as guard filter ops indexed into
+	// guard; guardVars/guardRegs map each guard's free variables to
+	// the plan's registers.
+	p         *plan.Plan
+	guardVars [][]Var
+	guardRegs [][]int
 }
 
 // normalizeBranches flattens a formula into disjunctive branches.
@@ -144,141 +151,71 @@ func headBoundByAtoms(head []Var, atoms []Atom) bool {
 	return true
 }
 
-// pickAtom chooses the next atom to join: the pending atom with the
-// most bound terms (constants or already-bound variables), so that
-// index probes stay maximally selective.
-func pickAtom(atoms []Atom, done []bool, bind map[Var]fact.Value) int {
-	best, bestScore := -1, -1
-	for i, a := range atoms {
-		if done[i] {
-			continue
+// compileBranch lowers a fast or guarded branch whose atoms bind the
+// head into a physical join plan: a fresh register numbering over the
+// branch's variables, one plan atom per branch atom (in the same
+// order, so EvalDelta can pin by atom index), and one guard filter op
+// per residual conjunct. A nil return keeps the branch on the
+// enumeration fallback.
+func compileBranch(name string, head []Var, b *branch) {
+	if b.slow != nil || !headBoundByAtoms(head, b.atoms) {
+		return
+	}
+	regOf := map[Var]int{}
+	var regNames []string
+	reg := func(v Var) int {
+		r, ok := regOf[v]
+		if !ok {
+			r = len(regNames)
+			regOf[v] = r
+			regNames = append(regNames, string(v))
 		}
-		score := 0
-		for _, tm := range a.Terms {
-			switch x := tm.(type) {
-			case Const:
-				score++
+		return r
+	}
+	spec := plan.Spec{Name: name}
+	for _, a := range b.atoms {
+		pa := plan.Atom{Rel: a.Rel, Terms: make([]plan.Term, len(a.Terms))}
+		for i, t := range a.Terms {
+			switch x := t.(type) {
 			case Var:
-				if _, ok := bind[x]; ok {
-					score++
-				}
-			}
-		}
-		if score > bestScore {
-			best, bestScore = i, score
-		}
-	}
-	return best
-}
-
-// joinAtoms runs the backtracking join over a conjunction of positive
-// atoms and adds the head projections to out. relFor supplies the
-// relation each atom scans (nil meaning empty). pinned, when >= 0,
-// forces that atom to be joined first — the semi-naive pinning of a
-// delta atom. accept, when non-nil, filters complete bindings (the
-// guard check of a guarded branch).
-func joinAtoms(head []Var, atoms []Atom, relFor func(int) *fact.Relation, pinned int, accept func(map[Var]fact.Value) (bool, error), out *fact.Relation) error {
-	n := len(atoms)
-	if n == 0 {
-		return nil
-	}
-	done := make([]bool, n)
-	bind := map[Var]fact.Value{}
-	var firstErr error
-	var rec func(depth int)
-	rec = func(depth int) {
-		if depth == n {
-			if accept != nil {
-				ok, err := accept(bind)
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				if !ok {
-					return
-				}
-			}
-			t := make(fact.Tuple, len(head))
-			for j, h := range head {
-				t[j] = bind[h]
-			}
-			out.Add(t)
-			return
-		}
-		if firstErr != nil {
-			return
-		}
-		i := pinned
-		if depth > 0 || i < 0 {
-			i = pickAtom(atoms, done, bind)
-		}
-		a := atoms[i]
-		rel := relFor(i)
-		if rel == nil || rel.Arity() != len(a.Terms) {
-			return
-		}
-		done[i] = true
-		defer func() { done[i] = false }()
-
-		step := func(tuple fact.Tuple) bool {
-			var newly []Var
-			ok := true
-			for j, tm := range a.Terms {
-				switch x := tm.(type) {
-				case Const:
-					if fact.Value(x) != tuple[j] {
-						ok = false
-					}
-				case Var:
-					if v, bound := bind[x]; bound {
-						if v != tuple[j] {
-							ok = false
-						}
-					} else {
-						bind[x] = tuple[j]
-						newly = append(newly, x)
-					}
-				}
-				if !ok {
-					break
-				}
-			}
-			if ok {
-				rec(depth + 1)
-			}
-			for _, v := range newly {
-				delete(bind, v)
-			}
-			return true
-		}
-
-		// Probe a column index when some term is already bound.
-		boundCol, boundVal := -1, fact.Value("")
-		for j, tm := range a.Terms {
-			switch x := tm.(type) {
+				pa.Terms[i] = plan.Reg(reg(x))
 			case Const:
-				boundCol, boundVal = j, fact.Value(x)
-			case Var:
-				if v, ok := bind[x]; ok {
-					boundCol, boundVal = j, v
-				}
-			}
-			if boundCol >= 0 {
-				break
+				pa.Terms[i] = plan.Const(fact.Value(x))
+			default:
+				return
 			}
 		}
-		if boundCol >= 0 {
-			for _, tuple := range rel.Lookup(boundCol, boundVal) {
-				step(tuple)
-			}
-			return
-		}
-		rel.Each(step)
+		spec.Atoms = append(spec.Atoms, pa)
 	}
-	rec(0)
-	return firstErr
+	for gi, g := range b.guard {
+		vars := FreeVars(g)
+		regs := make([]int, len(vars))
+		for i, v := range vars {
+			r, ok := regOf[v]
+			if !ok {
+				// Cannot happen for guarded branches (the atoms bind
+				// every guard variable); bail to the fallback if it does.
+				b.guardVars, b.guardRegs = nil, nil
+				return
+			}
+			regs[i] = r
+		}
+		spec.Filters = append(spec.Filters, plan.Filter{Kind: plan.FilterGuard, Regs: regs, Guard: gi})
+		b.guardVars = append(b.guardVars, vars)
+		b.guardRegs = append(b.guardRegs, regs)
+	}
+	spec.Head = make([]plan.Term, len(head))
+	for i, h := range head {
+		spec.Head[i] = plan.Reg(regOf[h])
+	}
+	spec.NumRegs = len(regNames)
+	spec.RegNames = regNames
+	p, err := plan.New(spec)
+	if err != nil {
+		b.guardVars, b.guardRegs = nil, nil
+		return
+	}
+	b.p = p
 }
 
 // formula reconstructs the branch as a formula, for the enumeration
@@ -293,12 +230,30 @@ func (b branch) formula() Formula {
 	return And{Fs: fs}
 }
 
-// evalBranch adds the branch's derivations on I to out: an
-// index-driven join with guard filtering when the branch has that
-// shape and the atoms bind the head, active-domain enumeration
+// guardFunc builds the plan guard hook for a branch: residual
+// conjuncts are evaluated by the generic evaluator under an
+// environment refreshed from the register file. One environment map
+// is reused across rows and guards — each guard only reads its own
+// free variables, which are overwritten before every call.
+func (q *Query) guardFunc(b branch, I *fact.Instance, adomOf func() []fact.Value) plan.GuardFunc {
+	if len(b.guard) == 0 {
+		return nil
+	}
+	env := make(map[Var]fact.Value, 8)
+	return func(gi int, regs []fact.Value) (bool, error) {
+		for k, v := range b.guardVars[gi] {
+			env[v] = regs[b.guardRegs[gi][k]]
+		}
+		return eval(b.guard[gi], I, adomOf(), env)
+	}
+}
+
+// evalBranch adds the branch's derivations on I to out: the compiled
+// plan (an index-driven join with guard filtering) when the branch has
+// that shape and the atoms bind the head, active-domain enumeration
 // otherwise.
 func (q *Query) evalBranch(b branch, I *fact.Instance, adomOf func() []fact.Value, out *fact.Relation) error {
-	if b.slow == nil && headBoundByAtoms(q.Head, b.atoms) {
+	if b.p != nil {
 		// Closed guards are independent of the join bindings: check
 		// them once, and drop the whole branch on failure.
 		for _, g := range b.guardClosed {
@@ -310,20 +265,7 @@ func (q *Query) evalBranch(b branch, I *fact.Instance, adomOf func() []fact.Valu
 				return nil
 			}
 		}
-		var accept func(map[Var]fact.Value) (bool, error)
-		if len(b.guard) > 0 {
-			accept = func(bind map[Var]fact.Value) (bool, error) {
-				for _, g := range b.guard {
-					ok, err := eval(g, I, adomOf(), bind)
-					if err != nil || !ok {
-						return false, err
-					}
-				}
-				return true, nil
-			}
-		}
-		return joinAtoms(q.Head, b.atoms,
-			func(i int) *fact.Relation { return I.Relation(b.atoms[i].Rel) }, -1, accept, out)
+		return b.p.Run(I, nil, -1, nil, q.guardFunc(b, I, adomOf), out)
 	}
 	return q.enumerate(I, adomOf(), b.formula(), out)
 }
@@ -342,9 +284,10 @@ func (q *Query) CanDelta() bool { return q.deltaOK }
 //
 //	Eval(full) = Eval(full \ delta) ∪ EvalDelta(full, delta)
 //
-// Fast branches fire once per atom over a delta relation, with that
-// atom pinned to the delta and the remaining atoms joining against
-// full; branches not reading any delta relation are skipped (their
+// Fast branches execute their compiled plan once per atom over a delta
+// relation, with that atom pinned to the delta and the remaining atoms
+// joining against full (the plan caches one schedule per pin);
+// branches not reading any delta relation are skipped (their
 // derivations are unchanged); slow positive branches are re-evaluated
 // in full, which is a superset of their new derivations and a subset
 // of Eval(full) — exact either way. It implements query.DeltaEvaluable.
@@ -361,19 +304,12 @@ func (q *Query) EvalDelta(full, delta *fact.Instance) (*fact.Relation, error) {
 	}
 	adomOf := adomMemo(full)
 	for _, b := range q.branches {
-		if b.slow == nil && len(b.guard) == 0 && len(b.guardClosed) == 0 && headBoundByAtoms(q.Head, b.atoms) {
+		if b.p != nil && len(b.guard) == 0 && len(b.guardClosed) == 0 {
 			for i, a := range b.atoms {
 				if !deltaRels[a.Rel] {
 					continue
 				}
-				pin := i
-				relFor := func(j int) *fact.Relation {
-					if j == pin {
-						return delta.Relation(b.atoms[j].Rel)
-					}
-					return full.Relation(b.atoms[j].Rel)
-				}
-				if err := joinAtoms(q.Head, b.atoms, relFor, pin, nil, out); err != nil {
+				if err := b.p.Run(full, delta, i, nil, nil, out); err != nil {
 					return nil, err
 				}
 			}
@@ -390,6 +326,78 @@ func (q *Query) EvalDelta(full, delta *fact.Instance) (*fact.Relation, error) {
 		}
 	}
 	return out, nil
+}
+
+// EvalReference evaluates the query with the pre-plan-layer strategy:
+// conforming branches run through the plan layer's reference executor
+// (join order re-derived greedily per evaluation, bindings in a hash
+// map), the rest enumerate the active domain. Results are identical
+// to Eval; it exists as the independent oracle of the differential
+// tests and the re-plan/map-bindings baseline of the E17 ablation
+// benchmark.
+func (q *Query) EvalReference(I *fact.Instance) (*fact.Relation, error) {
+	if q.branches == nil {
+		return q.EvalGeneric(I)
+	}
+	adomOf := adomMemo(I)
+	out := fact.NewRelation(len(q.Head))
+	for _, b := range q.branches {
+		if b.p == nil {
+			if err := q.enumerate(I, adomOf(), b.formula(), out); err != nil {
+				return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
+			}
+			continue
+		}
+		closedFail := false
+		for _, g := range b.guardClosed {
+			ok, err := eval(g, I, adomOf(), map[Var]fact.Value{})
+			if err != nil {
+				return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
+			}
+			if !ok {
+				closedFail = true
+				break
+			}
+		}
+		if closedFail {
+			continue
+		}
+		if err := b.p.RunReference(I, nil, -1, nil, q.guardFunc(b, I, adomOf), out); err != nil {
+			return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// ExplainPlan implements query.PlanExplainer: it renders the compiled
+// plan of every branch — chosen atom order, probe columns, guard
+// placement — and, for delta-joinable branches of CanDelta queries,
+// every pinned delta variant.
+func (q *Query) ExplainPlan() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fo query %s(%s) := %s\n", q.Name, joinVars(q.Head), q.Body)
+	if q.branches == nil {
+		b.WriteString("  active-domain enumeration (variable shadowing defeats the branch decomposition)\n")
+		return b.String()
+	}
+	for i, br := range q.branches {
+		switch {
+		case br.p == nil:
+			fmt.Fprintf(&b, "branch %d: active-domain enumeration of %s\n", i+1, br.formula())
+		default:
+			kind := "join plan"
+			if len(br.guard) > 0 || len(br.guardClosed) > 0 {
+				kind = fmt.Sprintf("guarded join plan (%d guards, %d closed)", len(br.guard), len(br.guardClosed))
+			}
+			fmt.Fprintf(&b, "branch %d: %s\n", i+1, kind)
+			if q.deltaOK && len(br.guard) == 0 && len(br.guardClosed) == 0 {
+				b.WriteString(br.p.ExplainAll())
+			} else {
+				b.WriteString(br.p.Explain(-1))
+			}
+		}
+	}
+	return b.String()
 }
 
 // enumerate adds to out every head assignment over adom satisfying f.

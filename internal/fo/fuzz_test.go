@@ -25,6 +25,13 @@ func FuzzParse(f *testing.F) {
 		"!!S(x)",
 		"P()",
 		"S(x) & T(x) & U(x) | V(x)",
+		// Planner-stressing shapes (mirrored in testdata/fuzz): wide
+		// multi-atom joins, repeated variables, closed guards,
+		// negation after a join.
+		"R(x, y) & S(y, z) & T(z, w) & U(w, v)",
+		"exists x,y (R(x, y) & R(y, x))",
+		"R(x, x) & !S(x)",
+		"S(x) & (forall y (T(x, y) | !T(y, x)))",
 		"exists",
 		"S(x",
 		"S(x))",
@@ -59,6 +66,17 @@ func FuzzParseQuery(f *testing.F) {
 		"q() := exists x S(x)",
 		"q(x) := T(x, x)",
 		"q(x) := x = x",
+		// Planner-stressing shapes (mirrored in testdata/fuzz).
+		"q(a, e) := exists b,c,d (R(a, b) & R(b, c) & R(c, d) & R(d, e))",
+		"q(x, y) := R(x, y) & R(y, x) & R(x, x)",
+		"q(x, y) := R(x, y) & (exists u S(u))",
+		"q(x, z) := exists y (R(x, y) & S(y) & R(y, z) & !T(x, z))",
+		"q(x, y) := R(x, y) & !S(x)",
+		"q(x, y) := R(x, y) & x = y",
+		"q(x) := R('a', x) & R(x, 'b')",
+		"q(x, y, z) := R(x, y) & R(y, z) & R(z, x)",
+		"q(x) := R(x, 'h') & S(x) & T(x, x)",
+		"q(x, y) := R(x, y) & (forall u (S(u) | T(u, u)))",
 		"q(x) =: S(x)",
 		"q := S(x)",
 		"(x) := S(x)",

@@ -1,0 +1,217 @@
+package fo
+
+// Differential harness for the plan lowering, driven by the committed
+// fuzz corpora: every parseable corpus query (and every parseable
+// corpus formula, closed into a query over its free variables) is
+// evaluated on random instances through the compiled plan executor
+// (Eval), the plan layer's reference executor (EvalReference) and the
+// generic active-domain enumerator (EvalGeneric), and — for CanDelta
+// queries — every delta-pinned variant is checked against the
+// semi-naive union equation.
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+// corpusStrings decodes the committed `go test fuzz v1` corpus files
+// of the named fuzz target into their string inputs.
+func corpusStrings(t *testing.T, target string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz", target, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no committed corpus for %s", target)
+	}
+	var out []string
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "string(") || !strings.HasSuffix(line, ")") {
+				continue
+			}
+			s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(line, "string("), ")"))
+			if err != nil {
+				t.Fatalf("%s: undecodable corpus line %q: %v", f, line, err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// formulaSig collects the relation arities (first occurrence wins)
+// and the constants of a formula, for instance generation.
+func formulaSig(f Formula, arities map[string]int, consts map[fact.Value]bool) {
+	switch g := f.(type) {
+	case Atom:
+		if _, ok := arities[g.Rel]; !ok {
+			arities[g.Rel] = len(g.Terms)
+		}
+		for _, t := range g.Terms {
+			if c, ok := t.(Const); ok {
+				consts[fact.Value(c)] = true
+			}
+		}
+	case Eq:
+		for _, t := range []Term{g.L, g.R} {
+			if c, ok := t.(Const); ok {
+				consts[fact.Value(c)] = true
+			}
+		}
+	case Not:
+		formulaSig(g.F, arities, consts)
+	case And:
+		for _, sub := range g.Fs {
+			formulaSig(sub, arities, consts)
+		}
+	case Or:
+		for _, sub := range g.Fs {
+			formulaSig(sub, arities, consts)
+		}
+	case Exists:
+		formulaSig(g.F, arities, consts)
+	case Forall:
+		formulaSig(g.F, arities, consts)
+	}
+}
+
+func corpusQueries(t *testing.T) []*Query {
+	t.Helper()
+	var qs []*Query
+	for _, src := range corpusStrings(t, "FuzzParseQuery") {
+		if q, err := ParseQuery(src); err == nil {
+			qs = append(qs, q)
+		}
+	}
+	for _, src := range corpusStrings(t, "FuzzParse") {
+		f, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		fv := FreeVars(f)
+		head := make([]string, len(fv))
+		for i, v := range fv {
+			head[i] = string(v)
+		}
+		if q, err := NewQuery("corpus", head, f); err == nil {
+			qs = append(qs, q)
+		}
+	}
+	if len(qs) < 10 {
+		t.Fatalf("corpus yielded only %d evaluable queries", len(qs))
+	}
+	return qs
+}
+
+func randomInstanceFor(rng *rand.Rand, q *Query, vals []fact.Value) *fact.Instance {
+	arities := map[string]int{}
+	consts := map[fact.Value]bool{}
+	formulaSig(q.Body, arities, consts)
+	pool := append([]fact.Value(nil), vals...)
+	for c := range consts {
+		pool = append(pool, c)
+	}
+	I := fact.NewInstance()
+	for rel, ar := range arities {
+		for k := 0; k < rng.IntN(7); k++ {
+			args := make([]fact.Value, ar)
+			for j := range args {
+				args[j] = pool[rng.IntN(len(pool))]
+			}
+			I.AddFact(fact.Fact{Rel: rel, Args: args})
+		}
+	}
+	return I
+}
+
+func TestDifferentialCorpusQueries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 1))
+	vals := []fact.Value{"a", "b", "c"}
+	for qi, q := range corpusQueries(t) {
+		for trial := 0; trial < 25; trial++ {
+			I := randomInstanceFor(rng, q, vals)
+			want, err := q.Eval(I)
+			if err != nil {
+				// Engines must agree on errors too.
+				if _, gerr := q.EvalGeneric(I); gerr == nil {
+					t.Fatalf("query %d (%s): plan errored (%v), generic did not", qi, q, err)
+				}
+				continue
+			}
+			gen, err := q.EvalGeneric(I)
+			if err != nil {
+				t.Fatalf("query %d (%s): generic: %v", qi, q, err)
+			}
+			if !want.Equal(gen) {
+				t.Fatalf("query %d (%s) on %v:\nplan    %v\ngeneric %v\nplans:\n%s", qi, q, I, want, gen, q.ExplainPlan())
+			}
+			ref, err := q.EvalReference(I)
+			if err != nil {
+				t.Fatalf("query %d (%s): reference: %v", qi, q, err)
+			}
+			if !want.Equal(ref) {
+				t.Fatalf("query %d (%s) on %v:\nplan      %v\nreference %v", qi, q, I, want, ref)
+			}
+			checkQueryDeltaPins(t, qi, q, I, want)
+		}
+	}
+}
+
+// checkQueryDeltaPins verifies Eval(full) = Eval(full\Δ) ∪
+// EvalDelta(full, Δ) for per-relation and combined splits — each
+// split exercises a different pinned plan schedule.
+func checkQueryDeltaPins(t *testing.T, qi int, q *Query, full *fact.Instance, want *fact.Relation) {
+	t.Helper()
+	if !q.CanDelta() {
+		return
+	}
+	splits := append(q.Rels(), "")
+	for _, target := range splits {
+		delta := fact.NewInstance()
+		old := full.Clone()
+		for _, rel := range q.Rels() {
+			if target != "" && rel != target {
+				continue
+			}
+			r := full.Relation(rel)
+			if r == nil {
+				continue
+			}
+			for i, tpl := range r.Tuples() {
+				if i%2 == 0 {
+					delta.AddFact(fact.Fact{Rel: rel, Args: tpl})
+					old.Relation(rel).Remove(tpl)
+				}
+			}
+		}
+		if delta.Empty() {
+			continue
+		}
+		base, err := q.Eval(old)
+		if err != nil {
+			t.Fatalf("query %d (%s): eval(old): %v", qi, q, err)
+		}
+		dr, err := q.EvalDelta(full, delta)
+		if err != nil {
+			t.Fatalf("query %d (%s): evalDelta: %v", qi, q, err)
+		}
+		got := base.Clone()
+		got.UnionWith(dr)
+		if !got.Equal(want) {
+			t.Fatalf("query %d (%s): split %q: semi-naive union %v != full %v", qi, q, target, got, want)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+// Package plan is the compiled physical query-plan layer shared by
+// every conjunctive evaluator in the repository. The paper's
+// transducer model is parameterized by a local query language L; each
+// L here (fo, datalog, relational algebra — while and dedalus ride on
+// the first two) used to own its own greedy join machinery, re-planned
+// on every evaluation over string-keyed binding maps. This package
+// replaces all three with one physical IR:
+//
+//   - a Spec describes a conjunctive join: relational atoms over
+//     compile-time numbered registers, plus filters (anti-probe
+//     negation checks, (in)equalities, opaque guard hooks) and a head
+//     projection;
+//   - a cost-driven static orderer compiles the Spec once per query
+//     into a linear schedule of ops (scan, index probe via
+//     fact.Lookup, constant/equality check, register assignment,
+//     residual-guard check, project), choosing the atom order by
+//     bound-term count with ties broken by relation cardinality
+//     estimates taken from the first instance the plan is bound to;
+//   - the executor runs the schedule over dense register slots
+//     ([]fact.Value indexed by the compile-time numbering) — no
+//     binding maps, no undo log: each register has exactly one writer
+//     position in the schedule;
+//   - per-pinned-atom delta variants (the semi-naive schedules that
+//     EvalDelta and incremental transducer firing need) are compiled
+//     lazily and cached alongside the main schedule.
+//
+// Concurrency contract: a *Plan is immutable after New except for its
+// schedule cache, which is sync.Once-guarded per pin — exactly the
+// discipline of the datalog Program memos — so one plan may be
+// executed concurrently from many goroutines (the parallel sharded
+// runtime and the sweep fan-outs do). Register state lives in a
+// per-Run frame, never on the plan.
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"declnet/internal/fact"
+)
+
+// Term is a plan-level term: a register (Reg >= 0) or a constant.
+type Term struct {
+	Reg   int
+	Const fact.Value
+}
+
+// Reg returns a register term.
+func Reg(r int) Term { return Term{Reg: r} }
+
+// Const returns a constant term.
+func Const(v fact.Value) Term { return Term{Reg: -1, Const: v} }
+
+// IsReg reports whether the term is a register.
+func (t Term) IsReg() bool { return t.Reg >= 0 }
+
+// Atom is one relational atom of the conjunction: Rel(Terms...).
+// A register repeated within one atom or across atoms expresses an
+// equality join constraint, exactly like a repeated variable.
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// FilterKind discriminates the non-atom constraints of a Spec.
+type FilterKind int
+
+const (
+	// FilterNotIn requires the tuple formed by Terms to be absent from
+	// relation Rel of the full instance (an anti-probe; safe negation).
+	FilterNotIn FilterKind = iota
+	// FilterEq requires L = R. When one side is an unbound register at
+	// placement time the compiler turns it into an assignment that
+	// binds the register (the Datalog equality-binding rule).
+	FilterEq
+	// FilterNeq requires L != R (both sides must be bound).
+	FilterNeq
+	// FilterGuard calls the GuardFunc passed to Run with index Guard
+	// once every register in Regs is bound. It is the hook for
+	// residual FO guard formulas, which need evaluation context (the
+	// instance, the active domain) that only exists at run time.
+	FilterGuard
+)
+
+// Filter is a non-atom constraint.
+type Filter struct {
+	Kind  FilterKind
+	Rel   string // FilterNotIn
+	Terms []Term // FilterNotIn
+	L, R  Term   // FilterEq, FilterNeq
+	Regs  []int  // FilterGuard: registers the guard reads
+	Guard int    // FilterGuard: index passed to the GuardFunc
+}
+
+// Spec is the logical description a Plan is compiled from.
+type Spec struct {
+	// Name identifies the plan in errors and explain output.
+	Name string
+	// NumRegs is the size of the register file.
+	NumRegs int
+	// RegNames, when non-nil, names registers for explain output
+	// (typically the source-level variable names).
+	RegNames []string
+	// Head is the output projection; every register it mentions must
+	// be bound by Inputs, atoms, or equality assignments.
+	Head []Term
+	// Atoms is the conjunction to join.
+	Atoms []Atom
+	// Filters are the non-atom constraints.
+	Filters []Filter
+	// Inputs lists registers pre-bound at entry; Run's args supply
+	// their values in the same order.
+	Inputs []int
+	// EmitOnEmpty controls the zero-atom case: true emits the head
+	// once (a Datalog fact rule), false emits nothing (the FO branch
+	// convention).
+	EmitOnEmpty bool
+}
+
+// GuardFunc evaluates guard filter gi under the current register
+// state. Implementations must treat regs as read-only; the slice is
+// the executor's live frame.
+type GuardFunc func(gi int, regs []fact.Value) (bool, error)
+
+// Plan is a compiled conjunctive query: the Spec plus a lazily built
+// cache of schedules, one for the full evaluation and one per pinned
+// atom (the semi-naive delta variants). Safe for concurrent use.
+type Plan struct {
+	spec Spec
+	// scheds[0] is the unpinned schedule, scheds[i+1] pins atom i
+	// first. Each entry is built at most once, on first use, with
+	// relation cardinalities from the instance present at that bind.
+	scheds []schedSlot
+}
+
+type schedSlot struct {
+	once sync.Once
+	// s is published atomically after once.Do builds it, so Explain
+	// can peek at an already-bound schedule without racing (and
+	// without forcing a cardinality-blind compile into the cache).
+	s atomic.Pointer[schedule]
+}
+
+// New validates the spec and returns a plan. Schedules are compiled
+// lazily on first execution (per pin); New only checks that the spec
+// is safe — every register read by the head or a filter is bound by
+// an input, an atom, or an equality assignment.
+func New(spec Spec) (*Plan, error) {
+	if err := validate(&spec); err != nil {
+		return nil, err
+	}
+	// A throwaway compile with a trivial cardinality estimator proves
+	// the spec schedulable; the orderer's bound-set evolution does not
+	// depend on the estimator, so safety verdicts are order-free.
+	if s := compile(&spec, -1, nil); s.err != nil {
+		return nil, s.err
+	}
+	return &Plan{spec: spec, scheds: make([]schedSlot, len(spec.Atoms)+1)}, nil
+}
+
+// MustNew is New panicking on error, for statically known specs.
+func MustNew(spec Spec) *Plan {
+	p, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumAtoms returns the number of atoms in the plan's conjunction.
+func (p *Plan) NumAtoms() int { return len(p.spec.Atoms) }
+
+// AtomRel returns the relation name of atom i.
+func (p *Plan) AtomRel(i int) string { return p.spec.Atoms[i].Rel }
+
+// Name returns the spec name.
+func (p *Plan) Name() string { return p.spec.Name }
+
+func validate(spec *Spec) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("plan %s: %s", spec.Name, fmt.Sprintf(format, args...))
+	}
+	checkTerm := func(t Term, where string) error {
+		if t.IsReg() && t.Reg >= spec.NumRegs {
+			return bad("%s references register %d beyond NumRegs %d", where, t.Reg, spec.NumRegs)
+		}
+		return nil
+	}
+	for i, a := range spec.Atoms {
+		for _, t := range a.Terms {
+			if err := checkTerm(t, fmt.Sprintf("atom %d (%s)", i, a.Rel)); err != nil {
+				return err
+			}
+		}
+	}
+	for i, f := range spec.Filters {
+		switch f.Kind {
+		case FilterNotIn:
+			for _, t := range f.Terms {
+				if err := checkTerm(t, fmt.Sprintf("filter %d (not-in %s)", i, f.Rel)); err != nil {
+					return err
+				}
+			}
+		case FilterEq, FilterNeq:
+			if err := checkTerm(f.L, fmt.Sprintf("filter %d", i)); err != nil {
+				return err
+			}
+			if err := checkTerm(f.R, fmt.Sprintf("filter %d", i)); err != nil {
+				return err
+			}
+		case FilterGuard:
+			for _, r := range f.Regs {
+				if r < 0 || r >= spec.NumRegs {
+					return bad("guard filter %d reads register %d beyond NumRegs %d", i, r, spec.NumRegs)
+				}
+			}
+		default:
+			return bad("filter %d has unknown kind %d", i, f.Kind)
+		}
+	}
+	for _, t := range spec.Head {
+		if err := checkTerm(t, "head"); err != nil {
+			return err
+		}
+	}
+	for _, r := range spec.Inputs {
+		if r < 0 || r >= spec.NumRegs {
+			return bad("input register %d beyond NumRegs %d", r, spec.NumRegs)
+		}
+	}
+	return nil
+}
+
+// sched returns (building on first use) the schedule for the given
+// pin. card supplies relation cardinality estimates for order
+// tie-breaks and may be nil (ties then fall back to atom index).
+func (p *Plan) sched(pin int, card func(rel string) int) (*schedule, error) {
+	idx := pin + 1
+	if idx < 0 || idx >= len(p.scheds) {
+		return nil, fmt.Errorf("plan %s: pin %d out of range (%d atoms)", p.spec.Name, pin, len(p.spec.Atoms))
+	}
+	slot := &p.scheds[idx]
+	slot.once.Do(func() { slot.s.Store(compile(&p.spec, pin, card)) })
+	s := slot.s.Load()
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s, nil
+}
+
+// peekSched returns the schedule for pin if an execution has already
+// bound it, or a throwaway cardinality-blind compile otherwise —
+// WITHOUT populating the cache, so explaining a plan never changes
+// the ordering later executions run with.
+func (p *Plan) peekSched(pin int) (*schedule, error) {
+	idx := pin + 1
+	if idx < 0 || idx >= len(p.scheds) {
+		return nil, fmt.Errorf("plan %s: pin %d out of range (%d atoms)", p.spec.Name, pin, len(p.spec.Atoms))
+	}
+	if s := p.scheds[idx].s.Load(); s != nil {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return s, nil
+	}
+	s := compile(&p.spec, pin, nil)
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s, nil
+}
+
+// Run executes the plan against full. When pin >= 0, atom pin draws
+// its tuples from delta instead of full — the semi-naive pinned-atom
+// evaluation; negation anti-probes always read full. args supplies
+// the Spec.Inputs registers in order; guard resolves FilterGuard
+// filters (may be nil when the spec has none). Result tuples are
+// added to out.
+func (p *Plan) Run(full, delta *fact.Instance, pin int, args []fact.Value, guard GuardFunc, out *fact.Relation) error {
+	s, err := p.sched(pin, cardOf(full))
+	if err != nil {
+		return err
+	}
+	fr := frame{
+		spec: &p.spec, instrs: s.instrs, guard: guard, out: out,
+		relFor: func(atom int, rel string) *fact.Relation {
+			if atom == pin {
+				return delta.Relation(rel)
+			}
+			return full.Relation(rel)
+		},
+		notInRel: full.Relation,
+	}
+	return fr.run(args)
+}
+
+// RunRels executes the plan with each atom i reading rels[i] directly
+// instead of resolving relation names against an instance — the mode
+// the algebra bridging join uses, where the joined sides are
+// materialized subexpression results. args supplies the Spec.Inputs
+// registers, exactly as in Run. Specs run this way must not contain
+// FilterNotIn or FilterGuard filters.
+func (p *Plan) RunRels(rels []*fact.Relation, args []fact.Value, out *fact.Relation) error {
+	if len(rels) != len(p.spec.Atoms) {
+		return fmt.Errorf("plan %s: RunRels got %d relations for %d atoms", p.spec.Name, len(rels), len(p.spec.Atoms))
+	}
+	for _, f := range p.spec.Filters {
+		// Without an instance there is nothing to anti-probe against,
+		// and no guard resolver: error out instead of silently
+		// accepting tuples the spec forbids.
+		if f.Kind == FilterNotIn || f.Kind == FilterGuard {
+			return fmt.Errorf("plan %s: RunRels cannot execute %s filters", p.spec.Name,
+				map[FilterKind]string{FilterNotIn: "not-in", FilterGuard: "guard"}[f.Kind])
+		}
+	}
+	s, err := p.sched(-1, func(rel string) int {
+		// Estimate by name over the supplied relations (first match).
+		for i, a := range p.spec.Atoms {
+			if a.Rel == rel && rels[i] != nil {
+				return rels[i].Len()
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		return err
+	}
+	fr := frame{
+		spec: &p.spec, instrs: s.instrs, out: out,
+		relFor:   func(atom int, rel string) *fact.Relation { return rels[atom] },
+		notInRel: func(string) *fact.Relation { return nil },
+	}
+	return fr.run(args)
+}
+
+func cardOf(I *fact.Instance) func(rel string) int {
+	return func(rel string) int {
+		r := I.Relation(rel)
+		if r == nil {
+			return 0
+		}
+		return r.Len()
+	}
+}
+
+// frame is the per-execution state: the register file plus resolved
+// relation accessors. It lives for one Run call only.
+type frame struct {
+	spec     *Spec
+	instrs   []instr
+	guard    GuardFunc
+	out      *fact.Relation
+	relFor   func(atom int, rel string) *fact.Relation
+	notInRel func(rel string) *fact.Relation
+	regs     []fact.Value
+	err      error
+}
+
+func (fr *frame) run(args []fact.Value) error {
+	if len(fr.spec.Atoms) == 0 && !fr.spec.EmitOnEmpty {
+		return nil
+	}
+	if len(args) != len(fr.spec.Inputs) {
+		return fmt.Errorf("plan %s: got %d args for %d input registers", fr.spec.Name, len(args), len(fr.spec.Inputs))
+	}
+	fr.regs = make([]fact.Value, fr.spec.NumRegs)
+	for i, r := range fr.spec.Inputs {
+		fr.regs[r] = args[i]
+	}
+	fr.exec(0)
+	return fr.err
+}
+
+// resolve returns the value of a term under the current registers.
+// Terms reaching here are bound by the compile-time discipline.
+func (fr *frame) resolve(t Term) fact.Value {
+	if t.IsReg() {
+		return fr.regs[t.Reg]
+	}
+	return t.Const
+}
+
+func (fr *frame) exec(i int) {
+	if fr.err != nil {
+		return
+	}
+	if i == len(fr.instrs) {
+		t := make(fact.Tuple, len(fr.spec.Head))
+		for j, h := range fr.spec.Head {
+			t[j] = fr.resolve(h)
+		}
+		fr.out.Add(t)
+		return
+	}
+	in := &fr.instrs[i]
+	switch in.kind {
+	case opScan, opProbe:
+		rel := fr.relFor(in.atom, in.rel)
+		if rel == nil || rel.Arity() != in.arity {
+			return
+		}
+		step := func(tuple fact.Tuple) bool {
+			// Binds first (in column order), then checks: a check may
+			// compare a later column against a register this very
+			// tuple just bound (a repeated variable within the atom).
+			for _, b := range in.binds {
+				fr.regs[b.reg] = tuple[b.col]
+			}
+			for _, c := range in.checks {
+				if tuple[c.col] != fr.resolve(c.t) {
+					return fr.err == nil
+				}
+			}
+			fr.exec(i + 1)
+			return fr.err == nil
+		}
+		if in.kind == opProbe {
+			for _, tuple := range rel.Lookup(in.probeCol, fr.resolve(in.probe)) {
+				if !step(tuple) {
+					break
+				}
+			}
+			return
+		}
+		rel.Each(step)
+	case opNotIn:
+		t := make(fact.Tuple, len(in.terms))
+		for j, tm := range in.terms {
+			t[j] = fr.resolve(tm)
+		}
+		if rel := fr.notInRel(in.rel); rel != nil && rel.Contains(t) {
+			return
+		}
+		fr.exec(i + 1)
+	case opCheckEq:
+		if fr.resolve(in.l) == fr.resolve(in.r) {
+			fr.exec(i + 1)
+		}
+	case opCheckNeq:
+		if fr.resolve(in.l) != fr.resolve(in.r) {
+			fr.exec(i + 1)
+		}
+	case opAssign:
+		fr.regs[in.l.Reg] = fr.resolve(in.r)
+		fr.exec(i + 1)
+	case opGuard:
+		ok, err := fr.guard(in.guard, fr.regs)
+		if err != nil {
+			fr.err = err
+			return
+		}
+		if ok {
+			fr.exec(i + 1)
+		}
+	}
+}

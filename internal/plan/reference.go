@@ -1,0 +1,258 @@
+package plan
+
+import (
+	"fmt"
+
+	"declnet/internal/fact"
+)
+
+// RunReference executes the spec with the pre-plan-layer evaluation
+// strategy: no compiled schedule (the join order is re-derived
+// greedily at run time, per partial binding state) and bindings held
+// in a hash map instead of register slots. It exists as
+//
+//   - the independent oracle of the differential tests (it shares no
+//     scheduling or register code with Run), and
+//   - the "re-plan every evaluation, map bindings" baseline of the
+//     E17 plan-runtime ablation benchmark.
+//
+// The emitted tuple set is identical to Run's for every valid spec.
+func (p *Plan) RunReference(full, delta *fact.Instance, pin int, args []fact.Value, guard GuardFunc, out *fact.Relation) error {
+	spec := &p.spec
+	if len(spec.Atoms) == 0 && !spec.EmitOnEmpty {
+		return nil
+	}
+	if len(args) != len(spec.Inputs) {
+		return fmt.Errorf("plan %s: got %d args for %d input registers", spec.Name, len(args), len(spec.Inputs))
+	}
+	if pin >= len(spec.Atoms) {
+		return fmt.Errorf("plan %s: pin %d out of range (%d atoms)", spec.Name, pin, len(spec.Atoms))
+	}
+	bind := make(map[int]fact.Value, spec.NumRegs)
+	for i, r := range spec.Inputs {
+		bind[r] = args[i]
+	}
+	r := &refRun{spec: spec, full: full, delta: delta, pin: pin, guard: guard, out: out,
+		bind: bind, doneA: make([]bool, len(spec.Atoms)), doneF: make([]bool, len(spec.Filters))}
+	r.rec(0, len(spec.Atoms)+len(spec.Filters))
+	return r.err
+}
+
+type refRun struct {
+	spec        *Spec
+	full, delta *fact.Instance
+	pin         int
+	guard       GuardFunc
+	out         *fact.Relation
+	bind        map[int]fact.Value
+	doneA       []bool
+	doneF       []bool
+	err         error
+}
+
+func (r *refRun) resolve(t Term) (fact.Value, bool) {
+	if !t.IsReg() {
+		return t.Const, true
+	}
+	v, ok := r.bind[t.Reg]
+	return v, ok
+}
+
+// pickNext mirrors the historical greedy schedulers: a fully bound
+// filter first (a cheap check), then a half-bound equality (it binds
+// a register for free), then the positive atom with the most bound
+// terms. Returns (isFilter, index) or index -1 when nothing is
+// resolvable.
+func (r *refRun) pickNext(first bool) (bool, int) {
+	if first && r.pin >= 0 && !r.doneA[r.pin] {
+		return false, r.pin
+	}
+	halfEq := -1
+	for i := range r.spec.Filters {
+		if r.doneF[i] {
+			continue
+		}
+		f := &r.spec.Filters[i]
+		switch f.Kind {
+		case FilterNotIn:
+			ok := true
+			for _, t := range f.Terms {
+				if _, b := r.resolve(t); !b {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true, i
+			}
+		case FilterNeq:
+			_, lb := r.resolve(f.L)
+			_, rb := r.resolve(f.R)
+			if lb && rb {
+				return true, i
+			}
+		case FilterEq:
+			_, lb := r.resolve(f.L)
+			_, rb := r.resolve(f.R)
+			if lb && rb {
+				return true, i
+			}
+			if (lb || rb) && halfEq < 0 {
+				halfEq = i
+			}
+		case FilterGuard:
+			ok := true
+			for _, reg := range f.Regs {
+				if _, b := r.bind[reg]; !b {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true, i
+			}
+		}
+	}
+	if halfEq >= 0 {
+		return true, halfEq
+	}
+	best, bestScore := -1, -1
+	for i, a := range r.spec.Atoms {
+		if r.doneA[i] {
+			continue
+		}
+		score := 0
+		for _, t := range a.Terms {
+			if _, b := r.resolve(t); b {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return false, best
+}
+
+func (r *refRun) rec(depth, remaining int) {
+	if r.err != nil {
+		return
+	}
+	if remaining == 0 {
+		t := make(fact.Tuple, len(r.spec.Head))
+		for j, h := range r.spec.Head {
+			v, ok := r.resolve(h)
+			if !ok {
+				r.err = fmt.Errorf("plan %s: head register %s unbound (unsafe spec)", r.spec.Name, r.spec.regName(h.Reg))
+				return
+			}
+			t[j] = v
+		}
+		r.out.Add(t)
+		return
+	}
+	isFilter, idx := r.pickNext(depth == 0)
+	if idx < 0 {
+		r.err = fmt.Errorf("plan %s: no resolvable atom or filter (unsafe spec)", r.spec.Name)
+		return
+	}
+	if isFilter {
+		r.doneF[idx] = true
+		defer func() { r.doneF[idx] = false }()
+		f := &r.spec.Filters[idx]
+		switch f.Kind {
+		case FilterNotIn:
+			t := make(fact.Tuple, len(f.Terms))
+			for j, tm := range f.Terms {
+				t[j], _ = r.resolve(tm)
+			}
+			if rel := r.full.Relation(f.Rel); rel != nil && rel.Contains(t) {
+				return
+			}
+			r.rec(depth, remaining-1)
+		case FilterNeq:
+			lv, _ := r.resolve(f.L)
+			rv, _ := r.resolve(f.R)
+			if lv != rv {
+				r.rec(depth, remaining-1)
+			}
+		case FilterEq:
+			lv, lb := r.resolve(f.L)
+			rv, rb := r.resolve(f.R)
+			if lb && rb {
+				if lv == rv {
+					r.rec(depth, remaining-1)
+				}
+				return
+			}
+			if lb {
+				r.bind[f.R.Reg] = lv
+				defer delete(r.bind, f.R.Reg)
+			} else {
+				r.bind[f.L.Reg] = rv
+				defer delete(r.bind, f.L.Reg)
+			}
+			r.rec(depth, remaining-1)
+		case FilterGuard:
+			regs := make([]fact.Value, r.spec.NumRegs)
+			for reg, v := range r.bind {
+				regs[reg] = v
+			}
+			ok, err := r.guard(f.Guard, regs)
+			if err != nil {
+				r.err = err
+				return
+			}
+			if ok {
+				r.rec(depth, remaining-1)
+			}
+		}
+		return
+	}
+
+	a := r.spec.Atoms[idx]
+	rel := r.full.Relation(a.Rel)
+	if idx == r.pin {
+		rel = r.delta.Relation(a.Rel)
+	}
+	if rel == nil || rel.Arity() != len(a.Terms) {
+		return
+	}
+	r.doneA[idx] = true
+	defer func() { r.doneA[idx] = false }()
+	step := func(tuple fact.Tuple) bool {
+		var newly []int
+		ok := true
+		for j, tm := range a.Terms {
+			v, b := r.resolve(tm)
+			if b {
+				if v != tuple[j] {
+					ok = false
+					break
+				}
+				continue
+			}
+			r.bind[tm.Reg] = tuple[j]
+			newly = append(newly, tm.Reg)
+		}
+		if ok {
+			r.rec(depth+1, remaining-1)
+		}
+		for _, reg := range newly {
+			delete(r.bind, reg)
+		}
+		return r.err == nil
+	}
+	// Probe a column index when some term is already bound.
+	for col, tm := range a.Terms {
+		if v, ok := r.resolve(tm); ok {
+			for _, tuple := range rel.Lookup(col, v) {
+				if !step(tuple) {
+					break
+				}
+			}
+			return
+		}
+	}
+	rel.Each(step)
+}

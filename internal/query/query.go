@@ -59,6 +59,26 @@ func CanDelta(q Query) bool {
 	return ok && d.CanDelta()
 }
 
+// PlanExplainer is implemented by queries that evaluate through the
+// compiled query-plan layer (internal/plan) and can render their
+// physical plans: chosen atom order, probe columns, filter and guard
+// placement, delta-pinned variants. run.Explain aggregates it per
+// transducer so plan regressions are diffable.
+type PlanExplainer interface {
+	// ExplainPlan renders the query's compiled plans, one op per line.
+	ExplainPlan() string
+}
+
+// ExplainPlan returns q's plan rendering, or a one-line placeholder
+// for queries that do not evaluate through the plan layer (opaque Go
+// functions, constant queries).
+func ExplainPlan(q Query) string {
+	if e, ok := q.(PlanExplainer); ok {
+		return e.ExplainPlan()
+	}
+	return fmt.Sprintf("opaque query (no compiled plan): arity %d, reads %v\n", q.Arity(), q.Rels())
+}
+
 // RelBounded is implemented by queries whose result depends only on
 // the contents of the relations named by Rels() — not on the ambient
 // active domain of the evaluated instance. Such results stay valid as

@@ -240,3 +240,14 @@ func NewSim(net *Network, tr *itransducer.Transducer, p Partition, opt Options) 
 func ToQuiescence(net *Network, tr *itransducer.Transducer, p Partition, opt Options) (*ifact.Relation, error) {
 	return idist.RunToQuiescence(net, tr, p, opt)
 }
+
+// Explain renders the compiled physical query plan of every query of
+// the transducer (send, insert, delete, output): the chosen join
+// order, index-probe columns, filter and guard placement, and the
+// delta-pinned variants semi-naive firing uses. Every FO, Datalog and
+// algebra query evaluates through these plans — compiled once per
+// query, cached (sync.Once-guarded per delta pin, safe under the
+// parallel runtime's worker pool), and executed over dense register
+// slots. The rendering is stable: diff it across commits to catch
+// plan regressions (cmd/transduce -explain prints it).
+func Explain(tr *itransducer.Transducer) string { return itransducer.ExplainPlans(tr) }
