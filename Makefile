@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 300ms
 
-.PHONY: build test race bench bench-raw bench-plan bench-scenarios scenarios fuzz vet check clean
+.PHONY: build test race bench bench-raw bench-plan bench-scenarios bench-static scenarios fuzz vet lint check clean
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,15 @@ bench-scenarios:
 	@rm -f benchs.out
 	@echo wrote BENCH_scenarios.json
 
+# bench-static records the static-analyzer experiment (E18: the
+# polarity/stratification pass vs the semantic monotonicity sweep it
+# is soundness-checked against) to BENCH_static.json.
+bench-static:
+	$(GO) test -run xxx -bench 'E18StaticAnalysis' -benchtime $(BENCHTIME) . > benchsa.out
+	$(GO) run ./cmd/benchjson -label local < benchsa.out > BENCH_static.json
+	@rm -f benchsa.out
+	@echo wrote BENCH_static.json
+
 # fuzz runs each parser fuzzer briefly (seed corpora are committed
 # under internal/*/testdata/fuzz).
 fuzz:
@@ -75,7 +84,13 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
-check: vet build test
+# lint runs the repo-invariant linters (internal/lint): planonce
+# (sync.Once-guarded plan/memo caches must stay guarded) and nodict
+# (interning-dictionary confinement). Stdlib-only — no tool installs.
+lint:
+	$(GO) run ./cmd/repolint
+
+check: vet lint build test
 
 clean:
 	$(GO) clean ./...

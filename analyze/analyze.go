@@ -22,6 +22,7 @@ import (
 	idist "declnet/internal/dist"
 	ifact "declnet/internal/fact"
 	inetwork "declnet/internal/network"
+	isa "declnet/internal/sa"
 	itransducer "declnet/internal/transducer"
 )
 
@@ -31,6 +32,25 @@ type Class = icalm.Class
 // Classify returns the syntactic class of a transducer: oblivious,
 // uses-Id, uses-All, inflationary, monotone.
 func Classify(tr *itransducer.Transducer) Class { return icalm.Classify(tr) }
+
+// LintReport is the static CALM analyzer's report: the polarized
+// relation dependency graph, the populatable-relation and
+// provably-empty-query passes, refined §4 class verdicts, per-relation
+// monotonicity, and a stratification verdict — every verdict carrying
+// structured witnesses (relation, query, position, reason chain).
+type LintReport = isa.Report
+
+// LintFinding is one linter-style finding derived from a LintReport.
+type LintFinding = isa.Finding
+
+// Lint statically analyzes the transducer: a fast, explainable
+// approximation of the semantic sweeps below. A report whose Monotone
+// verdict holds is a PROOF of coordination-freeness by CALM
+// (Corollary 13); unproved verdicts carry witnesses naming the exact
+// blocking positions. Intended as the admission-control front door:
+// run Lint first, fall back to CheckConsistency / CheckMonotone /
+// CheckChannelRobustness only for programs the analyzer cannot prove.
+func Lint(tr *itransducer.Transducer) *LintReport { return isa.Analyze(tr) }
 
 // SweepOptions configures the consistency sweeps.
 type SweepOptions = idist.SweepOptions

@@ -821,3 +821,62 @@ func BenchmarkE16Scenarios(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE18StaticAnalysis is the static-analyzer experiment
+// (BENCHMARKS.md E18): what a CALM verdict costs when it is computed
+// by the polarity/stratification IR pass (analyze.Lint) versus the
+// semantic sweeps it is machine-checked against (analyze.CheckMonotone
+// on a growing chain of distributed runs). The static rows classify
+// without executing a single transition; the semantic rows pay one
+// fair run per chain instance. findings/op counts warn-level findings
+// so catalogue drift shows up in the committed JSON.
+func BenchmarkE18StaticAnalysis(b *testing.B) {
+	b.Run("target=catalogue/mode=static", func(b *testing.B) {
+		names := build.Names()
+		findings := 0
+		for i := 0; i < b.N; i++ {
+			findings = 0
+			for _, n := range names {
+				tr, err := build.Lookup(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				findings += analyze.Lint(tr).Warnings()
+			}
+		}
+		b.ReportMetric(float64(len(names)), "transducers/op")
+		b.ReportMetric(float64(findings), "findings/op")
+	})
+
+	for _, name := range []string{"tc", "emptiness"} {
+		tr, err := build.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		I := chainEdges(6)
+		if name == "emptiness" {
+			I = unarySet(6)
+		}
+		chain := analyze.GrowingChain(I)
+		b.Run("target="+name+"/mode=static", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := analyze.Lint(tr)
+				if rep.Monotone.OK == (name == "emptiness") {
+					b.Fatalf("unexpected static verdict for %s: %+v", name, rep.Monotone)
+				}
+			}
+		})
+		b.Run("target="+name+"/mode=semantic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				viol, err := analyze.CheckMonotone(tr, chain)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if (viol == nil) != (name == "tc") {
+					b.Fatalf("unexpected semantic verdict for %s: %v", name, viol)
+				}
+			}
+			b.ReportMetric(float64(len(chain)), "chain_instances/op")
+		})
+	}
+}

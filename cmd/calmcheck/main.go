@@ -1,13 +1,22 @@
 // Command calmcheck analyses a transducer through the lens of the CALM
-// theorem: it prints the syntactic class (§4), sweeps fair runs for
-// consistency (§4), searches heartbeat-only witnesses for
-// coordination-freeness (§5), and tests the computed query for
-// monotonicity on a growing chain of sub-instances (Theorem 12).
+// theorem: it prints the syntactic class (§4) and the static analyzer's
+// refined verdict, sweeps fair runs for consistency (§4), searches
+// heartbeat-only witnesses for coordination-freeness (§5), tests the
+// computed query for monotonicity on a growing chain of sub-instances
+// (Theorem 12), and — with -channels — replays the run matrix under
+// adversarial channel scenarios.
+//
+// The exit status is scriptable (CI gates depend on it):
+//
+//	0  every requested check passed
+//	1  inconsistent network, CALM violation, static-soundness
+//	   violation, or robustness divergence under -channels
+//	2  usage or input error
 //
 // Usage:
 //
 //	calmcheck -t emptiness -facts input.dl
-//	calmcheck -t tc -facts edges.dl -nets line:2,ring:3
+//	calmcheck -t tc -facts edges.dl -nets line:2,ring:3 -channels lossy:25,dup:25
 package main
 
 import (
@@ -28,10 +37,11 @@ func main() {
 	factsPath := flag.String("facts", "", "path to the input facts")
 	netSpecs := flag.String("nets", "line:2,ring:3", "comma-separated topologies for the sweep")
 	seeds := flag.Int("seeds", 3, "scheduler seeds per partition")
+	channels := flag.String("channels", "", "comma-separated channel scenarios for the robustness check (empty = skip)")
 	flag.Parse()
 
 	if *factsPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: calmcheck -t NAME -facts FILE [-nets line:2,ring:3]")
+		fmt.Fprintln(os.Stderr, "usage: calmcheck -t NAME -facts FILE [-nets line:2,ring:3] [-channels lossy:25,dup:25]")
 		os.Exit(2)
 	}
 	tr, err := build.Lookup(*name)
@@ -47,16 +57,26 @@ func main() {
 		fatal(err)
 	}
 	nets := map[string]*run.Network{}
+	var firstNet *run.Network
 	for _, spec := range strings.Split(*netSpecs, ",") {
 		n, err := run.ParseTopology(strings.TrimSpace(spec))
 		if err != nil {
 			fatal(err)
 		}
 		nets[spec] = n
+		if firstNet == nil {
+			firstNet = n
+		}
 	}
+
+	// failed accumulates check outcomes; any detected violation makes
+	// the command exit 1 AFTER all checks have printed.
+	failed := false
 
 	fmt.Printf("== %s on %v ==\n", tr.Name, I)
 	fmt.Println("syntactic class: ", analyze.Classify(tr))
+	lint := analyze.Lint(tr)
+	fmt.Println("static refined:  ", lint.Refined)
 
 	rep, err := analyze.CheckTopologyIndependence(nets, tr, I, analyze.SweepOptions{Seeds: *seeds})
 	if err != nil {
@@ -69,8 +89,8 @@ func main() {
 		for k := range rep.Outputs {
 			fmt.Println("  ", k)
 		}
-		fmt.Println("inconsistent network: coordination-freeness and monotonicity do not apply")
-		return
+		fmt.Println("!! INCONSISTENT NETWORK — coordination-freeness and monotonicity do not apply")
+		os.Exit(1)
 	}
 	expected := rep.TheOutput()
 	fmt.Println("computed answer:  ", expected)
@@ -111,14 +131,44 @@ func main() {
 		fmt.Printf("monotone query:    NO: Q(%v)=%v but Q(%v)=%v\n", viol.I, viol.QI, viol.J, viol.QJ)
 	}
 
+	// Static/semantic cross-check: a statically-proved monotone program
+	// refuted by the semantic chain is an analyzer soundness bug.
+	if lint.Monotone.OK && viol != nil {
+		fmt.Println("!! STATIC SOUNDNESS VIOLATION — analyzer proved monotone, semantics disagrees")
+		failed = true
+	}
+
+	if *channels != "" {
+		var scenarios []string
+		for _, s := range strings.Split(*channels, ",") {
+			scenarios = append(scenarios, strings.TrimSpace(s))
+		}
+		rob, err := analyze.CheckChannelRobustness(firstNet, tr, I, scenarios, analyze.RobustOptions{Seeds: *seeds})
+		if err != nil {
+			fatal(err)
+		}
+		if rob.Robust() {
+			fmt.Printf("channel-robust:    YES under %v\n", scenarios)
+		} else {
+			fmt.Printf("channel-robust:    NO — divergent under %v\n", rob.Divergent())
+			for spec, msg := range rob.Failures {
+				fmt.Printf("  %s: %s\n", spec, msg)
+			}
+			failed = true
+		}
+	}
+
 	fmt.Println("\nCALM (Cor. 13): coordination-free => monotone; monotone queries admit oblivious implementations.")
 	if free && viol != nil {
 		fmt.Println("!! CALM VIOLATION — this should be impossible")
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "calmcheck:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -1,0 +1,65 @@
+// Command calmlint runs the static CALM analyzer over transducers and
+// prints verdicts with witnesses: per-relation dependency polarity,
+// refined oblivious/inflationary/monotone classification,
+// provably-empty queries, per-relation monotonicity and stratification
+// cycle witnesses.
+//
+// Usage:
+//
+//	calmlint [-v] [NAME ...]
+//
+// With no arguments every transducer in the catalogue is analyzed.
+// The exit status is the number of transducers with warn-level
+// findings (capped at 125), so CI and the scenario-lab gates can
+// script it: exit 0 means every analyzed transducer is statically
+// clean.
+//
+// With -v the full report is printed (dependency graph edges and all
+// findings); otherwise one summary line per transducer plus its
+// warnings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declnet/analyze"
+	"declnet/build"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print full reports (dependency graph, all findings)")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = build.Names()
+	}
+	bad := 0
+	for _, name := range names {
+		tr, err := build.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calmlint:", err)
+			os.Exit(125)
+		}
+		rep := analyze.Lint(tr)
+		if *verbose {
+			fmt.Print(rep)
+		} else {
+			fmt.Printf("%-12s refined: %s\n", name, rep.Refined)
+			for _, f := range rep.Findings() {
+				if f.Level == "warn" {
+					fmt.Printf("  %s\n", f)
+				}
+			}
+		}
+		if rep.Warnings() > 0 {
+			bad++
+		}
+	}
+	if bad > 125 {
+		bad = 125
+	}
+	os.Exit(bad)
+}

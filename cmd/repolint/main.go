@@ -1,0 +1,47 @@
+// Command repolint runs the repo-invariant linters (internal/lint)
+// over the module tree and prints findings in the usual
+// file:line:col style. Exit status 1 on any finding, 2 on usage or
+// parse errors.
+//
+// Usage:
+//
+//	repolint [DIR]
+//
+// DIR defaults to the current directory and must be the module root
+// (paths in the nodict confinement rules are module-relative).
+//
+// The linters are stdlib-only by design — the module vendors nothing,
+// so the x/tools go/analysis driver is unavailable. See internal/lint
+// for the analyzer set: planonce (sync.Once-guarded caches stay
+// guarded) and nodict (interning dictionary confinement).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"declnet/internal/lint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: repolint [DIR]")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		root = os.Args[1]
+	}
+	diags, err := lint.LintTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

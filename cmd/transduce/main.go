@@ -7,7 +7,7 @@
 //
 //	transduce -t tc -topology ring:4 -facts edges.dl \
 //	          [-partition roundrobin] [-seed 1] [-steps 200000] \
-//	          [-workers 4] [-channel lossy:25] [-explain] [-list]
+//	          [-workers 4] [-channel lossy:25] [-explain] [-lint] [-list]
 //
 // With -explain the compiled physical query plan of every transducer
 // query is printed (join order, index-probe columns, guard placement,
@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 
+	"declnet/analyze"
 	"declnet/build"
 	"declnet/datalog"
 	"declnet/run"
@@ -49,6 +50,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel round runtime worker count (0 = sequential scheduler)")
 	channelSpec := flag.String("channel", "", "channel model / fault scenario (see -list); empty = default fair channel on the fast path")
 	explain := flag.Bool("explain", false, "print the compiled query plans of the transducer (join order, probe columns, guards, delta pins), then exit")
+	lint := flag.Bool("lint", false, "run the static CALM analyzer on the transducer (polarity graph, refined class, witnesses), then exit")
 	list := flag.Bool("list", false, "list available transducers and channel scenarios, then exit")
 	strict := flag.Bool("strict", false, "strict multiset buffers (no duplicate coalescing)")
 	trace := flag.Bool("trace", false, "print every transition")
@@ -71,6 +73,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(run.Explain(tr))
+		return
+	}
+	if *lint {
+		tr, err := build.Lookup(*name)
+		if err != nil {
+			fatal(err)
+		}
+		rep := analyze.Lint(tr)
+		fmt.Print(rep)
+		if rep.Warnings() > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 	if *factsPath == "" {

@@ -38,6 +38,18 @@
 //	rep, _ := analyze.CheckConsistency(net, tr, I, opts)          // §4 semantics
 //	free, _, _ := analyze.CoordinationFree(nets, tr, I, expected) // §5
 //	viol, _ := analyze.CheckMonotone(tr, analyze.GrowingChain(I)) // Thm 12
+//	lint := analyze.Lint(tr)                                      // static verdicts + witnesses
+//
+// analyze.Lint is the static CALM analyzer (internal/sa): a polarized
+// dependency graph over all queries of the transducer yields
+// per-relation monotonicity, stratification verdicts with cycle
+// witnesses, provably-empty queries, and a refined classification
+// that only ever widens the syntactic one. Its verdict lattice is
+// one-sided — OK means statically PROVED, not-OK means unproved,
+// never disproved — and every verdict carries a witness (relation,
+// query, position, reason chain). The proofs are machine-checked
+// against the semantic sweeps by the soundness harness in
+// internal/sa.
 //
 // Custom transducers are assembled with the Builder; any of the
 // substrate languages (or a plain Go function via NewFunc) serves as
@@ -146,12 +158,13 @@
 // models the way they already fan across partitions and networks.
 //
 // The implementation lives under internal/ and is reachable only
-// through these facades. Four CLIs (cmd/transduce, cmd/datalogi,
-// cmd/calmcheck, cmd/dedalusrun) and five runnable examples
-// (examples/) exercise the public surface; the benchmark suite in
-// bench_test.go regenerates the experiment index E1-E17 against the
-// paper's claims (BENCHMARKS.md has the index, BENCH_kernel.json the
-// measured trajectory, BENCH_parallel.json the parallel-runtime
-// numbers, BENCH_scenarios.json the fault-scenario matrix,
-// BENCH_plan.json the compiled query-plan ablation).
+// through these facades. Six CLIs (cmd/transduce, cmd/datalogi,
+// cmd/calmcheck, cmd/calmlint, cmd/repolint, cmd/dedalusrun) and five
+// runnable examples (examples/) exercise the public surface; the
+// benchmark suite in bench_test.go regenerates the experiment index
+// E1-E18 against the paper's claims (BENCHMARKS.md has the index,
+// BENCH_kernel.json the measured trajectory, BENCH_parallel.json the
+// parallel-runtime numbers, BENCH_scenarios.json the fault-scenario
+// matrix, BENCH_plan.json the compiled query-plan ablation,
+// BENCH_static.json the static-analyzer experiment).
 package declnet

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"declnet/internal/fact"
+	"declnet/internal/query"
 )
 
 // Term is a Datalog term: a variable or a constant.
@@ -159,6 +160,9 @@ type Program struct {
 	splitOnce    sync.Once
 	stratumRules [][]*compiledRule
 	stratumPreds []map[string]bool
+	monoOnce     sync.Once
+	monoEv       query.MonotoneEvidence
+	monoAbsorbed map[litKey]bool
 }
 
 // NewProgram builds a program and validates safety and arity

@@ -52,9 +52,10 @@ func (q *Query) Arity() int { return q.ansAr }
 // reads.
 func (q *Query) Rels() []string { return q.Program.EDB() }
 
-// SyntacticallyMonotone implements query.Query: positive programs are
-// monotone (classical Datalog least-fixpoint semantics).
-func (q *Query) SyntacticallyMonotone() bool { return q.Program.IsPositive() }
+// SyntacticallyMonotone implements query.Query: effectively positive
+// programs — positive outright, or reducible to a positive program by
+// complement absorption (see polarity.go) — are monotone.
+func (q *Query) SyntacticallyMonotone() bool { return q.Program.EffectivelyPositive() }
 
 // RelBounded implements query.RelBounded: evaluation restricts the
 // input to the program's EDB predicates, so the result depends on

@@ -145,9 +145,10 @@ func (q *Query) Arity() int { return len(q.Head) }
 // Rels implements query.Query.
 func (q *Query) Rels() []string { return RelNames(q.Body) }
 
-// SyntacticallyMonotone implements query.Query: positive formulas are
-// monotone.
-func (q *Query) SyntacticallyMonotone() bool { return IsPositive(q.Body) }
+// SyntacticallyMonotone implements query.Query: effectively positive
+// formulas (positive modulo negated equalities, see EffectivelyPositive)
+// are monotone.
+func (q *Query) SyntacticallyMonotone() bool { return EffectivelyPositive(q.Body).Monotone }
 
 // String renders the query as head :- body.
 func (q *Query) String() string {

@@ -1,0 +1,155 @@
+// Package lint implements the repo-invariant linters that go vet and
+// staticcheck cannot express, using only the standard library go/ast
+// toolchain (the module vendors no dependencies, so the x/tools
+// go/analysis framework is off the table — this package is a small
+// self-contained stand-in with the same shape: analyzers over parsed
+// packages producing positioned diagnostics, plus // want fixture
+// checking in the tests).
+//
+// Two analyzers guard invariants that the concurrency and interning
+// layers depend on:
+//
+//   - planonce: a cache field that is ever written inside a
+//     sync.Once.Do closure must be written ONLY inside such closures.
+//     The compiled query-plan layer and the datalog memos publish
+//     their caches through sync.Once so one Program/Plan serves every
+//     worker goroutine; a stray unguarded write is a data race that
+//     -race only catches if a test happens to hit the interleaving.
+//
+//   - nodict: the interning dictionary in internal/fact is
+//     process-global mutable state. Its internals (the `interner`
+//     variable) stay confined to internal/fact/intern.go, and even the
+//     exported accessors fact.Intern/fact.InternedValues may be called
+//     only from the root declnet facade and from _test files — library
+//     packages must go through relations, never mint IDs directly.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one linter finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Code    string // analyzer name, e.g. "planonce"
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message)
+}
+
+// File is one parsed source file plus its repo-relative path (the
+// path drives nodict's confinement rules, and using a logical path
+// keeps fixtures testable from testdata directories).
+type File struct {
+	Path string
+	AST  *ast.File
+}
+
+// Pkg is the unit an analyzer runs on: the files of one directory
+// sharing a FileSet.
+type Pkg struct {
+	Fset  *token.FileSet
+	Files []File
+}
+
+// Analyzer is a named check over a parsed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pkg) []Diagnostic
+}
+
+// All returns the repo's analyzer set.
+func All() []*Analyzer {
+	return []*Analyzer{PlanOnce(), NoDict()}
+}
+
+// ParseDirPkg parses every .go file directly inside dir into one Pkg.
+// rel is the repo-relative path of dir ("" for the repo root).
+func ParseDirPkg(fset *token.FileSet, dir, rel string) (*Pkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pkg{Fset: fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		logical := e.Name()
+		if rel != "" {
+			logical = rel + "/" + e.Name()
+		}
+		p.Files = append(p.Files, File{Path: logical, AST: f})
+	}
+	return p, nil
+}
+
+// LintTree walks the module rooted at root, runs every analyzer on
+// each package directory, and returns all diagnostics sorted by
+// position. Vendor-ish directories (.git, testdata) are skipped —
+// testdata holds the linters' own deliberately bad fixtures.
+func LintTree(root string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var all []Diagnostic
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "related") {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		rel = filepath.ToSlash(rel)
+		pkg, err := ParseDirPkg(fset, path, rel)
+		if err != nil {
+			return err
+		}
+		if len(pkg.Files) == 0 {
+			return nil
+		}
+		for _, a := range All() {
+			all = append(all, a.Run(pkg)...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Code < b.Code
+	})
+	return all, nil
+}

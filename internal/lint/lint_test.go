@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture parses one testdata file under a chosen logical path and
+// runs a single analyzer on it.
+func runFixture(t *testing.T, a *Analyzer, file, logical string) (*token.FileSet, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	p := &Pkg{Fset: fset, Files: []File{{Path: logical, AST: f}}}
+	return fset, a.Run(p)
+}
+
+// checkWants verifies diagnostics against the fixture's // want
+// comments: every want line needs a matching diagnostic and every
+// diagnostic needs a want line.
+func checkWants(t *testing.T, fset *token.FileSet, file string, diags []Diagnostic) {
+	t.Helper()
+	f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int]*regexp.Regexp{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pat := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+			pat = strings.Trim(pat, "`\"")
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("bad want pattern %q: %v", pat, err)
+			}
+			wants[fset.Position(c.Pos()).Line] = re
+		}
+	}
+	matched := map[int]bool{}
+	for _, d := range diags {
+		re, ok := wants[d.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("line %d: diagnostic %q does not match want %q", d.Pos.Line, d.Message, re)
+		}
+		matched[d.Pos.Line] = true
+	}
+	for line := range wants {
+		if !matched[line] {
+			t.Errorf("line %d: wanted a diagnostic, got none", line)
+		}
+	}
+}
+
+func TestPlanOnceFixture(t *testing.T) {
+	fset, diags := runFixture(t, PlanOnce(), "testdata/planonce/fixture.go", "internal/foo/fixture.go")
+	checkWants(t, fset, "testdata/planonce/fixture.go", diags)
+}
+
+func TestNoDictLibFixture(t *testing.T) {
+	fset, diags := runFixture(t, NoDict(), "testdata/nodict/lib.go", "internal/foo/lib.go")
+	checkWants(t, fset, "testdata/nodict/lib.go", diags)
+}
+
+func TestNoDictFacadeAndTestsExempt(t *testing.T) {
+	// Repo-root logical path: the facade may touch the dictionary.
+	_, diags := runFixture(t, NoDict(), "testdata/nodict/facade.go", "facade.go")
+	if len(diags) != 0 {
+		t.Fatalf("facade must be exempt, got %v", diags)
+	}
+	// _test.go files anywhere are exempt from the accessor rule (the
+	// reserved-identifier rule still applies, but this file is clean).
+	_, diags = runFixture(t, NoDict(), "testdata/nodict/facade.go", "internal/foo/facade_test.go")
+	if len(diags) != 0 {
+		t.Fatalf("_test files must be exempt, got %v", diags)
+	}
+	// The same calls from a library path ARE findings (differential
+	// control for the two exemptions above).
+	_, diags = runFixture(t, NoDict(), "testdata/nodict/facade.go", "internal/foo/facade.go")
+	if len(diags) != 2 {
+		t.Fatalf("library path should yield 2 findings, got %v", diags)
+	}
+}
+
+// TestRepoIsClean runs both linters over the real module: the repo
+// invariants hold on the committed tree. This is the enforcement
+// backstop behind `make lint` — a stray unguarded cache write or a new
+// dictionary caller fails `go test ./...` too.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := LintTree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

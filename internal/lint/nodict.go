@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// internPkgPath is the import path of the interning dictionary's home.
+const internPkgPath = "declnet/internal/fact"
+
+// dictFuncs are the exported accessors of the process-global interning
+// dictionary. They exist for the root facade (declnet.Intern /
+// declnet.InternedValues, used by input loaders and benchmarks) — no
+// library package may mint IDs or gauge the dictionary directly.
+var dictFuncs = map[string]bool{"Intern": true, "InternedValues": true}
+
+// NoDict confines the interning dictionary:
+//
+//  1. The identifier `interner` (the dictionary's unexported state) is
+//     reserved: it may appear only in internal/fact/intern.go. Even a
+//     coincidental local of that name elsewhere is flagged — the name
+//     is part of the confinement contract.
+//  2. fact.Intern / fact.InternedValues may be called only from the
+//     repo-root facade package and from _test files. Everything else
+//     must manipulate values through relations; direct ID minting
+//     bypasses the dictionary's publication protocol and couples
+//     callers to the global ID space.
+func NoDict() *Analyzer {
+	return &Analyzer{
+		Name: "nodict",
+		Doc:  "interning dictionary internals stay confined to internal/fact and the root facade",
+		Run:  runNoDict,
+	}
+}
+
+func runNoDict(p *Pkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		if f.Path == "internal/fact/intern.go" {
+			continue // the dictionary's home
+		}
+		// Rule 1: the reserved identifier.
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name != "interner" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     position(p.Fset, id.Pos(), f.Path),
+				Code:    "nodict",
+				Message: "identifier `interner` is reserved for internal/fact/intern.go (interning dictionary confinement)",
+			})
+			return true
+		})
+
+		// Rule 2: accessor calls outside the facade / tests.
+		if strings.HasSuffix(f.Path, "_test.go") || strings.HasPrefix(f.Path, "internal/fact/") {
+			continue
+		}
+		if !strings.Contains(f.Path, "/") {
+			continue // repo-root facade package (declnet.go, doc.go, bench files)
+		}
+		local := importName(f.AST, internPkgPath)
+		if local == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !dictFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != local {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  position(p.Fset, sel.Pos(), f.Path),
+				Code: "nodict",
+				Message: fmt.Sprintf(
+					"fact.%s touches the global interning dictionary; only the root declnet facade and _test files may (go through relations instead)",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// importName returns the local name under which path is imported in f,
+// or "" if it is not imported.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

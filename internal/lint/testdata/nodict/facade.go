@@ -1,0 +1,10 @@
+// The same accessor calls checked under a repo-root logical path
+// (facade.go): the declnet facade is the one non-test place allowed to
+// touch the dictionary, so this file must produce zero findings.
+package fixture
+
+import "declnet/internal/fact"
+
+func Intern(v fact.Value) uint32 { return fact.Intern(v) }
+
+func InternedValues() int { return fact.InternedValues() }

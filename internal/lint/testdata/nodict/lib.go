@@ -1,0 +1,16 @@
+// The nodict fixture, checked under the logical path
+// internal/foo/lib.go — a library package calling the dictionary
+// accessors directly, plus a squatter on the reserved identifier.
+package fixture
+
+import "declnet/internal/fact"
+
+func bad(v fact.Value) {
+	_ = fact.Intern(v)        // want `interning dictionary`
+	_ = fact.InternedValues() // want `interning dictionary`
+}
+
+func squatter() int {
+	interner := 1 // want `reserved`
+	return interner // want `reserved`
+}

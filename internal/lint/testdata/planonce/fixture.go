@@ -1,0 +1,37 @@
+// The planonce fixture: a memo struct whose cache field is published
+// under sync.Once in one method and clobbered without the guard in
+// another. Only the unguarded write is a finding; the hits counter is
+// never once-published, so writes to it stay legal.
+package fixture
+
+import "sync"
+
+type memo struct {
+	once  sync.Once
+	plans []int
+	hits  int
+}
+
+func (m *memo) build() []int {
+	m.once.Do(func() {
+		m.plans = []int{1, 2, 3}
+	})
+	return m.plans
+}
+
+func (m *memo) reset() {
+	m.plans = nil // want `published under sync\.Once`
+	m.hits = 0
+}
+
+func (m *memo) observe() {
+	m.hits++ // IncDec of an unguarded counter: fine
+}
+
+type plain struct {
+	cache []int
+}
+
+func (p *plain) fill() {
+	p.cache = []int{1} // no sync.Once in plain: out of scope
+}

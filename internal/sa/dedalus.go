@@ -1,0 +1,63 @@
+package sa
+
+import (
+	"fmt"
+
+	"declnet/internal/datalog"
+	"declnet/internal/dedalus"
+	"declnet/internal/query"
+)
+
+// DedalusReport is the static analysis of a Dedalus program: the
+// temporally-labeled predicate dependency graph and the temporal
+// stratification verdict.
+type DedalusReport struct {
+	// Edges is the predicate dependency graph; Temporality separates
+	// same-slice (NOW) edges from inductive (NEXT) and asynchronous
+	// dependencies.
+	Edges []Edge
+	// TemporallyStratified proves that no negation lies on a cycle of
+	// same-timestamp dependencies. Negation through NEXT or async
+	// edges is always admissible: time strictly increases along the
+	// edge, so the cycle unrolls into a well-founded chain (§8's
+	// determinism condition for the deductive subset).
+	TemporallyStratified Verdict
+}
+
+// AnalyzeDedalus builds the temporal dependency graph of the program
+// and checks temporal stratifiability with cycle witnesses.
+func AnalyzeDedalus(p *dedalus.Program) *DedalusReport {
+	rep := &DedalusReport{}
+	for i, r := range p.Rules {
+		var temp query.Temporality
+		switch r.Kind {
+		case dedalus.Deductive:
+			temp = query.TempNow
+		case dedalus.Inductive:
+			temp = query.TempNext
+		default:
+			temp = query.TempAsync
+		}
+		for _, l := range r.Body {
+			if l.Kind != datalog.LitPos && l.Kind != datalog.LitNeg {
+				continue
+			}
+			pol := query.PolPos
+			if l.Kind == datalog.LitNeg {
+				pol = query.PolNeg
+			}
+			rep.Edges = append(rep.Edges, Edge{
+				From:        r.Head.Pred,
+				To:          l.Atom.Pred,
+				Polarity:    pol,
+				Temporality: temp,
+				Query:       QueryRef{Kind: r.Kind.String(), Rel: r.Head.Pred},
+				Where:       fmt.Sprintf("rule %d: literal %s", i, l),
+			})
+		}
+	}
+	rep.TemporallyStratified = stratify(rep.Edges, func(e Edge) bool {
+		return e.Temporality == query.TempNow
+	})
+	return rep
+}

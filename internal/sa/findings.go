@@ -1,0 +1,119 @@
+package sa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Finding is one linter-style message derived from a Report.
+type Finding struct {
+	// Code is a stable machine-readable identifier.
+	Code string
+	// Level is "warn" (blocks a CALM guarantee) or "info".
+	Level string
+	// Message is the human-readable one-liner.
+	Message string
+	// Witness, when present, locates the evidence.
+	Witness *Witness
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s [%s] %s", f.Level, f.Code, f.Message)
+	if f.Witness != nil {
+		s += "\n  " + strings.ReplaceAll(f.Witness.String(), "\n", "\n  ")
+	}
+	return s
+}
+
+// Findings renders the report as linter findings: warnings for every
+// unproved CALM guarantee (with witnesses), infos for refinements the
+// seed classification missed and for provably-empty queries.
+func (r *Report) Findings() []Finding {
+	var fs []Finding
+	add := func(code, level, msg string, w *Witness) {
+		fs = append(fs, Finding{Code: code, Level: level, Message: msg, Witness: w})
+	}
+	if r.Monotone.OK {
+		msg := "transducer is statically monotone: coordination-free by CALM (Corollary 13)"
+		if !r.Class.Monotone {
+			msg += " — refined verdict; the seed boolean check rejects it"
+			add("monotone-refined", "info", msg, nil)
+		} else {
+			add("monotone", "info", msg, nil)
+		}
+	} else {
+		for i := range r.Monotone.Witnesses {
+			add("nonmonotone", "warn",
+				"monotonicity not proved; semantic sweeps may coordinate", &r.Monotone.Witnesses[i])
+		}
+	}
+	if !r.Oblivious.OK {
+		for i := range r.Oblivious.Witnesses {
+			add("reads-sys", "warn", "not oblivious: reads the system schema", &r.Oblivious.Witnesses[i])
+		}
+	} else if !r.Class.Oblivious {
+		add("oblivious-refined", "info",
+			"oblivious after waiving provably-empty queries; the seed check rejects it", nil)
+	}
+	if !r.Inflationary.OK {
+		for i := range r.Inflationary.Witnesses {
+			add("deletes", "info", "not inflationary: memory may shrink", &r.Inflationary.Witnesses[i])
+		}
+	} else if !r.Class.Inflationary {
+		add("inflationary-refined", "info",
+			"inflationary after proving every deletion query empty; the seed check rejects it", nil)
+	}
+	if !r.Stratified.OK {
+		for i := range r.Stratified.Witnesses {
+			add("strat-cycle", "warn",
+				"negation (or unknown-polarity read) on a dependency cycle", &r.Stratified.Witnesses[i])
+		}
+	}
+	for _, q := range r.EmptyQueries {
+		q := q
+		add("empty-query", "info",
+			fmt.Sprintf("query %s provably never produces a tuple", q), nil)
+	}
+	rels := make([]string, 0, len(r.RelMonotone))
+	for rel := range r.RelMonotone {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		v := r.RelMonotone[rel]
+		if !v.OK && len(v.Witnesses) > 0 {
+			add("rel-nonmonotone", "info",
+				"relation "+rel+" is not a provably monotone function of the input", &v.Witnesses[0])
+		}
+	}
+	return fs
+}
+
+// Warnings counts the warn-level findings.
+func (r *Report) Warnings() int {
+	n := 0
+	for _, f := range r.Findings() {
+		if f.Level == "warn" {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the full report for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "static analysis of %s\n", r.Name)
+	fmt.Fprintf(&b, "  class (seed):    %s\n", r.Class)
+	fmt.Fprintf(&b, "  class (refined): %s\n", r.Refined)
+	fmt.Fprintf(&b, "  populated: %s\n", strings.Join(r.Populated, " "))
+	fmt.Fprintf(&b, "  dependency graph (%d edges):\n", len(r.Edges))
+	for _, e := range r.Edges {
+		fmt.Fprintf(&b, "    %s\n", e)
+	}
+	for _, f := range r.Findings() {
+		fmt.Fprintf(&b, "  %s\n", strings.ReplaceAll(f.String(), "\n", "\n  "))
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package sa
+
+import (
+	"fmt"
+
+	"declnet/internal/query"
+)
+
+// stratify reports whether the polarized relation graph is
+// stratifiable: no negative (or guard-polarity, conservatively) edge
+// may lie on a cycle. restrict selects the edges participating in the
+// graph (nil keeps all); the dedalus temporal analysis restricts to
+// same-timestamp edges, since negation through NEXT/async dependencies
+// is ordered by time and never cyclic within a slice.
+//
+// Each violation produces a witness whose reason chain spells out one
+// offending cycle edge by edge.
+func stratify(edges []Edge, restrict func(Edge) bool) Verdict {
+	var used []Edge
+	for _, e := range edges {
+		if restrict == nil || restrict(e) {
+			used = append(used, e)
+		}
+	}
+	comp := sccs(used)
+	v := Verdict{OK: true}
+	for _, e := range used {
+		if e.Polarity == query.PolPos {
+			continue
+		}
+		cf, okF := comp[e.From]
+		ct, okT := comp[e.To]
+		if !okF || !okT || cf != ct {
+			continue
+		}
+		cycle := cyclePath(used, comp, e)
+		v.OK = false
+		v.Witnesses = append(v.Witnesses, Witness{
+			Relation: e.To,
+			Query:    e.Query,
+			Where:    e.Where,
+			Reasons:  cycle,
+		})
+	}
+	return v
+}
+
+// sccs returns the strongly-connected-component index of every node of
+// the edge set (iterative Tarjan).
+func sccs(edges []Edge) map[string]int {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+
+	type frame struct {
+		node string
+		i    int
+	}
+	for n := range nodes {
+		if _, seen := index[n]; seen {
+			continue
+		}
+		frames := []frame{{n, 0}}
+		index[n], low[n] = next, next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(adj[f.node]) {
+				w := adj[f.node][f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			if low[f.node] == index[f.node] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == f.node {
+						break
+					}
+				}
+				ncomp++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// cyclePath renders a cycle through the offending edge e: e itself,
+// then a shortest dependency path from e.To back to e.From inside
+// their common SCC.
+func cyclePath(edges []Edge, comp map[string]int, e Edge) []string {
+	scc := comp[e.From]
+	// BFS from e.To to e.From over edges inside the SCC.
+	type step struct {
+		node string
+		via  *Edge
+		prev int
+	}
+	steps := []step{{node: e.To, prev: -1}}
+	seen := map[string]bool{e.To: true}
+	goal := -1
+	for i := 0; i < len(steps) && goal < 0; i++ {
+		if steps[i].node == e.From {
+			goal = i
+			break
+		}
+		for j := range edges {
+			w := edges[j]
+			if w.From != steps[i].node || comp[w.To] != scc || seen[w.To] {
+				continue
+			}
+			seen[w.To] = true
+			steps = append(steps, step{node: w.To, via: &edges[j], prev: i})
+			if w.To == e.From {
+				goal = len(steps) - 1
+			}
+		}
+	}
+	chain := []string{fmt.Sprintf("cycle: %s depends on %s with polarity %s (%s: %s)",
+		e.From, e.To, e.Polarity, e.Query, e.Where)}
+	if goal < 0 {
+		return append(chain, "…and "+e.To+" reaches "+e.From+" within the same component")
+	}
+	var back []string
+	for i := goal; i >= 0 && steps[i].via != nil; i = steps[i].prev {
+		w := steps[i].via
+		back = append(back, fmt.Sprintf("%s depends on %s with polarity %s (%s: %s)",
+			w.From, w.To, w.Polarity, w.Query, w.Where))
+	}
+	for i := len(back) - 1; i >= 0; i-- {
+		chain = append(chain, back[i])
+	}
+	return chain
+}

@@ -153,33 +153,6 @@ type Query struct{ P *Program }
 // Arity implements query.Query.
 func (q Query) Arity() int { return q.P.OutArity }
 
-// Rels implements query.Query: all relations read by any statement's
-// query or loop condition. Assigned program variables are included;
-// callers interested in the input schema should intersect with it.
-func (q Query) Rels() []string {
-	var qs []query.Query
-	var walk func([]Stmt)
-	var condRels []string
-	walk = func(ss []Stmt) {
-		for _, s := range ss {
-			switch st := s.(type) {
-			case Assign:
-				qs = append(qs, st.Q)
-			case While:
-				condRels = append(condRels, fo.RelNames(st.Cond)...)
-				walk(st.Body)
-			}
-		}
-	}
-	walk(q.P.Stmts)
-	all := query.MergeRels(qs...)
-	return query.MergeRels(query.NewFunc("", 0, append(all, condRels...), false, nil))
-}
-
-// SyntacticallyMonotone implements query.Query; while-programs are not
-// syntactically monotone in general (assignment overwrites).
-func (q Query) SyntacticallyMonotone() bool { return false }
-
 // Eval implements query.Query.
 func (q Query) Eval(I *fact.Instance) (*fact.Relation, error) {
 	store, err := q.P.Run(I)
