@@ -1,7 +1,11 @@
 GO ?= go
 BENCHTIME ?= 300ms
+# BENCH_SIZE scales the columnar-kernel experiment (E19): "small"
+# (10^4 tuples, CI smoke) or "large" (10^5 and 10^6 tuples, the
+# configurations BENCH_columnar.json records).
+BENCH_SIZE ?= small
 
-.PHONY: build test race bench bench-raw bench-plan bench-scenarios bench-static scenarios fuzz vet lint check clean
+.PHONY: build test race bench bench-raw bench-plan bench-scenarios bench-static bench-columnar scenarios fuzz vet lint check clean
 
 build:
 	$(GO) build ./...
@@ -64,6 +68,17 @@ bench-scenarios:
 	$(GO) run ./cmd/benchjson -label local -scenario auto < benchs.out > BENCH_scenarios.json
 	@rm -f benchs.out
 	@echo wrote BENCH_scenarios.json
+
+# bench-columnar records the columnar batch-kernel ablation (E19:
+# tuple-at-a-time register executor vs the vectorized batch pipeline
+# on seeded large-input workloads) to BENCH_columnar.json. Large
+# configurations run each measurement once — the workloads are big
+# enough that one iteration is a stable sample.
+bench-columnar:
+	BENCH_SIZE=$(BENCH_SIZE) $(GO) test -run xxx -bench 'E19Columnar' -benchtime 1x -timeout 1800s . > benchc.out
+	$(GO) run ./cmd/benchjson -label local -size $(BENCH_SIZE) < benchc.out > BENCH_columnar.json
+	@rm -f benchc.out
+	@echo wrote BENCH_columnar.json
 
 # bench-static records the static-analyzer experiment (E18: the
 # polarity/stratification pass vs the semantic monotonicity sweep it

@@ -8,6 +8,7 @@ package declnet_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"declnet"
@@ -16,6 +17,8 @@ import (
 	"declnet/datalog"
 	"declnet/dedalus"
 	"declnet/fo"
+	"declnet/internal/gen"
+	"declnet/internal/plan"
 	"declnet/run"
 	"declnet/tm"
 )
@@ -878,5 +881,93 @@ func BenchmarkE18StaticAnalysis(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(chain)), "chain_instances/op")
 		})
+	}
+}
+
+// e19Sizes returns the workload scales for the columnar-kernel
+// experiment (E19). BENCH_SIZE=large runs the 10^5 and 10^6-tuple
+// configurations the experiment is about; the default small size
+// keeps CI smoke fast. The recursive closure configuration scales
+// separately because its output is quadratic in chain length.
+func e19Sizes() (joins []int, tc []int) {
+	if os.Getenv("BENCH_SIZE") == "large" {
+		return []int{100000, 1000000}, []int{100000}
+	}
+	return []int{10000}, []int{10000}
+}
+
+// BenchmarkE19Columnar: the columnar batch kernel against the
+// tuple-at-a-time register executor on large seeded workloads
+// (internal/gen). Every configuration runs mode=tuple (batch pipeline
+// off) and mode=batch (always), with the two outputs cross-checked
+// equal before measuring; out_tuples reports the result cardinality.
+func BenchmarkE19Columnar(b *testing.B) {
+	joinSizes, tcSizes := e19Sizes()
+
+	runModes := func(b *testing.B, name string, eval func() (*declnet.Relation, error)) {
+		b.Helper()
+		withMode := func(mode string) *declnet.Relation {
+			prev, err := plan.SetBatchMode(mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer plan.SetBatchMode(prev)
+			out, err := eval()
+			if err != nil {
+				b.Fatalf("%s mode=%s: %v", name, mode, err)
+			}
+			return out
+		}
+		tout := withMode("off")
+		bout := withMode("always")
+		if !tout.Equal(bout) {
+			b.Fatalf("%s: pipelines disagree: tuple %d tuples, batch %d tuples", name, tout.Len(), bout.Len())
+		}
+		want := tout.Len()
+		for _, m := range []struct{ mode, label string }{{"off", "tuple"}, {"always", "batch"}} {
+			b.Run(name+"/mode="+m.label, func(b *testing.B) {
+				prev, err := plan.SetBatchMode(m.mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer plan.SetBatchMode(prev)
+				for i := 0; i < b.N; i++ {
+					out, err := eval()
+					if err != nil || out.Len() != want {
+						b.Fatalf("wrong result: %v (%d tuples, want %d)", err, out.Len(), want)
+					}
+				}
+				b.ReportMetric(float64(want), "out_tuples")
+			})
+		}
+	}
+
+	for _, n := range joinSizes {
+		// Three functional graphs over the same node set: every node
+		// has out-degree 1, so the two-way join stays linear in n while
+		// the more selective shapes filter almost everything out.
+		I := gen.Merge(gen.Functional("E", n, 1), gen.Functional("F", n, 2),
+			gen.Functional("G", n, 3), gen.Functional("H", n, 4))
+		pairs := fo.MustQuery("pairs", []string{"x", "z"}, fo.MustParse("exists y (E(x, y) & F(y, z))"))
+		runModes(b, fmt.Sprintf("cfg=pairs/n=%d", n), func() (*declnet.Relation, error) { return pairs.Eval(I) })
+		cycles := fo.MustQuery("cycles", []string{"x"}, fo.MustParse("exists y,z (E(x, y) & F(y, z) & x = z)"))
+		runModes(b, fmt.Sprintf("cfg=cycles/n=%d", n), func() (*declnet.Relation, error) { return cycles.Eval(I) })
+		triangles := fo.MustQuery("triangles", []string{"x"}, fo.MustParse("exists y,z (E(x, y) & F(y, z) & G(z, x))"))
+		runModes(b, fmt.Sprintf("cfg=triangles/n=%d", n), func() (*declnet.Relation, error) { return triangles.Eval(I) })
+		quads := fo.MustQuery("quads", []string{"x"}, fo.MustParse("exists y,z,w (E(x, y) & F(y, z) & G(z, w) & H(w, x))"))
+		runModes(b, fmt.Sprintf("cfg=quads/n=%d", n), func() (*declnet.Relation, error) { return quads.Eval(I) })
+	}
+
+	// Recursive closure over a forest of disjoint chains: the
+	// semi-naive delta joins run through the same pipeline choice.
+	tcSrc := `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Z) :- e(X, Y), tc(Y, Z).
+	`
+	for _, n := range tcSizes {
+		const length = 10
+		I := gen.Forest("e", n/length, length)
+		q := datalog.MustQuery(datalog.MustParse(tcSrc), "tc")
+		runModes(b, fmt.Sprintf("cfg=tc/n=%d", n), func() (*declnet.Relation, error) { return q.Eval(I) })
 	}
 }

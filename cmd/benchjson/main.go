@@ -63,7 +63,10 @@ type Report struct {
 	Scenario string `json:"scenario,omitempty"`
 	// Workers is the parallel-runtime worker count the benchmarked
 	// runs used, when the caller passed -workers.
-	Workers    int        `json:"workers,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Size is the workload scale knob the benchmarked runs used
+	// (BENCH_SIZE: "small" or "large"), when the caller passed -size.
+	Size       string     `json:"size,omitempty"`
 	Provenance Provenance `json:"provenance"`
 	Context    []string   `json:"context,omitempty"` // goos/goarch/pkg/cpu lines
 	Results    []Result   `json:"results"`
@@ -101,9 +104,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel worker count to record in the report header")
 	scenario := flag.String("scenario", "",
 		"channel scenario (or scenario matrix) to record in the report header; \"auto\" derives it from the scenario sub-benchmark names")
+	size := flag.String("size", "", "workload scale (BENCH_SIZE) to record in the report header")
 	flag.Parse()
 
-	rep := Report{Label: *label, Workers: *workers, Scenario: *scenario, Provenance: provenance()}
+	rep := Report{Label: *label, Workers: *workers, Scenario: *scenario, Size: *size, Provenance: provenance()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -90,6 +90,25 @@
 // runtime. run.Explain renders the compiled plans of a transducer's
 // queries in a stable, diffable format (transduce -explain).
 //
+// # The columnar batch kernel
+//
+// Large inputs take a vectorized path through the same compiled
+// schedules: relations expose a columnar view (per-column []uint32
+// ID vectors with incrementally maintained hash indexes and
+// radix-sorted runs, internal/fact), and internal/plan executes the
+// schedule over column batches — merge joins on sorted ID runs when
+// both sides are large, vectorized hash probes otherwise, batch
+// filters, and one arena-allocated output append per execution. The
+// pipeline engages per execution by a cardinality threshold (default
+// 4096 tuples; plan.SetBatchMode / DECLNET_BATCH select
+// "auto"/"off"/"always", plan.SetBatchThreshold /
+// DECLNET_BATCH_THRESHOLD tune the cutover), so small inputs keep the
+// register-slot executor's low constant factors while million-tuple
+// relations get the batch operators — transparently, under Eval,
+// EvalDelta, incremental firing, Sim and RunParallel alike. Explain
+// output names the pipeline each query will take; differential tests
+// pin both pipelines and the reference executor bit-identical.
+//
 // Simulation is incremental on top of that: each node of a running
 // network carries a firing cache (per-query results on the node
 // state, advanced by delta firing), so a delivery evaluates against
@@ -162,9 +181,10 @@
 // cmd/calmcheck, cmd/calmlint, cmd/repolint, cmd/dedalusrun) and five
 // runnable examples (examples/) exercise the public surface; the
 // benchmark suite in bench_test.go regenerates the experiment index
-// E1-E18 against the paper's claims (BENCHMARKS.md has the index,
+// E1-E19 against the paper's claims (BENCHMARKS.md has the index,
 // BENCH_kernel.json the measured trajectory, BENCH_parallel.json the
 // parallel-runtime numbers, BENCH_scenarios.json the fault-scenario
 // matrix, BENCH_plan.json the compiled query-plan ablation,
-// BENCH_static.json the static-analyzer experiment).
+// BENCH_static.json the static-analyzer experiment,
+// BENCH_columnar.json the columnar batch-kernel ablation).
 package declnet

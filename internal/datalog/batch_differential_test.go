@@ -1,0 +1,21 @@
+package datalog
+
+// Forced-columnar differential coverage: the committed-corpus harness
+// (semi-naive compiled-plan evaluation vs the naive reference
+// evaluator) re-run with every eligible schedule forced through the
+// columnar batch pipeline.
+
+import (
+	"testing"
+
+	"declnet/internal/plan"
+)
+
+func TestDifferentialCorpusProgramsColumnar(t *testing.T) {
+	prev, err := plan.SetBatchMode("always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _, _ = plan.SetBatchMode(prev) })
+	TestDifferentialCorpusPrograms(t)
+}

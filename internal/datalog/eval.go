@@ -124,11 +124,11 @@ func evalStratumSemiNaive(crs []*compiledRule, inStratum map[string]bool, I *fac
 	return nil
 }
 
+// stageRel stages a rule firing's head relation key-level: no
+// re-packing or re-interning per fact (fact.Delta.StageRelation), so
+// staging cost is one map probe per derived tuple.
 func stageRel(d *fact.Delta, pred string, heads *fact.Relation) {
-	heads.Each(func(t fact.Tuple) bool {
-		d.Stage(fact.Fact{Rel: pred, Args: t})
-		return true
-	})
+	d.StageRelation(pred, heads)
 }
 
 // TP applies the immediate consequence operator once: every rule is

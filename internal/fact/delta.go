@@ -31,6 +31,40 @@ func (d *Delta) Stage(f Fact) bool {
 	return d.staged.AddFact(f)
 }
 
+// StageRelation stages every tuple of heads under predicate pred —
+// the batch counterpart of Stage, working at the packed-key level:
+// tuples already committed or already staged are skipped with one map
+// probe each, and new tuples move their keys into the staging area
+// without re-packing or re-interning anything. Semi-naive evaluation
+// calls it once per rule firing with the firing's whole head relation.
+// heads' stored tuples are shared (they are immutable by convention).
+func (d *Delta) StageRelation(pred string, heads *Relation) {
+	if heads == nil || len(heads.tuples) == 0 {
+		return
+	}
+	full := d.Full.rels[pred]
+	sr := d.staged.rels[pred]
+	dirty := false
+	for k, t := range heads.tuples {
+		if full != nil {
+			if _, ok := full.tuples[k]; ok {
+				continue
+			}
+		}
+		if sr == nil {
+			sr = NewRelation(heads.arity)
+			d.staged.rels[pred] = sr
+		} else if _, ok := sr.tuples[k]; ok {
+			continue
+		}
+		sr.addKeyed(k, t)
+		dirty = true
+	}
+	if dirty {
+		d.staged.dirty()
+	}
+}
+
 // Dirty reports whether the current round staged any new fact.
 func (d *Delta) Dirty() bool { return !d.staged.Empty() }
 

@@ -133,6 +133,12 @@ type Relation struct {
 	// Remove.
 	idx []map[uint32][]Tuple
 
+	// cview, when non-nil, is the columnar decoding of the relation
+	// (per-column ID vectors with sorted runs and row indexes; see
+	// column.go). Built lazily by the batch executor, maintained by
+	// addKeyed, dropped by Remove.
+	cview *colview
+
 	// sorted memoizes Tuples(); mutations reset it.
 	sorted []Tuple
 }
@@ -161,6 +167,9 @@ func (r *Relation) addKeyed(k string, t Tuple) {
 			id := keyID(k, c)
 			m[id] = append(m[id], t)
 		}
+	}
+	if r.cview != nil {
+		r.cview.appendRow(k, r.arity)
 	}
 }
 
@@ -193,6 +202,7 @@ func (r *Relation) Remove(t Tuple) bool {
 	}
 	delete(r.tuples, string(k))
 	r.idx = nil
+	r.cview = nil
 	r.sorted = nil
 	return true
 }

@@ -1,0 +1,21 @@
+package fo
+
+// Forced-columnar differential coverage: the committed-corpus harness
+// (compiled plan vs reference executor vs generic active-domain
+// enumerator, plus the delta-pin union equations) re-run with every
+// eligible schedule forced through the columnar batch pipeline.
+
+import (
+	"testing"
+
+	"declnet/internal/plan"
+)
+
+func TestDifferentialCorpusQueriesColumnar(t *testing.T) {
+	prev, err := plan.SetBatchMode("always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _, _ = plan.SetBatchMode(prev) })
+	TestDifferentialCorpusQueries(t)
+}

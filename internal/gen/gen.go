@@ -1,0 +1,122 @@
+// Package gen generates seeded large-input fact workloads — the
+// graph families the million-tuple benchmarks, fuzz seeds and
+// differential tests all draw from. Every generator is a pure
+// function of its parameters (random families take an explicit PCG
+// seed), so workloads are reproducible across runs, machines and the
+// benchmark artifacts' provenance records.
+//
+// Values are fixed-width decimal node names ("n0000042"), which keeps
+// deterministic orderings stable and interning dense.
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"declnet/internal/fact"
+)
+
+// Node returns the canonical name of node i.
+func Node(i int) fact.Value {
+	return fact.Value(fmt.Sprintf("n%07d", i))
+}
+
+// edges builds a binary relation instance from an edge list producer.
+func edges(rel string, n int, at func(i int) (int, int)) *fact.Instance {
+	r := fact.NewRelation(2)
+	for i := 0; i < n; i++ {
+		a, b := at(i)
+		r.Add(fact.Tuple{Node(a), Node(b)})
+	}
+	I := fact.NewInstance()
+	I.SetRelationOwned(rel, r)
+	return I
+}
+
+// Chain returns rel as the edge set of a simple path over n+1 nodes:
+// n edges i -> i+1. Transitive closure has n(n+1)/2 tuples.
+func Chain(rel string, n int) *fact.Instance {
+	return edges(rel, n, func(i int) (int, int) { return i, i + 1 })
+}
+
+// Ring returns rel as the edge set of a directed cycle over n nodes.
+// Transitive closure is the complete relation (n^2 tuples).
+func Ring(rel string, n int) *fact.Instance {
+	return edges(rel, n, func(i int) (int, int) { return i, (i + 1) % n })
+}
+
+// Forest returns rel as chains disjoint simple paths of length edges
+// each (chains*length edges total, over chains*(length+1) nodes).
+// Transitive closure has chains*length*(length+1)/2 tuples — a
+// million-edge instance whose closure stays bounded, the recursive
+// workload the columnar benchmarks run end to end.
+func Forest(rel string, chains, length int) *fact.Instance {
+	stride := length + 1
+	return edges(rel, chains*length, func(i int) (int, int) {
+		c, p := i/length, i%length
+		return c*stride + p, c*stride + p + 1
+	})
+}
+
+// Tree returns rel as the edge set of a complete branch-ary tree of
+// the given depth (edges point parent -> child; depth 0 is a single
+// root with no edges).
+func Tree(rel string, branch, depth int) *fact.Instance {
+	// Nodes in level order: root 0; node i has children branch*i+1 ..
+	// branch*i+branch.
+	total := 0
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= branch
+		total += level
+	}
+	return edges(rel, total, func(i int) (int, int) { return i / branch, i + 1 })
+}
+
+// Random returns rel as m edges drawn uniformly (with replacement —
+// duplicates collapse under set semantics) over n nodes, from a PCG
+// stream seeded by seed.
+func Random(rel string, n, m int, seed uint64) *fact.Instance {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return edges(rel, m, func(int) (int, int) {
+		return rng.IntN(n), rng.IntN(n)
+	})
+}
+
+// Functional returns rel as a functional graph over n nodes: node i
+// has exactly one out-edge to a uniformly random node (no self-loops),
+// from a PCG stream seeded by seed. Joins over functional graphs have
+// output size at most the input size — the bounded-fanout join
+// workload.
+func Functional(rel string, n int, seed uint64) *fact.Instance {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return edges(rel, n, func(i int) (int, int) {
+		j := rng.IntN(n - 1)
+		if j >= i {
+			j++
+		}
+		return i, j
+	})
+}
+
+// Unary returns rel as a unary relation holding nodes [lo, hi) — hub
+// sets, seed sets, domain restrictions.
+func Unary(rel string, lo, hi int) *fact.Instance {
+	r := fact.NewRelation(1)
+	for i := lo; i < hi; i++ {
+		r.Add(fact.Tuple{Node(i)})
+	}
+	I := fact.NewInstance()
+	I.SetRelationOwned(rel, r)
+	return I
+}
+
+// Merge unions the relations of several generated instances into one
+// (taking ownership of all of them).
+func Merge(instances ...*fact.Instance) *fact.Instance {
+	out := fact.NewInstance()
+	for _, I := range instances {
+		out.UnionWith(I)
+	}
+	return out
+}

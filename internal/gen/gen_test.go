@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+func relLen(I *fact.Instance, rel string) int {
+	r := I.Relation(rel)
+	if r == nil {
+		return 0
+	}
+	return r.Len()
+}
+
+func TestShapes(t *testing.T) {
+	if got := relLen(Chain("E", 10), "E"); got != 10 {
+		t.Errorf("Chain: %d edges, want 10", got)
+	}
+	if got := relLen(Ring("E", 10), "E"); got != 10 {
+		t.Errorf("Ring: %d edges, want 10", got)
+	}
+	if got := relLen(Forest("E", 7, 5), "E"); got != 35 {
+		t.Errorf("Forest: %d edges, want 35", got)
+	}
+	// Complete binary tree of depth 3: 2+4+8 = 14 edges.
+	if got := relLen(Tree("E", 2, 3), "E"); got != 14 {
+		t.Errorf("Tree: %d edges, want 14", got)
+	}
+	if got := relLen(Unary("H", 3, 9), "H"); got != 6 {
+		t.Errorf("Unary: %d values, want 6", got)
+	}
+	// Functional: exactly one out-edge per node, never a self-loop.
+	f := Functional("E", 100, 7).Relation("E")
+	if f.Len() != 100 {
+		t.Errorf("Functional: %d edges, want 100", f.Len())
+	}
+	outdeg := map[fact.Value]int{}
+	f.Each(func(tu fact.Tuple) bool {
+		if tu[0] == tu[1] {
+			t.Errorf("Functional: self-loop at %s", tu[0])
+		}
+		outdeg[tu[0]]++
+		return true
+	})
+	for v, d := range outdeg {
+		if d != 1 {
+			t.Errorf("Functional: node %s has out-degree %d", v, d)
+		}
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a := Random("E", 50, 200, 42)
+	b := Random("E", 50, 200, 42)
+	if !a.Equal(b) {
+		t.Fatal("Random: same seed produced different instances")
+	}
+	c := Random("E", 50, 200, 43)
+	if a.Equal(c) {
+		t.Fatal("Random: different seeds produced identical instances")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	I := Merge(Chain("E", 5), Unary("H", 0, 3))
+	if relLen(I, "E") != 5 || relLen(I, "H") != 3 {
+		t.Fatalf("Merge lost relations: %v", I)
+	}
+}

@@ -19,9 +19,17 @@ import (
 // mono memos and plan.Plan's schedule slots are shared by every worker
 // goroutine of the parallel runtime).
 //
+// The same rule applies at package level: for every package-level
+// sync.Once variable, package-level variables assigned inside its
+// `<onceVar>.Do(func() {...})` closure are once-published defaults
+// (plan's batchEnvOnce/batchEnvMode/batchEnvThreshold), and
+// assignments to them outside a Do closure are flagged.
+//
 // The check is syntactic (no type information): fields are matched by
-// name within the set of structs that carry a sync.Once field. That is
-// precise enough for this repo and keeps the linter dependency-free.
+// name within the set of structs that carry a sync.Once field, and
+// package-level variables by name against the file-scope var
+// declarations. That is precise enough for this repo and keeps the
+// linter dependency-free.
 func PlanOnce() *Analyzer {
 	return &Analyzer{
 		Name: "planonce",
@@ -68,14 +76,41 @@ func runPlanOnce(p *Pkg) []Diagnostic {
 			return true
 		})
 	}
-	if len(onceFields) == 0 {
+	// Pass 1b: package-level sync.Once variables and their sibling
+	// package-level vars (the candidate once-published defaults).
+	onceVars := map[string]bool{}
+	pkgVars := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				isOnce := vs.Type != nil && isSyncOnce(vs.Type)
+				for _, name := range vs.Names {
+					if isOnce {
+						onceVars[name.Name] = true
+					} else {
+						pkgVars[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(onceFields) == 0 && len(onceVars) == 0 {
 		return nil
 	}
 
 	// Pass 2: find every `<x>.<onceField>.Do(func(){...})` call; record
 	// the closure nodes and the sibling fields assigned inside them.
 	doLits := map[*ast.FuncLit]bool{}
-	guarded := map[string]bool{} // field names proven to be once-published memos
+	guarded := map[string]bool{}     // field names proven to be once-published memos
+	guardedVars := map[string]bool{} // package-level vars proven to be once-published defaults
 	for _, f := range p.Files {
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -86,8 +121,16 @@ func runPlanOnce(p *Pkg) []Diagnostic {
 			if !ok || sel.Sel.Name != "Do" || len(call.Args) != 1 {
 				return true
 			}
-			base, ok := sel.X.(*ast.SelectorExpr)
-			if !ok || !onceFields[base.Sel.Name] {
+			switch base := sel.X.(type) {
+			case *ast.SelectorExpr:
+				if !onceFields[base.Sel.Name] {
+					return true
+				}
+			case *ast.Ident:
+				if !onceVars[base.Name] {
+					return true
+				}
+			default:
 				return true
 			}
 			lit, ok := call.Args[0].(*ast.FuncLit)
@@ -101,8 +144,17 @@ func runPlanOnce(p *Pkg) []Diagnostic {
 					return true
 				}
 				for _, lhs := range as.Lhs {
-					if fld, ok := lhs.(*ast.SelectorExpr); ok && cacheOwner[fld.Sel.Name] {
-						guarded[fld.Sel.Name] = true
+					switch l := lhs.(type) {
+					case *ast.SelectorExpr:
+						if cacheOwner[l.Sel.Name] {
+							guarded[l.Sel.Name] = true
+						}
+					case *ast.Ident:
+						// := defines a closure-local, not a write to
+						// the package variable of the same name.
+						if as.Tok != token.DEFINE && pkgVars[l.Name] {
+							guardedVars[l.Name] = true
+						}
 					}
 				}
 				return true
@@ -110,7 +162,7 @@ func runPlanOnce(p *Pkg) []Diagnostic {
 			return true
 		})
 	}
-	if len(guarded) == 0 {
+	if len(guarded) == 0 && len(guardedVars) == 0 {
 		return nil
 	}
 
@@ -127,17 +179,30 @@ func runPlanOnce(p *Pkg) []Diagnostic {
 				return true
 			}
 			for _, lhs := range as.Lhs {
-				fld, ok := lhs.(*ast.SelectorExpr)
-				if !ok || !guarded[fld.Sel.Name] {
-					continue
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					if !guarded[l.Sel.Name] {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:  position(p.Fset, l.Pos(), f.Path),
+						Code: "planonce",
+						Message: fmt.Sprintf(
+							"field %s is published under sync.Once.Do elsewhere; this unguarded write races with concurrent readers",
+							l.Sel.Name),
+					})
+				case *ast.Ident:
+					if as.Tok == token.DEFINE || !guardedVars[l.Name] {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:  position(p.Fset, l.Pos(), f.Path),
+						Code: "planonce",
+						Message: fmt.Sprintf(
+							"package variable %s is published under sync.Once.Do elsewhere; this unguarded write races with concurrent readers",
+							l.Name),
+					})
 				}
-				diags = append(diags, Diagnostic{
-					Pos:  position(p.Fset, fld.Pos(), f.Path),
-					Code: "planonce",
-					Message: fmt.Sprintf(
-						"field %s is published under sync.Once.Do elsewhere; this unguarded write races with concurrent readers",
-						fld.Sel.Name),
-				})
 			}
 			return true
 		})

@@ -35,3 +35,29 @@ type plain struct {
 func (p *plain) fill() {
 	p.cache = []int{1} // no sync.Once in plain: out of scope
 }
+
+// Package-level analogue: defaults published once under a package
+// sync.Once var must not be written outside the Do closure. The
+// liveKnob is never once-published, so writes to it stay legal.
+var (
+	envOnce    sync.Once
+	envDefault int
+	liveKnob   int
+)
+
+func config() int {
+	envOnce.Do(func() {
+		envDefault = 7
+	})
+	return envDefault
+}
+
+func clobber() {
+	envDefault = 0 // want `published under sync\.Once`
+	liveKnob = 3
+}
+
+func shadow() {
+	envDefault := 1 // a new local, not the package variable
+	_ = envDefault
+}

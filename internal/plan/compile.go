@@ -62,6 +62,14 @@ type instr struct {
 type schedule struct {
 	instrs []instr
 	err    error
+
+	// batch reports whether the schedule is eligible for the columnar
+	// batch pipeline (batch.go); batchWhy names the reason when not.
+	// Eligibility is a property of the schedule, computed at compile
+	// time; whether an execution actually takes the batch path is the
+	// runtime cost decision in Plan.Run.
+	batch    bool
+	batchWhy string
 }
 
 // compile builds the schedule for the given pin (-1 = none: full
@@ -217,6 +225,15 @@ func compile(spec *Spec, pin int, card func(rel string) int) *schedule {
 			s.err = fmt.Errorf("plan %s: head register %s is never bound (unsafe spec)", spec.Name, spec.regName(h.Reg))
 			return s
 		}
+	}
+	// Columnar eligibility: every op kind has a batch translation, so
+	// the only schedules the batch pipeline cannot run are the
+	// zero-atom ones (nothing to scan; the tuple path's EmitOnEmpty
+	// convention applies).
+	if len(spec.Atoms) == 0 {
+		s.batchWhy = "no atoms"
+	} else {
+		s.batch = true
 	}
 	return s
 }

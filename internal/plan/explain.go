@@ -42,6 +42,22 @@ func (p *Plan) explainInto(b *strings.Builder, pin int) {
 		fmt.Fprintf(b, "  empty (no atoms: emits nothing)\n")
 		return
 	}
+	// The pipeline the executor picks per run: batch-eligible
+	// schedules go columnar above the cardinality threshold (or as the
+	// mode forces), everything else stays tuple-at-a-time.
+	if s.batch {
+		mode, threshold := batchConfig()
+		switch mode {
+		case batchOff:
+			fmt.Fprintf(b, "  pipeline tuple (batch mode off)\n")
+		case batchAlways:
+			fmt.Fprintf(b, "  pipeline batch (columnar, mode always)\n")
+		default:
+			fmt.Fprintf(b, "  pipeline batch>=%d rows, else tuple\n", threshold)
+		}
+	} else {
+		fmt.Fprintf(b, "  pipeline tuple (%s)\n", s.batchWhy)
+	}
 	if len(p.spec.Inputs) > 0 {
 		regs := make([]string, len(p.spec.Inputs))
 		for i, r := range p.spec.Inputs {

@@ -20,6 +20,12 @@
 //     ([]fact.Value indexed by the compile-time numbering) — no
 //     binding maps, no undo log: each register has exactly one writer
 //     position in the schedule;
+//   - above a cardinality threshold the SAME schedule runs on the
+//     columnar batch pipeline instead (batch.go): fact.Batch column
+//     vectors through merge joins on sorted ID runs, vectorized hash
+//     probes, batch filters, and one arena-allocated output append —
+//     the register-slot executor stays the small-input path and both
+//     emit identical tuple sets;
 //   - per-pinned-atom delta variants (the semi-naive schedules that
 //     EvalDelta and incremental transducer firing need) are compiled
 //     lazily and cached alongside the main schedule.
@@ -282,14 +288,25 @@ func (p *Plan) Run(full, delta *fact.Instance, pin int, args []fact.Value, guard
 	if err != nil {
 		return err
 	}
+	relFor := func(atom int, rel string) *fact.Relation {
+		if atom == pin {
+			return delta.Relation(rel)
+		}
+		return full.Relation(rel)
+	}
+	// Pipeline selection: large inputs take the columnar batch path
+	// (merge joins on sorted ID runs, vectorized probes, one arena
+	// append — see batch.go), small ones the register-slot executor
+	// below. A refused batch (the materialization cap) falls through
+	// to the tuple path, which streams.
+	if p.useBatch(s, relFor) {
+		if done, err := p.runBatch(s, args, guard, relFor, full.Relation, out); done {
+			return err
+		}
+	}
 	fr := frame{
 		spec: &p.spec, instrs: s.instrs, guard: guard, out: out,
-		relFor: func(atom int, rel string) *fact.Relation {
-			if atom == pin {
-				return delta.Relation(rel)
-			}
-			return full.Relation(rel)
-		},
+		relFor:   relFor,
 		notInRel: full.Relation,
 	}
 	return fr.run(args)
