@@ -9,6 +9,7 @@ package declnet_test
 import (
 	"fmt"
 	"os"
+	"runtime/debug"
 	"testing"
 
 	"declnet"
@@ -931,6 +932,15 @@ func BenchmarkE19Columnar(b *testing.B) {
 					b.Fatal(err)
 				}
 				defer plan.SetBatchMode(prev)
+				// These are one-shot measurements (benchtime 1x on the
+				// large sizes): flush the heap before timing so every
+				// mode starts from the same allocator and GC pacing
+				// state instead of whatever span fragmentation and heap
+				// target the previous configurations left — the
+				// megabyte-churn configs otherwise read tens of percent
+				// slower late in the suite than in isolation.
+				debug.FreeOSMemory()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					out, err := eval()
 					if err != nil || out.Len() != want {

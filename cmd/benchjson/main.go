@@ -28,6 +28,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"declnet/internal/plan"
 )
 
 // Result is one benchmark line: the benchmark name (GOMAXPROCS suffix
@@ -53,6 +55,14 @@ type Provenance struct {
 	// checkout); GitDirty marks uncommitted changes in the worktree.
 	GitCommit string `json:"git_commit"`
 	GitDirty  bool   `json:"git_dirty,omitempty"`
+	// BatchMode and BatchThreshold record the effective columnar
+	// batch-pipeline configuration (DECLNET_BATCH /
+	// DECLNET_BATCH_THRESHOLD as this process resolved them — the same
+	// environment the benchmarked test binary saw under make), so a
+	// forced-batch or re-thresholded artifact is distinguishable from a
+	// default-auto one.
+	BatchMode      string `json:"batch_mode"`
+	BatchThreshold int    `json:"batch_threshold"`
 }
 
 // Report is the emitted document.
@@ -66,7 +76,14 @@ type Report struct {
 	Workers int `json:"workers,omitempty"`
 	// Size is the workload scale knob the benchmarked runs used
 	// (BENCH_SIZE: "small" or "large"), when the caller passed -size.
-	Size       string     `json:"size,omitempty"`
+	Size string `json:"size,omitempty"`
+	// Agg names the aggregation applied to repeated samples of the
+	// same benchmark (-count N runs): "min" keeps the fastest sample
+	// per name — the standard noise-robust statistic on shared hosts,
+	// where GC and scheduling interference only ever add time. Absent
+	// when every sample is reported as-is.
+	Agg        string     `json:"agg,omitempty"`
+	Samples    int        `json:"samples,omitempty"`
 	Provenance Provenance `json:"provenance"`
 	Context    []string   `json:"context,omitempty"` // goos/goarch/pkg/cpu lines
 	Results    []Result   `json:"results"`
@@ -83,6 +100,9 @@ func provenance() Provenance {
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GitCommit:  "unknown",
+
+		BatchMode:      plan.BatchMode(),
+		BatchThreshold: plan.BatchThreshold(),
 	}
 	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
 		p.GitCommit = strings.TrimSpace(string(out))
@@ -105,6 +125,7 @@ func main() {
 	scenario := flag.String("scenario", "",
 		"channel scenario (or scenario matrix) to record in the report header; \"auto\" derives it from the scenario sub-benchmark names")
 	size := flag.String("size", "", "workload scale (BENCH_SIZE) to record in the report header")
+	agg := flag.String("agg", "", "aggregate repeated samples of the same benchmark: \"min\" keeps the fastest")
 	flag.Parse()
 
 	rep := Report{Label: *label, Workers: *workers, Scenario: *scenario, Size: *size, Provenance: provenance()}
@@ -134,12 +155,52 @@ func main() {
 	if rep.Scenario == "auto" {
 		rep.Scenario = deriveScenarios(rep.Results)
 	}
+	switch *agg {
+	case "":
+	case "min":
+		rep.Results, rep.Samples = aggregateMin(rep.Results)
+		rep.Agg = "min"
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -agg %q (want min)\n", *agg)
+		os.Exit(2)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// aggregateMin collapses repeated samples of the same benchmark name
+// (a -count N run) into one result each — the sample with the lowest
+// ns/op, metrics and all — preserving first-appearance order. It also
+// reports the per-name sample count (the maximum, when uneven).
+func aggregateMin(results []Result) ([]Result, int) {
+	var order []string
+	best := map[string]Result{}
+	count := map[string]int{}
+	samples := 0
+	for _, r := range results {
+		count[r.Name]++
+		if count[r.Name] > samples {
+			samples = count[r.Name]
+		}
+		b, seen := best[r.Name]
+		if !seen {
+			order = append(order, r.Name)
+			best[r.Name] = r
+			continue
+		}
+		if r.NsPerOp < b.NsPerOp {
+			best[r.Name] = r
+		}
+	}
+	out := make([]Result, len(order))
+	for i, name := range order {
+		out[i] = best[name]
+	}
+	return out, samples
 }
 
 // deriveScenarios extracts the distinct channel scenario specs from

@@ -98,7 +98,13 @@
 // radix-sorted runs, internal/fact), and internal/plan executes the
 // schedule over column batches — merge joins on sorted ID runs when
 // both sides are large, vectorized hash probes otherwise, batch
-// filters, and one arena-allocated output append per execution. The
+// filters (residual (in)equalities lower to column-pass filter ops,
+// not per-row guard hooks), and a batch output append that
+// deduplicates whole column slabs against the destination relation
+// before allocating anything: slab radix-sorted, duplicates dropped
+// against the relation's whole-row run or by hash probes, survivors
+// appended through one byte arena (fact.Sink — also the staging path
+// of semi-naive delta rounds). The
 // pipeline engages per execution by a cardinality threshold (default
 // 4096 tuples; plan.SetBatchMode / DECLNET_BATCH select
 // "auto"/"off"/"always", plan.SetBatchThreshold /

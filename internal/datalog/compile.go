@@ -114,6 +114,25 @@ func (cr *compiledRule) fire(I *fact.Instance, pinLit int, delta *fact.Instance,
 	return out, nil
 }
 
+// fireInto is fire emitting straight into a sink — semi-naive rounds
+// hand it a delta staging sink (fact.Delta.Sink), so the batch
+// pipeline's column slabs stage with one sort + merge per firing
+// instead of materializing an intermediate head relation and
+// re-probing key by key.
+func (cr *compiledRule) fireInto(I *fact.Instance, pinLit int, delta *fact.Instance, args []fact.Value, out fact.Sink) error {
+	if cr.err != nil {
+		return cr.err
+	}
+	pin := -1
+	if pinLit >= 0 {
+		pin = cr.litAtom[pinLit]
+	}
+	if err := cr.plan.RunSink(I, delta, pin, args, nil, out); err != nil {
+		return fmt.Errorf("datalog: rule %s: %w", cr.rule, err)
+	}
+	return nil
+}
+
 // fireReference is fire through the plan layer's reference executor
 // (runtime-greedy order, map bindings): the independent oracle that
 // EvalNaive runs on, keeping the naive/semi-naive ablation a genuine

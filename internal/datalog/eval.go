@@ -92,15 +92,17 @@ func evalStratumNaive(crs []*compiledRule, I *fact.Instance) error {
 }
 
 func evalStratumSemiNaive(crs []*compiledRule, inStratum map[string]bool, I *fact.Instance) error {
-	// Round 0: fire every rule against the current instance, staging
-	// derivations in the kernel's delta pair.
+	// Every firing emits straight into a delta staging sink
+	// (fact.Delta.Sink): the batch pipeline hands over whole column
+	// slabs deduplicated against Full and the round's staged facts in
+	// one pass, with no intermediate head relation and no key-by-key
+	// re-staging.
 	d := fact.NewDelta(I)
+	// Round 0: fire every rule against the current instance.
 	for _, cr := range crs {
-		heads, err := cr.fire(I, -1, nil, nil)
-		if err != nil {
+		if err := cr.fireInto(I, -1, nil, nil, d.Sink(cr.headPred, cr.arity)); err != nil {
 			return err
 		}
-		stageRel(d, cr.headPred, heads)
 	}
 	// Delta rounds: each rule fires once per positive body literal
 	// over a stratum predicate, with that literal pinned to the
@@ -113,22 +115,13 @@ func evalStratumSemiNaive(crs []*compiledRule, inStratum map[string]bool, I *fac
 				if l.Kind != LitPos || !inStratum[l.Atom.Pred] {
 					continue
 				}
-				heads, err := cr.fire(I, j, delta, nil)
-				if err != nil {
+				if err := cr.fireInto(I, j, delta, nil, d.Sink(cr.headPred, cr.arity)); err != nil {
 					return err
 				}
-				stageRel(d, cr.headPred, heads)
 			}
 		}
 	}
 	return nil
-}
-
-// stageRel stages a rule firing's head relation key-level: no
-// re-packing or re-interning per fact (fact.Delta.StageRelation), so
-// staging cost is one map probe per derived tuple.
-func stageRel(d *fact.Delta, pred string, heads *fact.Relation) {
-	d.StageRelation(pred, heads)
 }
 
 // TP applies the immediate consequence operator once: every rule is

@@ -6,8 +6,9 @@ import "encoding/binary"
 // through a compiled join schedule: one []uint32 ID vector per bound
 // register, all of length Len. The batch executor in internal/plan
 // drives it instruction by instruction — joins replace the batch with
-// the join result, filters shrink it, and ProjectInto appends the head
-// projection into a relation through one arena allocation.
+// the join result, filters shrink it, and ProjectInto hands the head
+// projection to a Sink as whole column slabs, which dedups them
+// against the destination before allocating anything (see sink.go).
 //
 // Batch lives in package fact so that raw interned IDs never cross a
 // package boundary (the same confinement the nodict linter enforces
@@ -425,54 +426,35 @@ func (b *Batch) FilterGuard(fn func(regs []Value) (bool, error)) error {
 }
 
 // ProjectInto appends the head projection of every row into out,
-// deduplicating against out's existing tuples. All row keys are packed
-// into ONE arena string and sliced into fixed-width map keys, and the
-// output tuples are carved from shared []Value slabs — the per-tuple
-// costs of the scalar path (key packing, string conversion, tuple
-// allocation) are paid once per batch instead of once per row.
-func (b *Batch) ProjectInto(head []BatchTerm, out *Relation) {
+// deduplicating within the batch and against the sink's existing
+// tuples through the columnar batch-append path (sink.go): one
+// lexicographic row sort removes in-batch duplicates, presence falls
+// to a sorted-run merge or hash probes, and packed keys plus output
+// tuples are arena-materialized only for the genuinely new rows — the
+// per-row map probe + insert of the scalar path disappears from the
+// full-output workloads.
+func (b *Batch) ProjectInto(head []BatchTerm, out Sink) {
 	if b.n == 0 {
 		return
 	}
-	w := len(head)
-	if w == 0 {
+	if len(head) == 0 {
 		out.Add(Tuple{})
 		return
 	}
-	constID := make([]uint32, w)
+	cols := make([][]uint32, len(head))
 	for j, h := range head {
-		if h.Reg < 0 {
-			// Head constants are interned: they become stored values,
-			// exactly as the scalar executor's out.Add would intern them.
-			constID[j] = internValue(h.V)
-		}
-	}
-	buf := make([]byte, 0, 4*w*b.n)
-	for i := 0; i < b.n; i++ {
-		for j, h := range head {
-			id := constID[j]
-			if h.Reg >= 0 {
-				id = b.cols[h.Reg][i]
-			}
-			buf = binary.BigEndian.AppendUint32(buf, id)
-		}
-	}
-	arena := string(buf)
-	kw := 4 * w
-	var slab []Value
-	for i := 0; i < b.n; i++ {
-		k := arena[i*kw : (i+1)*kw]
-		if _, ok := out.tuples[k]; ok {
+		if h.Reg >= 0 {
+			cols[j] = b.cols[h.Reg]
 			continue
 		}
-		if len(slab) < w {
-			slab = make([]Value, 1024*w)
+		// Head constants are interned: they become stored values,
+		// exactly as the scalar executor's out.Add would intern them.
+		id := internValue(h.V)
+		col := make([]uint32, b.n)
+		for i := range col {
+			col[i] = id
 		}
-		t := Tuple(slab[:w:w])
-		slab = slab[w:]
-		for j := range t {
-			t[j] = internedValue(keyID(k, j))
-		}
-		out.addKeyed(k, t)
+		cols[j] = col
 	}
+	out.appendBatch(cols, b.n)
 }

@@ -1,5 +1,7 @@
 package fact
 
+import "sort"
+
 // This file is the columnar half of the kernel: a per-relation view
 // that decodes the packed tuple keys into per-column []uint32 ID
 // vectors, with lazily built sorted runs (radix-ordered permutations)
@@ -33,6 +35,13 @@ type colview struct {
 	// one radix sort on next access.
 	run  [][]int32
 	runN []int
+
+	// krun, when non-nil, is a permutation of [0,krunN) ordering rows
+	// lexicographically by the whole row (all columns) — the run the
+	// batch output dedup merges sorted candidate batches against.
+	// Rebuilt when stale, invalidated with the rest of the view.
+	krun  []int32
+	krunN int
 }
 
 // columns returns (building on first access) the columnar view of the
@@ -99,6 +108,89 @@ func (cv *colview) sortedRun(c int) []int32 {
 		cv.runN[c] = cv.n
 	}
 	return cv.run[c]
+}
+
+// keyRun returns the row permutation ordering the whole rows
+// lexicographically by column IDs, rebuilding it when rows were
+// appended since the last access. Duplicate-free relations have no
+// equal neighbors, so a merge against it is a pure presence test.
+func (cv *colview) keyRun() []int32 {
+	if cv.krun == nil || cv.krunN != cv.n {
+		cv.krun = rowSortPerm(cv.col, cv.n)
+		cv.krunN = cv.n
+	}
+	return cv.krun
+}
+
+// rowRadixMin is the row count below which rowSortPerm uses a
+// comparison sort: the radix passes each zero a 2^16-entry counter
+// array, which only pays for itself on large row sets.
+const rowRadixMin = 2048
+
+// rowSortPerm returns a permutation of [0,n) ordering the rows of cols
+// lexicographically (cols[0] most significant). Large row sets use a
+// stable LSD radix sort — per column from least to most significant,
+// two 16-bit digit passes each, skipping the high pass when every ID
+// of that column fits in the low digit.
+func rowSortPerm(cols [][]uint32, n int) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if n < 2 || len(cols) == 0 {
+		return perm
+	}
+	if n < rowRadixMin {
+		sort.Slice(perm, func(a, b int) bool {
+			pa, pb := perm[a], perm[b]
+			for _, col := range cols {
+				if col[pa] != col[pb] {
+					return col[pa] < col[pb]
+				}
+			}
+			return false
+		})
+		return perm
+	}
+	tmp := make([]int32, n)
+	count := make([]int32, 1<<16)
+	first := true
+	for c := len(cols) - 1; c >= 0; c-- {
+		keys := cols[c]
+		var maxKey uint32
+		for _, k := range keys[:n] {
+			if k > maxKey {
+				maxKey = k
+			}
+		}
+		for shift := 0; shift < 32; shift += 16 {
+			if shift > 0 && maxKey>>shift == 0 {
+				break
+			}
+			if !first {
+				for i := range count {
+					count[i] = 0
+				}
+			}
+			first = false
+			for _, p := range perm {
+				count[(keys[p]>>shift)&0xffff]++
+			}
+			sum := int32(0)
+			for i := range count {
+				cnt := count[i]
+				count[i] = sum
+				sum += cnt
+			}
+			for _, p := range perm {
+				d := (keys[p] >> shift) & 0xffff
+				tmp[count[d]] = p
+				count[d]++
+			}
+			perm, tmp = tmp, perm
+		}
+	}
+	return perm
 }
 
 // radixPerm returns a permutation of [0,len(keys)) ordering keys

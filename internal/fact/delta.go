@@ -65,6 +65,72 @@ func (d *Delta) StageRelation(pred string, heads *Relation) {
 	}
 }
 
+// Sink returns a Sink staging derived tuples for pred with the given
+// arity — the columnar counterpart of Stage/StageRelation. Batch
+// executors append whole column slabs through it, deduplicating
+// against both the committed Full relation and the facts already
+// staged this round in one pass (see batchAppend), so the semi-naive
+// round driver feeds rule outputs straight into the staging area
+// without materializing an intermediate head relation or re-probing
+// key by key.
+func (d *Delta) Sink(pred string, arity int) Sink {
+	return deltaSink{d: d, pred: pred, arity: arity}
+}
+
+// deltaSink implements Sink over one predicate of a Delta.
+type deltaSink struct {
+	d     *Delta
+	pred  string
+	arity int
+}
+
+// Add stages one tuple, reporting whether it was new (neither
+// committed nor already staged). The staged copy is private, exactly
+// like Relation.Add's.
+func (s deltaSink) Add(t Tuple) bool {
+	var scratch [64]byte
+	k := packTuple(scratch[:0], t)
+	if full := s.d.Full.rels[s.pred]; full != nil {
+		if _, ok := full.tuples[string(k)]; ok {
+			return false
+		}
+	}
+	sr := s.d.staged.rels[s.pred]
+	if sr == nil {
+		sr = NewRelation(s.arity)
+		s.d.staged.rels[s.pred] = sr
+	} else if _, ok := sr.tuples[string(k)]; ok {
+		return false
+	}
+	sr.addKeyed(string(k), t.Clone())
+	s.d.staged.dirty()
+	return true
+}
+
+// appendBatch stages rows [0,n) of cols, deduplicating against Full
+// and the already-staged facts at the column level. Like Stage, it
+// creates the staging relation only when a row actually survives
+// dedup, so empty firings leave the staging instance untouched.
+func (s deltaSink) appendBatch(cols [][]uint32, n int) {
+	if n == 0 {
+		return
+	}
+	sr := s.d.staged.rels[s.pred]
+	fresh := sr == nil
+	if fresh {
+		sr = NewRelation(s.arity)
+	}
+	before := len(sr.tuples)
+	batchAppend(sr, s.d.Full.rels[s.pred], cols, n)
+	if len(sr.tuples) == before {
+		return
+	}
+	if fresh {
+		s.d.staged.rels[s.pred] = sr
+	}
+	s.d.staged.dirty()
+}
+
 // Dirty reports whether the current round staged any new fact.
 func (d *Delta) Dirty() bool { return !d.staged.Empty() }
 

@@ -20,8 +20,10 @@ type Query struct {
 	branches []branch
 
 	// deltaOK marks the query exact under semi-naive delta evaluation
-	// (EvalDelta): every branch is a positive conjunction of atoms or
-	// a positive (hence monotone) formula.
+	// (EvalDelta): every branch is a positive conjunction of atoms —
+	// possibly with residual (in)equality filters, which never consult
+	// the instance and so stay monotone even when negated — or a
+	// positive (hence monotone) formula.
 	deltaOK bool
 }
 

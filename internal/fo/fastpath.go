@@ -33,7 +33,13 @@ type branch struct {
 	// hoisted out of the join and checked once per evaluation.
 	guard       []Formula
 	guardClosed []Formula
-	slow        Formula
+	// eqs holds residual (in)equality conjuncts over atom-bound
+	// variables, lowered to plan-level equality/inequality filter ops
+	// instead of guard callbacks — the batch pipeline runs them as
+	// vectorized column filters, so cycles-class queries (x = z under
+	// exists) stay columnar.
+	eqs  []eqResidual
+	slow Formula
 
 	// p is the compiled join plan for fast and guarded branches whose
 	// atoms bind the head; nil forces the enumeration fallback. Guard
@@ -43,6 +49,37 @@ type branch struct {
 	p         *plan.Plan
 	guardVars [][]Var
 	guardRegs [][]int
+}
+
+// eqResidual is one residual (in)equality conjunct of a guarded
+// branch: the equality, negated when neq is set (x ≠ z parses as
+// ¬(x = z)).
+type eqResidual struct {
+	eq  Eq
+	neq bool
+}
+
+// formula reconstructs the conjunct, for fallback evaluation and
+// absorption into an enclosing conjunction.
+func (e eqResidual) formula() Formula {
+	if e.neq {
+		return Not{F: e.eq}
+	}
+	return e.eq
+}
+
+// residualEq recognizes an (in)equality conjunct: t1 = t2 or its
+// negation. ok is false for any other shape.
+func residualEq(f Formula) (eq Eq, neq bool, ok bool) {
+	switch g := f.(type) {
+	case Eq:
+		return g, false, true
+	case Not:
+		if e, isEq := g.F.(Eq); isEq {
+			return e, true, true
+		}
+	}
+	return Eq{}, false, false
 }
 
 // normalizeBranches flattens a formula into disjunctive branches.
@@ -71,11 +108,16 @@ func normalizeBranches(f Formula) []branch {
 				guard = append(guard, sub)
 				continue
 			}
-			// Absorb the sub-branch's atoms AND its guards — dropping
-			// a nested guard would derive tuples the formula forbids.
+			// Absorb the sub-branch's atoms AND its guards (including
+			// lowered (in)equalities, reconstructed as formulas so they
+			// re-classify against the combined atom set) — dropping a
+			// nested guard would derive tuples the formula forbids.
 			atoms = append(atoms, bs[0].atoms...)
 			guard = append(guard, bs[0].guard...)
 			guard = append(guard, bs[0].guardClosed...)
+			for _, e := range bs[0].eqs {
+				guard = append(guard, e.formula())
+			}
 		}
 		if len(guard) == 0 {
 			return []branch{{atoms: atoms}}
@@ -103,9 +145,15 @@ func normalizeBranches(f Formula) []branch {
 				for _, gf := range guard {
 					if len(FreeVars(gf)) == 0 {
 						b.guardClosed = append(b.guardClosed, gf)
-					} else {
-						b.guard = append(b.guard, gf)
+						continue
 					}
+					if eq, neq, ok := residualEq(gf); ok {
+						// Atom-bound (in)equalities become plan filter
+						// ops, not guard callbacks.
+						b.eqs = append(b.eqs, eqResidual{eq: eq, neq: neq})
+						continue
+					}
+					b.guard = append(b.guard, gf)
 				}
 				return []branch{b}
 			}
@@ -187,6 +235,35 @@ func compileBranch(name string, head []Var, b *branch) {
 		}
 		spec.Atoms = append(spec.Atoms, pa)
 	}
+	eqTerm := func(t Term) (plan.Term, bool) {
+		switch x := t.(type) {
+		case Var:
+			r, ok := regOf[x]
+			if !ok {
+				// Cannot happen for guarded branches (the atoms bind
+				// every residual variable); bail to the fallback if it
+				// does.
+				return plan.Term{}, false
+			}
+			return plan.Reg(r), true
+		case Const:
+			return plan.Const(fact.Value(x)), true
+		default:
+			return plan.Term{}, false
+		}
+	}
+	for _, e := range b.eqs {
+		l, lok := eqTerm(e.eq.L)
+		r, rok := eqTerm(e.eq.R)
+		if !lok || !rok {
+			return
+		}
+		kind := plan.FilterEq
+		if e.neq {
+			kind = plan.FilterNeq
+		}
+		spec.Filters = append(spec.Filters, plan.Filter{Kind: kind, L: l, R: r})
+	}
 	for gi, g := range b.guard {
 		vars := FreeVars(g)
 		regs := make([]int, len(vars))
@@ -225,6 +302,9 @@ func (b branch) formula() Formula {
 		return b.slow
 	}
 	fs := atomsToFormulas(b.atoms)
+	for _, e := range b.eqs {
+		fs = append(fs, e.formula())
+	}
 	fs = append(fs, b.guard...)
 	fs = append(fs, b.guardClosed...)
 	return And{Fs: fs}
@@ -304,6 +384,10 @@ func (q *Query) EvalDelta(full, delta *fact.Instance) (*fact.Relation, error) {
 	}
 	adomOf := adomMemo(full)
 	for _, b := range q.branches {
+		// Pure join branches pin per atom; lowered (in)equality filters
+		// never consult the instance (they compare bound values), so
+		// they keep the pinned union exact — including negated
+		// equalities, which stay monotone for the same reason.
 		if b.p != nil && len(b.guard) == 0 && len(b.guardClosed) == 0 {
 			for i, a := range b.atoms {
 				if !deltaRels[a.Rel] {
@@ -386,8 +470,15 @@ func (q *Query) ExplainPlan() string {
 			fmt.Fprintf(&b, "branch %d: active-domain enumeration of %s\n", i+1, br.formula())
 		default:
 			kind := "join plan"
+			var quals []string
+			if len(br.eqs) > 0 {
+				quals = append(quals, fmt.Sprintf("%d eq filters", len(br.eqs)))
+			}
 			if len(br.guard) > 0 || len(br.guardClosed) > 0 {
-				kind = fmt.Sprintf("guarded join plan (%d guards, %d closed)", len(br.guard), len(br.guardClosed))
+				quals = append(quals, fmt.Sprintf("%d guards, %d closed", len(br.guard), len(br.guardClosed)))
+			}
+			if len(quals) > 0 {
+				kind = fmt.Sprintf("join plan (%s)", strings.Join(quals, ", "))
 			}
 			fmt.Fprintf(&b, "branch %d: %s\n", i+1, kind)
 			if q.deltaOK && len(br.guard) == 0 && len(br.guardClosed) == 0 {

@@ -2,10 +2,24 @@ package fo
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"declnet/internal/fact"
 )
+
+// subset reports whether every tuple of a is in b.
+func subset(a, b *fact.Relation) bool {
+	ok := true
+	a.Each(func(t fact.Tuple) bool {
+		if !b.Contains(t) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
 
 // evalGeneric evaluates the query with the generic active-domain
 // enumerator, bypassing the join fast path.
@@ -171,5 +185,165 @@ func TestNestedGuardedBranchNotDropped(t *testing.T) {
 	}
 	if !got2.Contains(fact.Tuple{"v"}) {
 		t.Fatalf("derivation missing with guard satisfied: %v", got2)
+	}
+}
+
+// TestNestedOpenGuardAbsorption pins the open-guard half of the
+// absorption invariant: a nested And carrying a guard with free
+// variables (!S(x)) must keep that guard when its atoms are absorbed
+// into an enclosing conjunction — dropping it would derive tuples the
+// formula forbids.
+func TestNestedOpenGuardAbsorption(t *testing.T) {
+	q := MustQuery("ng", []string{"x", "y"},
+		AndF(
+			AndF(AtomF("E", "x", "y"), NotF(AtomF("S", "x"))),
+			AtomF("F", "y", "x"),
+		))
+	if q.branches == nil || len(q.branches) != 1 {
+		t.Fatalf("branches = %+v, want one guarded branch", q.branches)
+	}
+	b := q.branches[0]
+	if len(b.atoms) != 2 || len(b.guard) != 1 {
+		t.Fatalf("atoms/guard = %d/%d, want 2 absorbed atoms and 1 carried guard", len(b.atoms), len(b.guard))
+	}
+	// S(a) holds: the pair (a, b) joins E and F but the absorbed guard
+	// must suppress it; (c, d) passes.
+	I := fact.FromFacts(
+		fact.NewFact("E", "a", "b"), fact.NewFact("F", "b", "a"),
+		fact.NewFact("E", "c", "d"), fact.NewFact("F", "d", "c"),
+		fact.NewFact("S", "a"),
+	)
+	got, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := evalGeneric(q, I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("fast %v != generic %v", got, want)
+	}
+	if got.Len() != 1 || !got.Contains(fact.Tuple{"c", "d"}) {
+		t.Fatalf("got %v, want exactly {(c, d)}", got)
+	}
+}
+
+// TestNestedResidualEqAbsorption: a residual (in)equality inside a
+// nested conjunction is absorbed as a formula and re-classified
+// against the combined atom set — it must come back as a lowered eq
+// filter of the outer branch, not a guard callback, and must still
+// filter.
+func TestNestedResidualEqAbsorption(t *testing.T) {
+	q := MustQuery("ne", []string{"x", "y"},
+		AndF(
+			AndF(AtomF("E", "x", "y"), NotF(Eq{L: V("x"), R: V("y")})),
+			AtomF("F", "y", "x"),
+		))
+	if q.branches == nil || len(q.branches) != 1 {
+		t.Fatalf("branches = %+v, want one branch", q.branches)
+	}
+	b := q.branches[0]
+	if len(b.eqs) != 1 || !b.eqs[0].neq {
+		t.Fatalf("eqs = %+v, want one absorbed inequality", b.eqs)
+	}
+	if len(b.guard) != 0 || len(b.guardClosed) != 0 {
+		t.Fatalf("guards = %d/%d, want the inequality lowered, not guarded", len(b.guard), len(b.guardClosed))
+	}
+	if b.p == nil {
+		t.Fatal("branch should compile to a plan")
+	}
+	I := fact.FromFacts(
+		fact.NewFact("E", "a", "a"), fact.NewFact("F", "a", "a"),
+		fact.NewFact("E", "a", "b"), fact.NewFact("F", "b", "a"),
+	)
+	got, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := evalGeneric(q, I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("fast %v != generic %v", got, want)
+	}
+	if got.Len() != 1 || !got.Contains(fact.Tuple{"a", "b"}) {
+		t.Fatalf("got %v, want exactly {(a, b)}", got)
+	}
+}
+
+// TestResidualEqLoweredNotGuarded pins the acceptance criterion of the
+// residual-equality lowering on the cycles-class shape
+// exists y,z (E(x,y) & F(y,z) & x = z): the equality compiles to a
+// plan filter op (ExplainPlan shows "check", never "guard"), the
+// branch stays delta-pinnable, and results agree with the generic
+// evaluator.
+func TestResidualEqLoweredNotGuarded(t *testing.T) {
+	q := MustQuery("cyc", []string{"x"},
+		ExistsF([]string{"y", "z"},
+			AndF(AtomF("E", "x", "y"), AtomF("F", "y", "z"), Eq{L: V("x"), R: V("z")})))
+	if q.branches == nil || len(q.branches) != 1 {
+		t.Fatalf("branches = %+v, want one branch", q.branches)
+	}
+	b := q.branches[0]
+	if len(b.eqs) != 1 || b.eqs[0].neq {
+		t.Fatalf("eqs = %+v, want one positive equality filter", b.eqs)
+	}
+	if len(b.guard) != 0 || len(b.guardClosed) != 0 || b.p == nil {
+		t.Fatalf("guards = %d/%d, p = %v: equality must lower to a filter on a compiled plan", len(b.guard), len(b.guardClosed), b.p)
+	}
+	if !q.CanDelta() {
+		t.Fatal("eq-filter branch must stay delta-evaluable")
+	}
+	ex := q.ExplainPlan()
+	if !strings.Contains(ex, "eq filters") {
+		t.Errorf("ExplainPlan should label the eq filter branch:\n%s", ex)
+	}
+	if !strings.Contains(ex, "check ") {
+		t.Errorf("ExplainPlan should show a check op for the equality:\n%s", ex)
+	}
+	if strings.Contains(ex, "guard") {
+		t.Errorf("ExplainPlan must not lower the residual equality to a guard:\n%s", ex)
+	}
+
+	I := fact.FromFacts(
+		fact.NewFact("E", "a", "b"), fact.NewFact("F", "b", "a"),
+		fact.NewFact("E", "a", "c"), fact.NewFact("F", "c", "d"),
+	)
+	got, err := q.Eval(I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := evalGeneric(q, I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("fast %v != generic %v", got, want)
+	}
+	if got.Len() != 1 || !got.Contains(fact.Tuple{"a"}) {
+		t.Fatalf("got %v, want exactly {(a)}", got)
+	}
+
+	// Delta pinning with the filter in place: adding a new E edge that
+	// closes a cycle must surface through EvalDelta.
+	full := I.Clone()
+	full.AddFact(fact.NewFact("E", "d", "c"))
+	full.AddFact(fact.NewFact("F", "c", "d"))
+	delta := fact.FromFacts(fact.NewFact("E", "d", "c"))
+	d, err := q.EvalDelta(full, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Contains(fact.Tuple{"d"}) {
+		t.Fatalf("EvalDelta missed the new cycle: %v", d)
+	}
+	whole, err := q.Eval(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !subset(d, whole) {
+		t.Fatalf("EvalDelta %v not a subset of Eval %v", d, whole)
 	}
 }

@@ -32,6 +32,10 @@ func FuzzParse(f *testing.F) {
 		"exists x,y (R(x, y) & R(y, x))",
 		"R(x, x) & !S(x)",
 		"S(x) & (forall y (T(x, y) | !T(y, x)))",
+		// Nested guards and residual (in)equalities: the absorption
+		// and filter-lowering paths of the fast path.
+		"(R(x, y) & !S(x)) & T(y, x)",
+		"exists y,z (R(x, y) & S(y, z) & x = z)",
 		"exists",
 		"S(x",
 		"S(x))",
@@ -77,6 +81,11 @@ func FuzzParseQuery(f *testing.F) {
 		"q(x, y, z) := R(x, y) & R(y, z) & R(z, x)",
 		"q(x) := R(x, 'h') & S(x) & T(x, x)",
 		"q(x, y) := R(x, y) & (forall u (S(u) | T(u, u)))",
+		// Nested guard absorption and residual (in)equality lowering.
+		"q(x, y) := (R(x, y) & !S(x)) & T(y, x)",
+		"q(x) := exists y,z (R(x, y) & S(y, z) & x = z)",
+		"q(x, z) := exists y (R(x, y) & S(y, z) & x != z)",
+		"q(x, y) := (R(x, y) & !(x = y)) & S(y, x)",
 		"q(x) =: S(x)",
 		"q := S(x)",
 		"(x) := S(x)",

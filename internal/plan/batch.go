@@ -13,7 +13,8 @@ package plan
 //
 // Selection is configurable for benchmarks and tests via SetBatchMode
 // ("auto"/"off"/"always") and SetBatchThreshold, or the DECLNET_BATCH
-// and DECLNET_BATCH_THRESHOLD environment variables. The env-derived
+// and DECLNET_BATCH_THRESHOLD environment variables (invalid values
+// warn on stderr and fall back to the defaults). The env-derived
 // defaults are published once under a package-level sync.Once — the
 // same once-published discipline as the plan's schedule caches,
 // enforced by the planonce linter — and the live knobs are atomics, so
@@ -67,22 +68,46 @@ var (
 	batchThresholdV atomic.Int64
 )
 
+// parseBatchEnv derives the env-default pipeline mode and threshold
+// from the raw DECLNET_BATCH and DECLNET_BATCH_THRESHOLD values.
+// Unrecognized modes and malformed or negative thresholds fall back to
+// the defaults but are reported in warnings — silently absorbing a
+// typo (DECLNET_BATCH=alwys in a CI matrix leg, say) would quietly
+// re-run the default path while claiming forced-batch coverage.
+func parseBatchEnv(batch, threshold string) (mode int32, thr int64, warnings []string) {
+	mode, thr = batchAuto, defaultBatchThreshold
+	switch batch {
+	case "", "auto":
+	case "off":
+		mode = batchOff
+	case "always":
+		mode = batchAlways
+	default:
+		warnings = append(warnings, fmt.Sprintf(
+			"plan: unknown DECLNET_BATCH value %q (want auto, off or always); using auto", batch))
+	}
+	if threshold != "" {
+		if v, err := strconv.Atoi(threshold); err != nil || v < 0 {
+			warnings = append(warnings, fmt.Sprintf(
+				"plan: invalid DECLNET_BATCH_THRESHOLD %q (want a non-negative integer); using %d",
+				threshold, defaultBatchThreshold))
+		} else {
+			thr = int64(v)
+		}
+	}
+	return mode, thr, warnings
+}
+
 // batchConfig returns the current pipeline mode and auto threshold,
-// parsing the environment overrides on first use.
+// parsing the environment overrides on first use. Invalid overrides
+// warn on stderr (once) and fall back to the defaults.
 func batchConfig() (mode int32, threshold int) {
 	batchEnvOnce.Do(func() {
-		batchEnvMode = batchAuto
-		batchEnvThreshold = defaultBatchThreshold
-		switch os.Getenv("DECLNET_BATCH") {
-		case "off":
-			batchEnvMode = batchOff
-		case "always":
-			batchEnvMode = batchAlways
-		}
-		if s := os.Getenv("DECLNET_BATCH_THRESHOLD"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v >= 0 {
-				batchEnvThreshold = int64(v)
-			}
+		var warnings []string
+		batchEnvMode, batchEnvThreshold, warnings =
+			parseBatchEnv(os.Getenv("DECLNET_BATCH"), os.Getenv("DECLNET_BATCH_THRESHOLD"))
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, w)
 		}
 		batchModeV.Store(batchEnvMode)
 		batchThresholdV.Store(batchEnvThreshold)
@@ -177,7 +202,7 @@ func batchTerms(ts []Term) []fact.BatchTerm {
 func (p *Plan) runBatch(s *schedule, args []fact.Value, guard GuardFunc,
 	relFor func(atom int, rel string) *fact.Relation,
 	notInRel func(rel string) *fact.Relation,
-	out *fact.Relation) (done bool, err error) {
+	out fact.Sink) (done bool, err error) {
 
 	if len(args) != len(p.spec.Inputs) {
 		return true, fmt.Errorf("plan %s: got %d args for %d input registers", p.spec.Name, len(args), len(p.spec.Inputs))

@@ -241,6 +241,138 @@ func TestBatchInputRegisters(t *testing.T) {
 	}
 }
 
+// TestParseBatchEnv pins the environment-override parser: valid values
+// apply, invalid values fall back to the defaults AND warn — the old
+// behaviour of silently absorbing DECLNET_BATCH typos meant a broken
+// CI matrix leg could claim forced-batch coverage while running the
+// default path.
+func TestParseBatchEnv(t *testing.T) {
+	cases := []struct {
+		batch, threshold string
+		wantMode         int32
+		wantThr          int64
+		wantWarnings     int
+	}{
+		{"", "", batchAuto, defaultBatchThreshold, 0},
+		{"auto", "", batchAuto, defaultBatchThreshold, 0},
+		{"off", "", batchOff, defaultBatchThreshold, 0},
+		{"always", "", batchAlways, defaultBatchThreshold, 0},
+		{"alwys", "", batchAuto, defaultBatchThreshold, 1},
+		{"ALWAYS", "", batchAuto, defaultBatchThreshold, 1},
+		{"", "123", batchAuto, 123, 0},
+		{"", "0", batchAuto, 0, 0},
+		{"", "-5", batchAuto, defaultBatchThreshold, 1},
+		{"", "12x", batchAuto, defaultBatchThreshold, 1},
+		{"", "4096.0", batchAuto, defaultBatchThreshold, 1},
+		{"alwys", "nope", batchAuto, defaultBatchThreshold, 2},
+		{"always", "17", batchAlways, 17, 0},
+	}
+	for _, c := range cases {
+		mode, thr, warnings := parseBatchEnv(c.batch, c.threshold)
+		if mode != c.wantMode || thr != c.wantThr || len(warnings) != c.wantWarnings {
+			t.Errorf("parseBatchEnv(%q, %q) = (%d, %d, %d warnings), want (%d, %d, %d)",
+				c.batch, c.threshold, mode, thr, len(warnings), c.wantMode, c.wantThr, c.wantWarnings)
+		}
+		for _, w := range warnings {
+			if !strings.Contains(w, "DECLNET_BATCH") {
+				t.Errorf("parseBatchEnv(%q, %q): warning %q does not name the variable", c.batch, c.threshold, w)
+			}
+		}
+	}
+}
+
+// TestBatchRemoveReAddDifferential interleaves Add/Remove/Add on the
+// instance relations between executions: Remove invalidates the
+// columnar view (watermarked indexes, sorted runs), the next batch
+// execution rebuilds it, and subsequent Adds extend it behind the
+// watermarks. Batch, tuple and reference paths must stay bit-identical
+// at every step, for every delta pin.
+func TestBatchRemoveReAddDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 23))
+	p := MustNew(Spec{
+		Name: "rra", NumRegs: 3,
+		Head:  []Term{Reg(0), Reg(2)},
+		Atoms: []Atom{{Rel: "E", Terms: []Term{Reg(0), Reg(1)}}, {Rel: "E", Terms: []Term{Reg(1), Reg(2)}}},
+	})
+	vals := make([]fact.Value, 18)
+	for i := range vals {
+		vals[i] = fact.Value(fmt.Sprintf("n%d", i))
+	}
+	randFact := func() fact.Fact {
+		return f("E", vals[rng.IntN(len(vals))], vals[rng.IntN(len(vals))])
+	}
+	full := fact.NewInstance()
+	delta := fact.NewInstance()
+	for i := 0; i < 60; i++ {
+		full.AddFact(randFact())
+	}
+	check := func(step string) {
+		t.Helper()
+		for pin := -1; pin < p.NumAtoms(); pin++ {
+			d := delta
+			if pin < 0 {
+				d = nil
+			}
+			run := func(mode string) *fact.Relation {
+				prev, _ := SetBatchMode(mode)
+				defer SetBatchMode(prev)
+				out := fact.NewRelation(2)
+				if err := p.Run(full, d, pin, nil, nil, out); err != nil {
+					t.Fatalf("%s pin %d mode %s: %v", step, pin, mode, err)
+				}
+				return out
+			}
+			batch := run("always")
+			tuple := run("off")
+			ref := fact.NewRelation(2)
+			if err := p.RunReference(full, d, pin, nil, nil, ref); err != nil {
+				t.Fatalf("%s pin %d: RunReference: %v", step, pin, err)
+			}
+			if !batch.Equal(tuple) || !batch.Equal(ref) {
+				t.Fatalf("%s pin %d: batch %d tuples, tuple %d, reference %d",
+					step, pin, batch.Len(), tuple.Len(), ref.Len())
+			}
+		}
+	}
+	check("initial")
+	for cycle := 0; cycle < 6; cycle++ {
+		// Remove a random slice of stored facts (invalidating the
+		// columnar view mid-lifecycle), re-add some of them plus fresh
+		// ones, and refresh the delta with a random subset.
+		e := full.Relation("E")
+		var stored []fact.Tuple
+		e.Each(func(tu fact.Tuple) bool {
+			stored = append(stored, tu)
+			return true
+		})
+		removed := 0
+		for _, tu := range stored {
+			if rng.IntN(4) == 0 {
+				full.RemoveFact(fact.Fact{Rel: "E", Args: tu})
+				removed++
+			}
+		}
+		check(fmt.Sprintf("cycle %d after remove (%d gone)", cycle, removed))
+		for i, tu := range stored {
+			if i%5 == 0 {
+				full.AddFact(fact.Fact{Rel: "E", Args: tu})
+			}
+		}
+		for i := 0; i < 10; i++ {
+			full.AddFact(randFact())
+		}
+		delta = fact.NewInstance()
+		e = full.Relation("E")
+		e.Each(func(tu fact.Tuple) bool {
+			if rng.IntN(3) == 0 {
+				delta.AddFact(fact.Fact{Rel: "E", Args: tu})
+			}
+			return true
+		})
+		check(fmt.Sprintf("cycle %d after re-add", cycle))
+	}
+}
+
 // TestExplainPipelineLine: the explain output names the pipeline the
 // executor will pick, in every mode.
 func TestExplainPipelineLine(t *testing.T) {

@@ -284,6 +284,14 @@ func (p *Plan) peekSched(pin int) (*schedule, error) {
 // filters (may be nil when the spec has none). Result tuples are
 // added to out.
 func (p *Plan) Run(full, delta *fact.Instance, pin int, args []fact.Value, guard GuardFunc, out *fact.Relation) error {
+	return p.RunSink(full, delta, pin, args, guard, out)
+}
+
+// RunSink is Run emitting into any fact.Sink: a plain relation, or a
+// delta staging sink (fact.Delta.Sink) so semi-naive round drivers
+// receive whole column slabs from the batch pipeline without an
+// intermediate head relation.
+func (p *Plan) RunSink(full, delta *fact.Instance, pin int, args []fact.Value, guard GuardFunc, out fact.Sink) error {
 	s, err := p.sched(pin, cardOf(full))
 	if err != nil {
 		return err
@@ -367,7 +375,7 @@ type frame struct {
 	spec     *Spec
 	instrs   []instr
 	guard    GuardFunc
-	out      *fact.Relation
+	out      fact.Sink
 	relFor   func(atom int, rel string) *fact.Relation
 	notInRel func(rel string) *fact.Relation
 	regs     []fact.Value
