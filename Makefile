@@ -5,7 +5,7 @@ BENCHTIME ?= 300ms
 # configurations BENCH_columnar.json records).
 BENCH_SIZE ?= small
 
-.PHONY: build test race race-batch bench bench-raw bench-plan bench-scenarios bench-static bench-columnar scenarios fuzz vet lint check clean
+.PHONY: build test race race-batch bench bench-raw bench-plan bench-scenarios bench-static bench-columnar bench-scale scale-gate scenarios fuzz vet lint check clean
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,29 @@ bench-columnar:
 	$(GO) run ./cmd/benchjson -label local -size $(BENCH_SIZE) -agg min < benchc.out > BENCH_columnar.json
 	@rm -f benchc.out
 	@echo wrote BENCH_columnar.json
+
+# bench-scale records the E20 node-count scaling family (gossip on
+# ring/tree/random/functional graphs at the BENCH_SCALE tier's sizes,
+# workers 1/2/4/8, fair and lossy channels) to BENCH_scale.json. The
+# rows are one full run each (-benchtime 1x, min of 3): the measured
+# quantity is whole-run wall clock, and interference only adds time.
+# On a multi-core host, follow with `make scale-gate` to enforce the
+# workers=4 speedup floor; the committed artifact from a 1-CPU dev
+# host is the determinism leg and records num_cpu:1 in provenance.
+BENCH_SCALE ?= medium
+BENCH_COUNT ?= 3
+bench-scale:
+	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run xxx -bench 'E20Scale' -benchtime 1x -count $(BENCH_COUNT) -timeout 5400s . > benchsc.out
+	$(GO) run ./cmd/benchjson -label local -scale $(BENCH_SCALE) -agg min < benchsc.out > BENCH_scale.json
+	@rm -f benchsc.out
+	@echo wrote BENCH_scale.json
+
+# scale-gate enforces the E20 acceptance criterion on the artifact:
+# >= 1.5x wall-clock speedup at workers=4 on the largest fair ring
+# row, with multi-core provenance. Run after bench-scale on a
+# multi-core host (CI's scale job does both).
+scale-gate:
+	$(GO) run ./cmd/scalegate -min-speedup 1.5 -require-multicore
 
 # bench-static records the static-analyzer experiment (E18: the
 # polarity/stratification pass vs the semantic monotonicity sweep it

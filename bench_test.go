@@ -981,3 +981,71 @@ func BenchmarkE19Columnar(b *testing.B) {
 		runModes(b, fmt.Sprintf("cfg=tc/n=%d", n), func() (*declnet.Relation, error) { return q.Eval(I) })
 	}
 }
+
+// e20Sizes returns the node-count axis of the E20 scaling family.
+// The default medium tier (1k + 10k) is what `make bench-scale` and
+// the multi-core CI gate run; BENCH_SCALE=large adds the 100k-node
+// configurations, BENCH_SCALE=small keeps a 1k smoke for 1-CPU
+// determinism legs.
+func e20Sizes() []int {
+	switch os.Getenv("BENCH_SCALE") {
+	case "large":
+		return []int{1000, 10000, 100000}
+	case "small":
+		return []int{1000}
+	default:
+		return []int{1000, 10000}
+	}
+}
+
+// BenchmarkE20Scale is the node-count scaling family (BENCHMARKS.md
+// E20): the one-hop gossip transducer — whose quiescence horizon is
+// O(1) rounds, so cost scales with node count, not diameter — on
+// ring/tree/random/functional graphs (internal/gen) at 1k/10k/100k
+// nodes, across workers 1/2/4/8 and the fair and lossy channels. The
+// trajectory of every row is a pure function of (seed, scenario);
+// workers only divide wall-clock across the shard-resident runtime's
+// fire/merge/probe phases (the lossy rows exercise the
+// coordinator-serial merge fallback). steps/op is the schedule
+// length, probes/op the dirty-set quiescence verdict count — compare
+// it against rounds x n to see the dirty-set win. The workers=4
+// speedup on the large ring rows is gated in CI by cmd/scalegate.
+func BenchmarkE20Scale(b *testing.B) {
+	for _, family := range gen.NetFamilies() {
+		for _, n := range e20Sizes() {
+			net := gen.MustNet(family, n, 7)
+			part := run.RoundRobinSplit(declnet.NewInstance(), net)
+			for _, channel := range []string{"fair", "lossy:30"} {
+				for _, workers := range []int{1, 2, 4, 8} {
+					name := fmt.Sprintf("family=%s/n=%d/chan=%s/workers=%d", family, n, channel, workers)
+					b.Run(name, func(b *testing.B) {
+						var steps int
+						var probes int64
+						for i := 0; i < b.N; i++ {
+							spec := channel
+							if spec == "fair" {
+								spec = "" // fast path: bit-identical to the explicit fair model
+							}
+							sim, err := run.NewSim(net, build.Gossip(), part, run.Options{Seed: 11, Channel: spec})
+							if err != nil {
+								b.Fatal(err)
+							}
+							res, err := sim.RunParallel(run.ParallelOptions{
+								Seed: 11, Workers: workers, MaxSteps: 200 * n})
+							if err != nil {
+								b.Fatal(err)
+							}
+							if !res.Quiescent {
+								b.Fatalf("%s: no quiescence in %d steps", name, res.Steps)
+							}
+							steps += res.Steps
+							probes += sim.ProbeCount()
+						}
+						b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+						b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+					})
+				}
+			}
+		}
+	}
+}

@@ -64,6 +64,12 @@ func Emptiness() *itransducer.Transducer { return idist.Emptiness() }
 // distributedly via completion certificates.
 func EvenCardinality() (*itransducer.Transducer, error) { return idist.EvenCardinality() }
 
+// Gossip returns the one-hop gossip transducer driving the E20
+// node-count scaling benchmarks: every node broadcasts its own
+// identifier and outputs the pairs (own id, heard id). Monotone,
+// oblivious, and quiescent in O(1) rounds at any network size.
+func Gossip() *itransducer.Transducer { return idist.Gossip() }
+
 // Flood returns the Lemma 5(2) transducer: oblivious replication of
 // the input over the given schema, with an optional monotone output
 // query (nil for none) evaluated continuously on the collected

@@ -77,6 +77,10 @@ type Report struct {
 	// Size is the workload scale knob the benchmarked runs used
 	// (BENCH_SIZE: "small" or "large"), when the caller passed -size.
 	Size string `json:"size,omitempty"`
+	// Scale is the node-count tier of the E20 scaling family
+	// (BENCH_SCALE: "small", "medium" or "large"), when the caller
+	// passed -scale.
+	Scale string `json:"scale,omitempty"`
 	// Agg names the aggregation applied to repeated samples of the
 	// same benchmark (-count N runs): "min" keeps the fastest sample
 	// per name — the standard noise-robust statistic on shared hosts,
@@ -125,10 +129,11 @@ func main() {
 	scenario := flag.String("scenario", "",
 		"channel scenario (or scenario matrix) to record in the report header; \"auto\" derives it from the scenario sub-benchmark names")
 	size := flag.String("size", "", "workload scale (BENCH_SIZE) to record in the report header")
+	scale := flag.String("scale", "", "node-count tier (BENCH_SCALE) to record in the report header")
 	agg := flag.String("agg", "", "aggregate repeated samples of the same benchmark: \"min\" keeps the fastest")
 	flag.Parse()
 
-	rep := Report{Label: *label, Workers: *workers, Scenario: *scenario, Size: *size, Provenance: provenance()}
+	rep := Report{Label: *label, Workers: *workers, Scenario: *scenario, Size: *size, Scale: *scale, Provenance: provenance()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

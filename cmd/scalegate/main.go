@@ -1,0 +1,111 @@
+// Command scalegate enforces the E20 scaling acceptance criterion on
+// a BENCH_scale.json artifact: on a multi-core host, the large-ring
+// gossip rows must show a wall-clock speedup at workers=4 over
+// workers=1 of at least -min-speedup (default 1.5x). CI runs it
+// after regenerating the artifact on a multi-core runner:
+//
+//	make bench-scale
+//	go run ./cmd/scalegate -min-speedup 1.5 -require-multicore
+//
+// The gate reads the artifact, not the benchmark output, so what is
+// enforced is exactly what is recorded: the provenance block must
+// carry num_cpu > 1 under -require-multicore (a 1-CPU artifact can
+// only ever show overhead — the committed baseline from a 1-CPU dev
+// host is the determinism leg, not the speedup leg), and the compared
+// rows are the fair-channel ring rows at the largest node count in
+// the file.
+//
+// Exit status: 0 when the gate holds, 1 with a diagnostic when it
+// does not (missing rows, 1-CPU provenance under -require-multicore,
+// or speedup below the floor).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// report mirrors the cmd/benchjson document shape (decoded loosely:
+// only the fields the gate reads).
+type report struct {
+	Scale      string `json:"scale"`
+	Provenance struct {
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GitCommit  string `json:"git_commit"`
+	} `json:"provenance"`
+	Results []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+var rowRe = regexp.MustCompile(`^BenchmarkE20Scale/family=ring/n=(\d+)/chan=fair/workers=(\d+)$`)
+
+func main() {
+	path := flag.String("artifact", "BENCH_scale.json", "BENCH_scale.json to gate")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "required workers=4 vs workers=1 wall-clock ratio on the largest fair ring row")
+	workers := flag.Int("workers", 4, "worker count of the numerator row")
+	minNodes := flag.Int("min-nodes", 10000, "smallest ring size the gate accepts as \"large\"")
+	requireMulticore := flag.Bool("require-multicore", false, "fail unless the artifact's provenance records num_cpu > 1")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fail("read artifact: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fail("parse %s: %v", *path, err)
+	}
+
+	if *requireMulticore && rep.Provenance.NumCPU <= 1 {
+		fail("%s: provenance records num_cpu=%d — the speedup gate needs a multi-core host (the 1-CPU artifact is the determinism leg)",
+			*path, rep.Provenance.NumCPU)
+	}
+
+	// ns/op per (ring size, workers) over the fair rows.
+	ns := map[int]map[int]float64{}
+	maxN := 0
+	for _, r := range rep.Results {
+		m := rowRe.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		w, _ := strconv.Atoi(m[2])
+		if ns[n] == nil {
+			ns[n] = map[int]float64{}
+		}
+		ns[n][w] = r.NsPerOp
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN == 0 {
+		fail("%s: no fair-channel ring rows (BenchmarkE20Scale/family=ring/.../chan=fair)", *path)
+	}
+	if maxN < *minNodes {
+		fail("%s: largest ring row has n=%d, gate needs n >= %d", *path, maxN, *minNodes)
+	}
+	base, okBase := ns[maxN][1]
+	par, okPar := ns[maxN][*workers]
+	if !okBase || !okPar {
+		fail("%s: ring n=%d rows missing workers=1 or workers=%d", *path, maxN, *workers)
+	}
+	speedup := base / par
+	fmt.Printf("scalegate: ring n=%d workers=%d speedup %.2fx (%.0f ns/op -> %.0f ns/op, num_cpu=%d, commit %s)\n",
+		maxN, *workers, speedup, base, par, rep.Provenance.NumCPU, rep.Provenance.GitCommit)
+	if speedup < *minSpeedup {
+		fail("speedup %.2fx below the %.2fx floor", speedup, *minSpeedup)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalegate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,7 +7,8 @@
 //
 //	transduce -t tc -topology ring:4 -facts edges.dl \
 //	          [-partition roundrobin] [-seed 1] [-steps 200000] \
-//	          [-workers 4] [-channel lossy:25] [-explain] [-lint] [-list]
+//	          [-workers 4] [-shards 8] [-channel lossy:25] \
+//	          [-scale-profile ring:10000] [-explain] [-lint] [-list]
 //
 // With -explain the compiled physical query plan of every transducer
 // query is printed (join order, index-probe columns, guard placement,
@@ -19,6 +20,20 @@
 // deterministically per seed (the worker count never changes the
 // outcome, only wall-clock time). -workers 0 (the default) keeps the
 // sequential fair random scheduler.
+//
+// With -shards K > 0 the parallel runtime's shard count is overridden
+// (default: min(workers, nodes)); like -workers it can only change
+// wall-clock time, never the outcome. When -workers > 0 the summary
+// includes a per-shard table of fire/merge/probe wall-clock and
+// verdict-probe counts — the phase breakdown of the shard-resident
+// runtime.
+//
+// -scale-profile family:n replaces -t/-topology/-facts with an E20
+// scaling configuration: the one-hop gossip transducer on a generated
+// graph (family one of ring, tree, random, functional — see
+// internal/gen) with n nodes and an empty input. It is the
+// command-line twin of BenchmarkE20Scale for profiling single
+// configurations.
 //
 // -channel selects the channel model / fault scenario: "fair" (the
 // default lossless §3 channel), "lossy:PCT" (message loss),
@@ -33,10 +48,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
+	"declnet"
 	"declnet/analyze"
 	"declnet/build"
 	"declnet/datalog"
+	"declnet/internal/gen"
 	"declnet/run"
 )
 
@@ -48,6 +68,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	steps := flag.Int("steps", 200000, "step budget")
 	workers := flag.Int("workers", 0, "parallel round runtime worker count (0 = sequential scheduler)")
+	shards := flag.Int("shards", 0, "parallel runtime shard count override (0 = min(workers, nodes))")
+	scaleProfile := flag.String("scale-profile", "", "E20 scaling configuration family:n (gossip on a generated graph; overrides -t/-topology/-facts)")
 	channelSpec := flag.String("channel", "", "channel model / fault scenario (see -list); empty = default fair channel on the fast path")
 	explain := flag.Bool("explain", false, "print the compiled query plans of the transducer (join order, probe columns, guards, delta pins), then exit")
 	lint := flag.Bool("lint", false, "run the static CALM analyzer on the transducer (polarity graph, refined class, witnesses), then exit")
@@ -87,34 +109,60 @@ func main() {
 		}
 		return
 	}
-	if *factsPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: transduce -t NAME -topology SHAPE:N -facts FILE (see -list)")
-		os.Exit(2)
-	}
-
-	tr, err := build.Lookup(*name)
-	if err != nil {
-		fatal(err)
-	}
-	net, err := run.ParseTopology(*topo)
-	if err != nil {
-		fatal(err)
-	}
-	src, err := os.ReadFile(*factsPath)
-	if err != nil {
-		fatal(err)
-	}
-	I, err := datalog.ParseFacts(string(src))
-	if err != nil {
-		fatal(err)
+	var (
+		tr  *declnet.Transducer
+		net *run.Network
+		I   *declnet.Instance
+	)
+	if *scaleProfile != "" {
+		family, nodes, ok := strings.Cut(*scaleProfile, ":")
+		count, err := strconv.Atoi(nodes)
+		if !ok || err != nil || count < 1 {
+			fatal(fmt.Errorf("bad -scale-profile %q (want family:n, e.g. ring:10000)", *scaleProfile))
+		}
+		net, err = gen.Net(family, count, uint64(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		tr = build.Gossip()
+		I = declnet.NewInstance()
+		if *workers == 0 {
+			*workers = 1 // the scale profile measures the parallel runtime
+		}
+	} else {
+		if *factsPath == "" {
+			fmt.Fprintln(os.Stderr, "usage: transduce -t NAME -topology SHAPE:N -facts FILE (see -list)")
+			os.Exit(2)
+		}
+		var err error
+		tr, err = build.Lookup(*name)
+		if err != nil {
+			fatal(err)
+		}
+		net, err = run.ParseTopology(*topo)
+		if err != nil {
+			fatal(err)
+		}
+		src, err := os.ReadFile(*factsPath)
+		if err != nil {
+			fatal(err)
+		}
+		I, err = datalog.ParseFacts(string(src))
+		if err != nil {
+			fatal(err)
+		}
 	}
 	part, err := run.ParsePartition(*partition, I, net)
 	if err != nil {
 		fatal(err)
 	}
 
+	netDesc := net.String()
+	if n := net.Size(); n > 16 {
+		netDesc = fmt.Sprintf("%d-node network", n)
+	}
 	fmt.Printf("transducer %s on %s: oblivious=%v inflationary=%v monotone=%v\n",
-		tr.Name, net, tr.Oblivious(), tr.Inflationary(), tr.Monotone())
+		tr.Name, netDesc, tr.Oblivious(), tr.Inflationary(), tr.Monotone())
 
 	// Step budget goes to sim.Run below; Options carries the per-sim
 	// knobs (the Seed doubles as the channel model's seed).
@@ -138,7 +186,8 @@ func main() {
 	}
 	var res run.Result
 	if *workers > 0 {
-		res, err = sim.RunParallel(run.ParallelOptions{Seed: *seed, Workers: *workers, MaxSteps: *steps})
+		res, err = sim.RunParallel(run.ParallelOptions{
+			Seed: *seed, Workers: *workers, Shards: *shards, MaxSteps: *steps})
 	} else {
 		res, err = sim.Run(run.NewRandomScheduler(*seed), *steps)
 	}
@@ -154,6 +203,22 @@ func main() {
 	if sim.Drops+sim.Duplicates+sim.Crashes+sim.Held > 0 {
 		fmt.Printf("channel %s: %d drops, %d duplicate deliveries, %d held at partitions, %d crashes\n",
 			*channelSpec, sim.Drops, sim.Duplicates, sim.Held, sim.Crashes)
+	}
+	if *workers > 0 {
+		fmt.Printf("dirty-set quiescence: %d verdict probes across %d nodes\n", sim.ProbeCount(), net.Size())
+		fmt.Println("per-shard phase breakdown (fire / merge / probe wall-clock):")
+		for i, st := range sim.ShardStats() {
+			fmt.Printf("  shard %2d [%6d,%6d)  fire %10s  merge %10s  probe %10s  probes %d\n",
+				i, st.Lo, st.Hi, st.Fire.Round(time.Microsecond), st.Merge.Round(time.Microsecond),
+				st.Probe.Round(time.Microsecond), st.Probes)
+		}
+	}
+	if res.Output.Len() > 40 {
+		fmt.Printf("output: %d tuples (suppressed; first 5 shown)\n", res.Output.Len())
+		for _, t := range res.Output.Tuples()[:5] {
+			fmt.Println("  ", t)
+		}
+		return
 	}
 	fmt.Printf("output (%d tuples):\n", res.Output.Len())
 	for _, t := range res.Output.Tuples() {

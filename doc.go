@@ -126,16 +126,25 @@
 // through an atomically published slice), so concurrent shards never
 // contend on it.
 //
-// # The parallel sharded runtime
+// # The shard-resident parallel runtime
 //
 // run.Options.Workers > 0 (or Sim.RunParallel directly) executes a
-// run in parallel rounds: every node performs one transition per
-// round — a heartbeat, or the delivery of a buffered fact chosen by
-// the node's own PCG stream — concurrently on a worker pool, and all
-// cross-node effects (sends, output tuples, counters) are merged at a
-// round barrier in stable node order. Each node's state, buffer,
-// firing cache and memos are owned by exactly one worker per round,
-// so the fire phase needs no locks.
+// run in parallel rounds: the nodes are cut into contiguous-index
+// shards (run.Options.Shards overrides the count; the default is
+// min(workers, nodes)), each shard resident on one worker for the
+// whole run, and every node performs one transition per round — a
+// heartbeat, or the delivery of a buffered fact chosen by the node's
+// own PCG stream — inside its shard. Effects that stay inside the
+// shard (sends to same-shard neighbors) are applied shard-locally;
+// cross-shard sends are batched into per-(source, destination) outbox
+// mailboxes and drained by the destination shard at the round
+// barrier in stable node order, so no shard ever writes another
+// shard's nodes. Quiescence detection is dirty-set driven: a node is
+// re-probed only when its buffer gained an unseen fact, its state
+// changed, or it crashed/restarted — verdict monotonicity (a
+// saturated node stays saturated until one of those events) makes
+// the cached verdicts sound, and Sim.SetFullProbeSweep(true) restores
+// the probe-everything ablation for differential testing.
 //
 // Rounds are sound because single-node transitions on distinct nodes
 // commute: a transition reads only its own node's state and one fact
@@ -144,15 +153,18 @@
 // of the same per-node events in node order, and every parallel run
 // is a fair run of the paper's §3 semantics.
 //
-// Determinism: the trajectory is a pure function of the seed. The
-// worker count changes wall-clock time, never outputs, states,
-// buffers, counters or traces — Workers=8 is bit-identical to
-// Workers=1. The differential harness in internal/dist verifies this
-// under the race detector for every construction of the paper, and
-// cross-checks the incremental firing against the specification
-// evaluator under random schedules. The consistency and
-// topology-independence sweeps and the CALM analyses fan their
-// independent runs across all cores on top of the same runtime.
+// Determinism contract: the trajectory is a pure function of the
+// seed. Workers and Shards change wall-clock time, never outputs,
+// states, buffers, counters, probe counts or traces — Workers=8 is
+// bit-identical to Workers=1, and any Shards override is
+// bit-identical to the default geometry. The differential harness in
+// internal/dist verifies this under the race detector for every
+// construction of the paper (and, for the dirty set, against the
+// full-sweep ablation across every fault scenario), and cross-checks
+// the incremental firing against the specification evaluator under
+// random schedules. The consistency and topology-independence sweeps
+// and the CALM analyses fan their independent runs across all cores
+// on top of the same runtime.
 //
 // # Channel models and fault scenarios
 //

@@ -156,3 +156,27 @@ func EitherNonempty() *transducer.Transducer {
 			))).
 		MustBuild()
 }
+
+// Gossip returns the one-hop gossip transducer driving the E20
+// node-count scaling benchmarks. Every node broadcasts its own
+// identifier (Snd P := Id), accumulates the identifiers it hears in
+// Heard, and outputs the pairs (own id, heard id) — i.e. each node
+// learns exactly its neighbourhood. The transducer is oblivious,
+// inflationary and monotone, and — unlike flooding — its quiescence
+// horizon is O(1) rounds at any network size: one exchange with each
+// neighbour makes every send known at its receiver and freezes the
+// state, so runtime cost scales with node count rather than network
+// diameter. That separation is what makes 100k-node rings feasible
+// and is exactly the regime where dirty-set quiescence pays off:
+// after the first few rounds almost every node holds a cached
+// verdict.
+func Gossip() *transducer.Transducer {
+	return transducer.NewBuilder("gossip", fact.Schema{}).
+		Msg("P", 1).
+		Mem("Heard", 1).
+		Snd("P", fo.MustQuery("sndP", []string{"x"}, fo.AtomF(transducer.SysId, "x"))).
+		Ins("Heard", fo.MustQuery("insHeard", []string{"x"}, fo.AtomF("P", "x"))).
+		Out(2, fo.MustQuery("out", []string{"x", "y"},
+			fo.AndF(fo.AtomF(transducer.SysId, "x"), fo.AtomF("Heard", "y")))).
+		MustBuild()
+}

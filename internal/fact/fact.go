@@ -281,6 +281,41 @@ func (r *Relation) Clone() *Relation {
 	return c
 }
 
+// Seal pre-builds every lazily memoized read structure of the
+// relation: the per-column tuple indexes, the memoized sorted order,
+// and the columnar view with its per-column indexes, sorted runs and
+// whole-row run. After Seal, read accessors (Lookup, Tuples, Each,
+// Contains and the batch executor's columnar probes) perform no
+// in-place memoization, so a sealed relation that is never mutated
+// again may be shared read-only across goroutines — the loophole the
+// shard-resident runtime uses to share one All relation across every
+// node state instead of materializing n copies. Mutating a sealed
+// relation is permitted (memos are maintained or rebuilt as usual)
+// but forfeits the concurrent-read guarantee.
+func (r *Relation) Seal() {
+	if r.idx == nil {
+		r.idx = make([]map[uint32][]Tuple, r.arity)
+	}
+	for c := 0; c < r.arity; c++ {
+		if r.idx[c] != nil {
+			continue
+		}
+		m := make(map[uint32][]Tuple, len(r.tuples))
+		for k, t := range r.tuples {
+			cid := keyID(k, c)
+			m[cid] = append(m[cid], t)
+		}
+		r.idx[c] = m
+	}
+	r.Tuples()
+	cv := r.columns()
+	for c := 0; c < r.arity; c++ {
+		cv.index(c)
+		cv.sortedRun(c)
+	}
+	cv.keyRun()
+}
+
 // UnionWith adds all tuples of s into r; s must have the same arity.
 func (r *Relation) UnionWith(s *Relation) {
 	if s == nil {

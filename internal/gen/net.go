@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"declnet/internal/fact"
+	"declnet/internal/network"
+)
+
+// netSalt decorrelates the topology PCG streams from the fact
+// generators in gen.go, which share the same user-facing seeds.
+const netSalt = 0x51f9b2a7c3d8e401
+
+// NetFamilies lists the graph families Net accepts, in the order the
+// E20 scaling benchmarks sweep them.
+func NetFamilies() []string { return []string{"ring", "tree", "random", "functional"} }
+
+// Net builds a connected n-node network of the named family with
+// canonical Node(i) names. Like every generator in this package it is
+// a pure function of its parameters; "ring" and "tree" ignore the
+// seed entirely.
+//
+//   - ring: cycle i — (i+1) mod n. Diameter n/2; the worst case for
+//     flooding and the reference row of the E20 scaling family.
+//   - tree: complete binary tree, edge i — (i-1)/2 for i >= 1.
+//     Diameter O(log n) with a high-degree root region.
+//   - random: random recursive tree (node i attaches to a uniform
+//     j < i) plus about n/8 extra chords. Connected by construction,
+//     low diameter with high probability.
+//   - functional: the undirected skeleton of a random functional
+//     graph (one uniform out-edge per node, no self-loops), unioned
+//     with the chain spine i — (i+1). The spine is what guarantees
+//     connectivity — a bare functional graph splits into rho-shaped
+//     components — so this family is "chain plus random long-range
+//     chords", about 2n edges.
+func Net(family string, n int, seed uint64) (*network.Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: network size %d < 1", n)
+	}
+	nodes := make([]fact.Value, n)
+	for i := range nodes {
+		nodes[i] = Node(i)
+	}
+	var edges [][2]fact.Value
+	add := func(a, b int) {
+		edges = append(edges, [2]fact.Value{Node(a), Node(b)})
+	}
+	switch family {
+	case "ring":
+		for i := 0; i+1 < n; i++ {
+			add(i, i+1)
+		}
+		if n > 2 {
+			add(n-1, 0)
+		}
+	case "tree":
+		for i := 1; i < n; i++ {
+			add(i, (i-1)/2)
+		}
+	case "random":
+		rng := rand.New(rand.NewPCG(seed, netSalt))
+		for i := 1; i < n; i++ {
+			add(i, rng.IntN(i))
+		}
+		for e := 0; e < n/8 && n > 2; e++ {
+			a := rng.IntN(n)
+			b := rng.IntN(n - 1)
+			if b >= a {
+				b++
+			}
+			add(a, b)
+		}
+	case "functional":
+		rng := rand.New(rand.NewPCG(seed, netSalt))
+		for i := 0; i < n && n > 1; i++ {
+			j := rng.IntN(n - 1)
+			if j >= i {
+				j++
+			}
+			add(i, j)
+		}
+		for i := 0; i+1 < n; i++ {
+			add(i, i+1)
+		}
+	default:
+		return nil, fmt.Errorf("gen: unknown network family %q (want one of %v)", family, NetFamilies())
+	}
+	return network.NewNetwork(nodes, edges)
+}
+
+// MustNet is Net for tests and benchmarks; it panics on error.
+func MustNet(family string, n int, seed uint64) *network.Network {
+	net, err := Net(family, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}

@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"testing"
+)
+
+// TestNetFamilies: every family builds a valid (connected, validated
+// by network.NewNetwork) graph at several sizes, with the expected
+// node set and deterministic edge structure per seed.
+func TestNetFamilies(t *testing.T) {
+	for _, fam := range NetFamilies() {
+		for _, n := range []int{1, 2, 3, 17, 256} {
+			net, err := Net(fam, n, 42)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", fam, n, err)
+			}
+			if net.Size() != n {
+				t.Fatalf("%s n=%d: size %d", fam, n, net.Size())
+			}
+			nodes := net.Nodes()
+			for i, v := range nodes {
+				if v != Node(i) {
+					t.Fatalf("%s n=%d: node %d is %s, want %s", fam, n, i, v, Node(i))
+				}
+			}
+		}
+	}
+}
+
+// TestNetDeterministic: same (family, n, seed) — same edge sets;
+// random families differ across seeds.
+func TestNetDeterministic(t *testing.T) {
+	edges := func(fam string, seed uint64) string {
+		net := MustNet(fam, 64, seed)
+		s := ""
+		for _, v := range net.Nodes() {
+			s += string(v) + ":"
+			for _, w := range net.Neighbors(v) {
+				s += string(w) + ","
+			}
+			s += ";"
+		}
+		return s
+	}
+	for _, fam := range NetFamilies() {
+		if edges(fam, 1) != edges(fam, 1) {
+			t.Errorf("%s: same seed produced different graphs", fam)
+		}
+	}
+	for _, fam := range []string{"random", "functional"} {
+		if edges(fam, 1) == edges(fam, 2) {
+			t.Errorf("%s: different seeds produced identical graphs", fam)
+		}
+	}
+}
+
+// TestNetShapes pins the deterministic families' structure: ring
+// degrees are all 2, the tree has n-1 edges with a degree-2 root.
+func TestNetShapes(t *testing.T) {
+	ring := MustNet("ring", 10, 0)
+	for _, v := range ring.Nodes() {
+		if d := len(ring.Neighbors(v)); d != 2 {
+			t.Errorf("ring: node %s has degree %d, want 2", v, d)
+		}
+	}
+	tree := MustNet("tree", 15, 0)
+	deg := 0
+	for _, v := range tree.Nodes() {
+		deg += len(tree.Neighbors(v))
+	}
+	if deg != 2*(15-1) {
+		t.Errorf("tree: %d half-edges, want %d (n-1 edges)", deg, 2*(15-1))
+	}
+}
+
+// TestNetUnknownFamily: unknown names and degenerate sizes error.
+func TestNetUnknownFamily(t *testing.T) {
+	if _, err := Net("torus", 4, 0); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := Net("ring", 0, 0); err == nil {
+		t.Error("zero-node network accepted")
+	}
+}

@@ -5,14 +5,16 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"declnet/internal/channel"
 	"declnet/internal/fact"
+	"declnet/internal/par"
 )
 
-// This file implements the parallel sharded runtime: round-based
-// execution of a transducer network on a worker pool.
+// This file implements the shard-resident parallel runtime:
+// round-based execution of a transducer network on statically
+// partitioned shards, each owned by one worker for the whole run.
 //
 // Soundness. The paper defines runs as interleavings of single-node
 // transitions, but a transition only reads and writes its own node's
@@ -28,29 +30,55 @@ import (
 //
 // Determinism. The schedule is a function of (seed, node index,
 // round) only: each node owns a PCG stream seeded from the run seed
-// and its index, and the merge barrier applies cross-node effects in
-// stable (sorted) node order. The worker count changes wall-clock
+// and its index, and the merge applies cross-node effects in stable
+// (sorted) node order. Worker and shard counts change wall-clock
 // time, never the configuration trajectory — Workers=8 is
 // bit-identical to Workers=1, which the differential harness in
 // internal/dist verifies for the whole construction zoo.
 //
-// Sharding. Nodes are the shard unit: during a round each node is
-// owned by exactly one worker (a persistent pool hands out node
-// indices through a shared counter), all its mutations (state, buffer
-// pop, firing cache, memos) stay inside its nodeRT, and cross-shard
-// message exchange goes through the per-node outboxes (roundAct.le)
-// merged at the barrier.
+// Sharding. Nodes are partitioned into contiguous-index shards
+// (par.Cut geometry: balanced, never empty), and each worker owns a
+// contiguous block of shards for the entire run — shard residency
+// keeps a node's state, buffer and evaluator caches on one goroutine
+// (and its core) across rounds. All three per-round phases run
+// shard-parallel:
+//
+//   - fire: every node transitions against the pre-round
+//     configuration, touching only its own nodeRT; sends are routed
+//     as (src, dst) entries into per-(src-shard × dst-shard) outbox
+//     mailboxes.
+//   - merge: each DESTINATION shard drains the outbox column
+//     addressed to it — src shards in ascending order, entries in
+//     fire order — so every buffer receives exactly the append
+//     sequence of the historical coordinator-serial merge, while
+//     distinct destinations merge concurrently. The coordinator only
+//     folds counters and applies out(ρ) additions in node order.
+//   - probe: the dirty-set quiescence check re-probes only nodes
+//     whose verdict was invalidated, shard-parallel.
+//
+// Runs with a bound channel model or an active trace hook fall back
+// to the historical coordinator-serial merge: held-message parking
+// consults Connected(src, dst, step) with the step counter advancing
+// mid-merge, and trace events must interleave in global node order —
+// both inherently serial. The fast path (nil channel, no trace) is
+// the one the scaling benchmarks measure.
 
 // ParallelOptions configures a parallel round-based run.
 type ParallelOptions struct {
 	// Seed determines the schedule: per-node PCG streams are derived
 	// from (Seed, node index). Runs with equal seeds are bit-identical
-	// regardless of Workers.
+	// regardless of Workers and Shards.
 	Seed int64
 	// Workers is the worker-pool size; 0 means GOMAXPROCS, 1 executes
 	// the identical round schedule serially (the differential
-	// reference).
+	// reference). Clamped to the shard count (never more workers than
+	// shards, never more shards than nodes).
 	Workers int
+	// Shards overrides the shard count: the number of contiguous node
+	// ranges with static worker affinity. 0 derives min(Workers, n).
+	// Like Workers, it only changes wall-clock time and the
+	// granularity of ShardStats, never the trajectory.
+	Shards int
 	// MaxSteps bounds the run in transitions (a round performs one
 	// transition per node; the budget is checked between rounds, so
 	// the last round may overshoot by at most |N|-1). 0 means one
@@ -69,6 +97,36 @@ func (o ParallelOptions) maxSteps() int {
 // sequential schedulers' streams (scheduler.go) and from each other.
 const parallelStreamSalt = 0xb5297a4d3f84d5a2
 
+// ShardStat reports one shard's share of a RunParallel call: its node
+// range and the wall-clock spent in each phase. Merge time is
+// recorded by the draining (destination) shard on the fast path; runs
+// on the serial-merge fallback (channel model or trace bound) leave
+// it zero because the coordinator merges. Probes counts saturation
+// probes executed at the shard's nodes.
+type ShardStat struct {
+	// Lo and Hi delimit the shard's node-index range [Lo, Hi).
+	Lo, Hi int
+	Fire   time.Duration
+	Merge  time.Duration
+	Probe  time.Duration
+	Probes int64
+}
+
+// ShardStats returns the per-shard phase timings of the most recent
+// RunParallel call (nil before any), with per-shard probe counts
+// filled in. Sequential runs never populate it.
+func (s *Sim) ShardStats() []ShardStat {
+	out := append([]ShardStat(nil), s.shardStats...)
+	for i := range out {
+		var p int64
+		for j := out[i].Lo; j < out[i].Hi; j++ {
+			p += s.order[j].probes
+		}
+		out[i].Probes = p
+	}
+	return out
+}
+
 // roundAct is one node's contribution to a round, computed
 // concurrently and applied at the merge barrier. The channel-fault
 // tallies (drops, dups) are accumulated here during the concurrent
@@ -83,6 +141,32 @@ type roundAct struct {
 	err        error
 }
 
+// outboxEntry routes one fired node's send list to one neighbor: the
+// destination shard expands acts[src].le.sent into dst's buffer when
+// it drains its mailbox column. Compact (src, dst) pairs keep the
+// mailboxes allocation-light — the facts themselves live in the send
+// memos.
+type outboxEntry struct {
+	src, dst int32
+}
+
+// shardFold is one shard's per-phase contribution to the shared Sim
+// counters, folded by the coordinator between phases so workers never
+// write shared memory.
+type shardFold struct {
+	err     error
+	errNode int
+	// fire phase
+	deliveries int
+	dirtied    int // newly set dirty flags (fire + drain)
+	outNodes   []int32
+	// drain phase
+	sends int
+	// probe phase
+	cleared   int
+	probeFail bool
+}
+
 // RunParallel drives the simulation in parallel rounds until the
 // saturation check reports quiescence or the step budget is
 // exhausted. Each round every node performs one transition, chosen by
@@ -94,65 +178,138 @@ type roundAct struct {
 // the whole run is replayable from (seed, scenario). See the file
 // comment for the equivalence with the paper's interleaved semantics.
 func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
+	n := len(s.order)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	maxSteps := opt.maxSteps()
-	n := len(s.order)
+	// Clamp the geometry: at most one shard per node (a shard is never
+	// zero-width), at most one worker per shard. Workers > n therefore
+	// degrades to n single-node shards, not to idle workers racing on
+	// an empty range.
 	if workers > n {
 		workers = n
 	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	if shards > n {
+		shards = n
+	}
+	if workers > shards {
+		workers = shards
+	}
+	maxSteps := opt.maxSteps()
+
 	streams := make([]*rand.Rand, n)
 	for i := range streams {
 		streams[i] = rand.New(rand.NewPCG(uint64(opt.Seed), parallelStreamSalt^uint64(i)*0x9e3779b97f4a7c15))
 	}
 	acts := make([]roundAct, n)
-	verdicts := make([]bool, n)
-	errs := make([]error, n)
 
-	// Persistent worker pool: a run performs two phases (fire,
-	// quiescence probes) per round for possibly thousands of rounds,
-	// so the workers live for the whole run and each phase is a
-	// broadcast + a shared index counter instead of fresh goroutines.
+	// Shard geometry: contiguous balanced node ranges, so ascending
+	// shard order IS ascending node order — the property the ordered
+	// outbox drain leans on.
+	lo := make([]int, shards+1)
+	for sh := 0; sh < shards; sh++ {
+		lo[sh], lo[sh+1] = par.Cut(n, shards, sh)
+	}
+	shardOf := make([]int32, n)
+	stats := make([]ShardStat, shards)
+	for sh := 0; sh < shards; sh++ {
+		stats[sh].Lo, stats[sh].Hi = lo[sh], lo[sh+1]
+		for i := lo[sh]; i < lo[sh+1]; i++ {
+			shardOf[i] = int32(sh)
+		}
+	}
+	s.shardStats = stats
+	folds := make([]shardFold, shards)
+
+	// fastMerge: with no channel model and no trace hook, the merge
+	// itself is shard-parallel (outbox drain). Otherwise the fire and
+	// probe phases still run shard-parallel but the merge replays the
+	// historical coordinator-serial applyCross loop, bit-identically.
+	fastMerge := s.channel == nil && s.Trace == nil
+	var outbox [][]outboxEntry
+	if fastMerge {
+		outbox = make([][]outboxEntry, shards*shards)
+	}
+
+	// Shard-resident pool: worker w owns the contiguous shard block
+	// par.Cut(shards, workers, w) for the whole run and executes every
+	// phase over its own shards in ascending order. Per-worker start
+	// channels (not a shared token queue) pin the affinity.
 	var (
-		phaseFn func(int)
-		next    atomic.Int64
-		phaseWG sync.WaitGroup
-		startCh chan struct{}
+		phase  func(sh int)
+		wg     sync.WaitGroup
+		starts []chan struct{}
 	)
 	runPhase := func(f func(int)) {
-		if workers <= 1 {
-			for i := 0; i < n; i++ {
-				f(i)
+		if workers == 1 {
+			for sh := 0; sh < shards; sh++ {
+				f(sh)
 			}
 			return
 		}
-		phaseFn = f
-		next.Store(0)
-		phaseWG.Add(workers)
-		for w := 0; w < workers; w++ {
-			startCh <- struct{}{}
+		phase = f
+		wg.Add(workers)
+		for _, c := range starts {
+			c <- struct{}{}
 		}
-		phaseWG.Wait()
+		wg.Wait()
 	}
 	if workers > 1 {
-		startCh = make(chan struct{})
-		defer close(startCh)
-		for w := 0; w < workers; w++ {
-			go func() {
-				for range startCh {
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= n {
-							break
-						}
-						phaseFn(i)
+		starts = make([]chan struct{}, workers)
+		for w := range starts {
+			starts[w] = make(chan struct{})
+			go func(w int) {
+				wlo, whi := par.Cut(shards, workers, w)
+				for range starts[w] {
+					for sh := wlo; sh < whi; sh++ {
+						phase(sh)
 					}
-					phaseWG.Done()
+					wg.Done()
 				}
-			}()
+			}(w)
 		}
+		defer func() {
+			for _, c := range starts {
+				close(c)
+			}
+		}()
+	}
+
+	// Probe phase: re-probe only the dirty nodes of each shard (all
+	// nodes under the full-sweep ablation knob). Verdict failures
+	// leave the flag set; successes clear it locally and report the
+	// count for the coordinator to fold. Probes never touch the
+	// trajectory, so probing every dirty node (no cross-shard
+	// short-circuit) keeps ProbeCount a pure function of the seed.
+	probeShard := func(sh int) {
+		t0 := time.Now()
+		fd := &folds[sh]
+		fd.err, fd.cleared, fd.probeFail = nil, 0, false
+		for i := lo[sh]; i < lo[sh+1]; i++ {
+			rt := s.order[i]
+			if !rt.dirty && !s.fullSweep {
+				continue
+			}
+			ok, err := s.quiescentAt(rt)
+			if err != nil {
+				fd.err, fd.errNode = err, i
+				break
+			}
+			if !ok {
+				fd.probeFail = true
+				continue
+			}
+			if rt.dirty {
+				rt.dirty = false
+				fd.cleared++
+			}
+		}
+		stats[sh].Probe += time.Since(t0)
 	}
 
 	quiescent := func() (bool, error) {
@@ -160,44 +317,57 @@ func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
 		// content the receiver has never seen forbids the verdict.
 		// Checked on the coordinating goroutine between phases, where
 		// no worker owns any node.
-		if s.heldUnseen() {
-			return false, nil
-		}
-		runPhase(func(i int) {
-			verdicts[i], errs[i] = s.quiescentAt(s.order[i])
-		})
-		all := true
-		for i := 0; i < n; i++ {
-			if errs[i] != nil {
-				return false, errs[i]
+		if s.fullSweep {
+			if s.heldUnseen() {
+				return false, nil
 			}
-			all = all && verdicts[i]
+		} else {
+			if s.heldUnseenCount > 0 {
+				return false, nil
+			}
+			if s.dirtyCount == 0 {
+				return true, nil
+			}
+		}
+		runPhase(probeShard)
+		all := true
+		var firstErr error
+		errNode := n
+		for sh := 0; sh < shards; sh++ {
+			fd := &folds[sh]
+			s.dirtyCount -= fd.cleared
+			if fd.err != nil && fd.errNode < errNode {
+				firstErr, errNode = fd.err, fd.errNode
+			}
+			if fd.probeFail || fd.err != nil {
+				all = false
+			}
+		}
+		if firstErr != nil {
+			return false, firstErr
 		}
 		return all, nil
 	}
 
-	for {
-		// Channel time effects between rounds, while no worker owns a
-		// node: scheduled crashes fire, healed links release held
-		// messages. No-op without a channel model.
-		s.advanceChannel()
-		q, err := quiescent()
-		if err != nil {
-			return RunResult{}, err
+	// Fire phase: every node transitions against the pre-round
+	// configuration, concurrently, touching only its own nodeRT. The
+	// channel model chooses each node's fate from the node's own PCG
+	// stream; a nil channel keeps the historical draw (deliver a
+	// uniform buffered fact or heartbeat) verbatim. On the fast path,
+	// sends are routed into the shard's outbox row as they happen.
+	fireShard := func(sh int) {
+		t0 := time.Now()
+		fd := &folds[sh]
+		fd.err, fd.deliveries, fd.dirtied = nil, 0, 0
+		fd.outNodes = fd.outNodes[:0]
+		var row [][]outboxEntry
+		if fastMerge {
+			row = outbox[sh*shards : (sh+1)*shards]
+			for d := range row {
+				row[d] = row[d][:0]
+			}
 		}
-		if q {
-			return RunResult{Output: s.Output(), Quiescent: true, Steps: s.Steps, Sends: s.Sends}, nil
-		}
-		if s.Steps >= maxSteps {
-			return RunResult{Output: s.Output(), Quiescent: false, Steps: s.Steps, Sends: s.Sends}, nil
-		}
-
-		// Fire phase: every node transitions against the pre-round
-		// configuration, concurrently, touching only its own nodeRT.
-		// The channel model chooses each node's fate from the node's
-		// own PCG stream; a nil channel keeps the historical draw
-		// (deliver a uniform buffered fact or heartbeat) verbatim.
-		runPhase(func(i int) {
+		for i := lo[sh]; i < lo[sh+1]; i++ {
 			rt := s.order[i]
 			a := &acts[i]
 			*a = roundAct{}
@@ -232,21 +402,123 @@ func (s *Sim) RunParallel(opt ParallelOptions) (RunResult, error) {
 				}
 			}
 			a.le, a.err = s.fireLocal(rt, rcv)
-		})
-
-		// Merge barrier: apply cross-node effects in stable node
-		// order. Errors surface deterministically: the lowest-index
-		// failing node wins, and no cross effects are applied for the
-		// aborted round.
-		for i := 0; i < n; i++ {
-			if acts[i].err != nil {
-				return RunResult{}, fmt.Errorf("network: parallel round at %s: %w", s.order[i].v, acts[i].err)
+			if a.err != nil {
+				if fd.err == nil {
+					fd.err, fd.errNode = a.err, i
+				}
+				continue
+			}
+			if a.isDelivery {
+				fd.deliveries++
+			}
+			if a.le.dirtied {
+				fd.dirtied++
+			}
+			if len(a.le.outNew) > 0 {
+				fd.outNodes = append(fd.outNodes, int32(i))
+			}
+			if fastMerge && len(a.le.sent) > 0 {
+				for _, w := range rt.nbrs {
+					dst := shardOf[w.idx]
+					row[dst] = append(row[dst], outboxEntry{src: int32(i), dst: int32(w.idx)})
+				}
 			}
 		}
-		for i := 0; i < n; i++ {
-			s.Drops += acts[i].drops
-			s.Duplicates += acts[i].dups
-			s.applyCross(s.order[i], acts[i].le, acts[i].isDelivery, acts[i].delivered)
+		stats[sh].Fire += time.Since(t0)
+	}
+
+	// Drain phase (fast path): shard sh drains the outbox column
+	// addressed to it — src shards ascending, entries in fire order —
+	// appending into its own nodes' buffers. Contiguous shards make
+	// src-shard order global src-node order, so each destination
+	// buffer receives exactly the append sequence of the serial merge.
+	// Only destination-owned memory is written; the held/channel paths
+	// are unreachable here (fastMerge implies no channel model).
+	drainShard := func(sh int) {
+		t0 := time.Now()
+		fd := &folds[sh]
+		fd.sends = 0
+		for src := 0; src < shards; src++ {
+			for _, e := range outbox[src*shards+sh] {
+				le := &acts[e.src].le
+				rt := s.order[e.dst]
+				for k, f := range le.sent {
+					buffered, _, dirtied := s.admitLocal(rt, f, le.keys[k])
+					if buffered {
+						fd.sends++
+					}
+					if dirtied {
+						fd.dirtied++
+					}
+				}
+			}
+		}
+		stats[sh].Merge += time.Since(t0)
+	}
+
+	for {
+		// Channel time effects between rounds, while no worker owns a
+		// node: scheduled crashes fire, healed links release held
+		// messages. No-op without a channel model.
+		s.advanceChannel()
+		q, err := quiescent()
+		if err != nil {
+			return RunResult{}, err
+		}
+		if q {
+			return RunResult{Output: s.Output(), Quiescent: true, Steps: s.Steps, Sends: s.Sends}, nil
+		}
+		if s.Steps >= maxSteps {
+			return RunResult{Output: s.Output(), Quiescent: false, Steps: s.Steps, Sends: s.Sends}, nil
+		}
+
+		runPhase(fireShard)
+
+		// Errors surface deterministically: the lowest-index failing
+		// node wins, and no cross effects are applied for the aborted
+		// round.
+		var firstErr error
+		errNode := n
+		for sh := 0; sh < shards; sh++ {
+			if fd := &folds[sh]; fd.err != nil && fd.errNode < errNode {
+				firstErr, errNode = fd.err, fd.errNode
+			}
+		}
+		if firstErr != nil {
+			return RunResult{}, fmt.Errorf("network: parallel round at %s: %w", s.order[errNode].v, firstErr)
+		}
+
+		if fastMerge {
+			// Parallel merge: destination shards drain concurrently,
+			// then the coordinator folds the per-shard deltas and
+			// applies out(ρ) additions in node order.
+			runPhase(drainShard)
+			deliveries := 0
+			for sh := 0; sh < shards; sh++ {
+				fd := &folds[sh]
+				deliveries += fd.deliveries
+				s.Sends += fd.sends
+				s.dirtyCount += fd.dirtied
+				for _, i := range fd.outNodes {
+					for _, t := range acts[i].le.outNew {
+						s.out.Add(t)
+					}
+				}
+			}
+			s.Deliveries += deliveries
+			s.Heartbeats += n - deliveries
+			s.Steps += n
+		} else {
+			// Serial-merge fallback: channel models consult
+			// Connected(src, dst, step) with the step counter
+			// advancing mid-merge, and trace events interleave in
+			// global node order — the historical coordinator loop,
+			// bit-identical to the pre-shard runtime.
+			for i := 0; i < n; i++ {
+				s.Drops += acts[i].drops
+				s.Duplicates += acts[i].dups
+				s.applyCross(s.order[i], acts[i].le, acts[i].isDelivery, acts[i].delivered)
+			}
 		}
 	}
 }

@@ -60,6 +60,37 @@ type Sim struct {
 	// schedule has been polled.
 	lastCrashStep int
 
+	// dirtyCount counts the nodes whose dirty flag is set: the nodes
+	// whose buffer content, state or known set changed since their last
+	// successful quiescence verdict. The quiescence check probes only
+	// those; dirtyCount == 0 (with no unseen held content) IS the
+	// verdict. See Quiescent.
+	dirtyCount int
+	// heldUnseenCount is the incremental form of the heldUnseen() scan:
+	// the number of messages parked at severed links whose content the
+	// receiver has never seen. heldUnseenByDst tracks, per destination,
+	// how many parked copies of each unseen fact key contribute, so the
+	// admit that first makes a key known can retire all of them at
+	// once. Maintained on park (enqueue) and on admit; always zero on
+	// the nil-channel fast path.
+	heldUnseenCount int
+	heldUnseenByDst map[*nodeRT]map[string]int
+	// fullSweep disables dirty-set quiescence: every check probes every
+	// node, like the pre-dirty-set runtime. Ablation and differential
+	// testing only (SetFullProbeSweep); verdicts are provably identical
+	// either way.
+	fullSweep bool
+
+	// allRel is the sealed All relation shared by every node state (and
+	// every persisted snapshot): one O(n) relation instead of n copies.
+	// Sealed at construction and never mutated — transducer transitions
+	// replace memory relations on a shallow clone and never write
+	// system relations in place.
+	allRel *fact.Relation
+	// shardStats holds the per-shard phase timings of the most recent
+	// RunParallel call; see ShardStats.
+	shardStats []ShardStat
+
 	// Trace, when non-nil, is invoked after every transition with a
 	// description of what happened; used by cmd/transduce -trace and
 	// by debugging sessions. The parallel runtime emits events at the
@@ -143,6 +174,31 @@ type nodeRT struct {
 	// successes stay valid.
 	clean        bool
 	pendingProbe []fact.Fact
+
+	// dirty marks a node that needs (re-)probing before the next
+	// quiescence verdict: set when the buffer gains a never-seen fact,
+	// when the state changes, or on crash/restart; cleared only by a
+	// successful quiescentAt. Invariant: dirty == !(clean &&
+	// len(pendingProbe) == 0). The flag is written only by the node's
+	// owner (the sequential loop, or the owning shard worker); the
+	// global dirtyCount is reconciled by the coordinator.
+	dirty bool
+	// probes counts quiescence verdict probes executed at this node —
+	// one per quiescentAt call, the dirty-set experiment's exposed
+	// counter. Owner-written, like every nodeRT field, so the parallel
+	// probe phase needs no atomics.
+	probes int64
+}
+
+// markDirty sets the dirty flag, reporting whether it was newly set —
+// the caller owns folding the transition into Sim.dirtyCount (directly
+// on sequential paths, via per-shard deltas in the parallel runtime).
+func (n *nodeRT) markDirty() bool {
+	if n.dirty {
+		return false
+	}
+	n.dirty = true
+	return true
 }
 
 // TraceEvent describes one executed transition.
@@ -181,6 +237,30 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 			return nil, fmt.Errorf("network: partition assigns input to unknown node %s", v)
 		}
 	}
+	// One All relation for the whole network, sealed (all lazy read
+	// memos pre-built) and installed by pointer into every node state:
+	// n nodes share O(n) storage instead of materializing n copies —
+	// the difference between O(n^2) and O(n) construction, and a
+	// prerequisite for the 10k/100k-node scaling runs. Sharing is sound
+	// because stored relations are never mutated in place (transitions
+	// replace memory relations on a shallow clone) and sealed reads
+	// memoize nothing, so concurrent shard workers can evaluate against
+	// it freely.
+	allRel := fact.NewRelation(1)
+	for _, w := range nodes {
+		allRel.Add(fact.Tuple{w})
+	}
+	allRel.Seal()
+	s.allRel = allRel
+	// One active-domain memo for the node set, computed once and
+	// adopted by every node state below: the memo covers All (and so
+	// Id), and each node only merges in its fragment's values. Without
+	// this every node's first firing rescans its whole state —
+	// including the n-tuple All — which is O(n^2) across the network.
+	allBase := fact.NewInstance()
+	allBase.SetRelationOwned(transducer.SysAll, allRel)
+	allBase.ActiveDomain()
+	var extra []fact.Value
 	for _, v := range nodes {
 		st := fact.NewInstance()
 		if h := partition[v]; h != nil {
@@ -190,19 +270,30 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 			st.UnionWith(h)
 		}
 		st.AddFact(fact.NewFact(transducer.SysId, v))
-		for _, w := range nodes {
-			st.AddFact(fact.NewFact(transducer.SysAll, w))
+		st.SetRelationOwned(transducer.SysAll, allRel)
+		extra = extra[:0]
+		for _, name := range st.RelNames() {
+			if name == transducer.SysAll {
+				continue
+			}
+			st.Relation(name).Each(func(t fact.Tuple) bool {
+				extra = append(extra, t...)
+				return true
+			})
 		}
+		st.AdoptActiveDomain(allBase, extra)
 		n := &nodeRT{
 			v:        v,
 			idx:      len(s.order),
 			state:    st,
 			known:    map[string]fact.Fact{},
 			rcvCache: map[string]*fact.Instance{},
+			dirty:    true,
 		}
 		s.nodes[v] = n
 		s.order = append(s.order, n)
 	}
+	s.dirtyCount = len(s.order)
 	for _, n := range s.order {
 		for _, w := range net.Neighbors(n.v) {
 			n.nbrs = append(n.nbrs, s.nodes[w])
@@ -301,9 +392,25 @@ func (s *Sim) SetChannel(m channel.Model) {
 	}
 	for _, n := range s.order {
 		if n.persist == nil {
-			n.persist = n.state.Clone()
+			n.persist = s.cloneSharingAll(n.state)
 		}
 	}
+}
+
+// cloneSharingAll deep-copies a node state except for the All
+// relation, which stays the sim-wide shared sealed instance — the
+// per-node O(1) counterpart of Instance.Clone for states that embed
+// the O(n) All relation.
+func (s *Sim) cloneSharingAll(st *fact.Instance) *fact.Instance {
+	c := fact.NewInstance()
+	for _, nm := range st.RelNames() {
+		if nm == transducer.SysAll && st.Relation(nm) == s.allRel {
+			c.SetRelationOwned(nm, s.allRel)
+			continue
+		}
+		c.SetRelation(nm, st.Relation(nm))
+	}
+	return c
 }
 
 // ChannelModel returns the bound channel model (nil means the default
@@ -338,7 +445,7 @@ func (s *Sim) Crash(v fact.Value) error {
 // quiescence point is only declared once re-delivering any previously
 // seen fact to the restarted node is a no-op again.
 func (s *Sim) crash(n *nodeRT) {
-	n.state = n.persist.Clone()
+	n.state = s.cloneSharingAll(n.persist)
 	n.buf = nil
 	n.firing = nil
 	n.probedOut = nil
@@ -347,6 +454,11 @@ func (s *Sim) crash(n *nodeRT) {
 	n.sndMemo = nil
 	n.clean = false
 	n.pendingProbe = nil
+	// The restart invalidates any cached quiescence verdict: the
+	// restored state must be re-probed against every known fact.
+	if n.markDirty() {
+		s.dirtyCount++
+	}
 	s.Crashes++
 }
 
@@ -468,6 +580,10 @@ func (n *nodeRT) rcvFor(f fact.Fact) *fact.Instance {
 // the cross-node half.
 type localEffect struct {
 	stateChanged bool
+	// dirtied reports that this transition newly set the node's dirty
+	// flag (state change at a previously-verdicted node); the caller
+	// folds it into Sim.dirtyCount at a safe point.
+	dirtied bool
 	// sent and keys are the facts the transition sends to every
 	// neighbor (shared memo storage; read-only).
 	sent []fact.Fact
@@ -487,13 +603,16 @@ func (s *Sim) fireLocal(n *nodeRT, rcv *fact.Instance) (localEffect, error) {
 	if err != nil {
 		return localEffect{}, err
 	}
-	if n.clean && stateChanged {
-		n.clean = false
-		n.pendingProbe = nil
-	}
 	n.state = eff.State
 	var le localEffect
 	le.stateChanged = stateChanged
+	if stateChanged {
+		if n.clean {
+			n.clean = false
+			n.pendingProbe = nil
+		}
+		le.dirtied = n.markDirty()
+	}
 	if n.outApplied != eff.Out {
 		eff.Out.Each(func(t fact.Tuple) bool {
 			if !s.out.Contains(t) {
@@ -522,9 +641,48 @@ func (s *Sim) enqueue(src, w *nodeRT, f fact.Fact, key string) bool {
 		}
 		s.held = append(s.held, heldMsg{src: src, dst: w, f: f, key: key})
 		s.Held++
+		s.heldUnseenAdd(w, key)
 		return false
 	}
 	return s.admit(w, f, key)
+}
+
+// heldUnseenAdd records that a copy of key was parked toward w while
+// w has never seen it: the incremental counterpart of the heldUnseen
+// scan.
+func (s *Sim) heldUnseenAdd(w *nodeRT, key string) {
+	if _, known := w.known[key]; known {
+		return
+	}
+	if s.heldUnseenByDst == nil {
+		s.heldUnseenByDst = map[*nodeRT]map[string]int{}
+	}
+	m := s.heldUnseenByDst[w]
+	if m == nil {
+		m = map[string]int{}
+		s.heldUnseenByDst[w] = m
+	}
+	m[key]++
+	s.heldUnseenCount++
+}
+
+// noteSeen retires every unseen-held count for key at w — called by
+// admit at the moment w's known set first gains the key. Parked
+// copies may remain at severed links, but their content is now seen,
+// so they no longer block the quiescence verdict (exactly the
+// heldUnseen scan's criterion).
+func (s *Sim) noteSeen(w *nodeRT, key string) {
+	if s.heldUnseenCount == 0 {
+		return
+	}
+	m := s.heldUnseenByDst[w]
+	if m == nil {
+		return
+	}
+	if c, ok := m[key]; ok {
+		s.heldUnseenCount -= c
+		delete(m, key)
+	}
 }
 
 // heldHas reports whether an identical message toward w is already
@@ -542,17 +700,40 @@ func (s *Sim) heldHas(w *nodeRT, key string) bool {
 // w's known set and saturation bookkeeping; it returns whether the
 // fact was actually buffered (false when coalesced away).
 func (s *Sim) admit(w *nodeRT, f fact.Fact, key string) bool {
+	buffered, newlyKnown, dirtied := s.admitLocal(w, f, key)
+	if newlyKnown {
+		s.noteSeen(w, key)
+	}
+	if dirtied {
+		s.dirtyCount++
+	}
+	if buffered {
+		s.Sends++
+	}
+	return buffered
+}
+
+// admitLocal is the node-confined core of admit: it touches only w
+// (buffer, known set, saturation flags) and reports what happened so
+// the caller can fold the shared-counter effects — directly (admit)
+// or through per-shard deltas (the parallel drain, which calls it
+// concurrently for nodes of distinct shards).
+func (s *Sim) admitLocal(w *nodeRT, f fact.Fact, key string) (buffered, newlyKnown, dirtied bool) {
 	if _, seen := w.known[key]; !seen {
 		w.known[key] = f
+		newlyKnown = true
 		if w.clean {
 			w.pendingProbe = append(w.pendingProbe, f)
 		}
+		// A never-seen fact in the buffer invalidates the node's
+		// cached quiescence verdict; re-buffered known facts do not —
+		// the saturation check already covers their redelivery.
+		dirtied = w.markDirty()
 	} else if s.CoalesceDuplicates && bufferHas(w.buf, f) {
-		return false
+		return false, false, false
 	}
 	w.buf = append(w.buf, f)
-	s.Sends++
-	return true
+	return true, newlyKnown, dirtied
 }
 
 // applyCross applies the cross-node half of a transition at n:
@@ -563,6 +744,9 @@ func (s *Sim) admit(w *nodeRT, f fact.Fact, key string) bool {
 // node in stable node order.
 func (s *Sim) applyCross(n *nodeRT, le localEffect, isDelivery bool, delivered *fact.Fact) {
 	sendsBefore := s.Sends
+	if le.dirtied {
+		s.dirtyCount++
+	}
 	var newOut []fact.Tuple
 	for _, t := range le.outNew {
 		if s.out.Add(t) && s.Trace != nil {
@@ -623,17 +807,83 @@ func bufferHas(buf []fact.Fact, f fact.Fact) bool {
 //
 // This is the operational counterpart of the quiescence point of
 // Proposition 1.
+//
+// The check is dirty-set driven: only nodes whose buffer content,
+// state or known set changed since their last successful verdict are
+// re-probed. Cached verdicts are sound because conditions (i)-(iii)
+// are monotone in everything that can change under an untouched node
+// (out(ρ) and the neighbours' known sets only grow), so a verdict can
+// only be invalidated by one of the tracked events — each of which
+// sets the dirty flag. With an empty dirty set (and no unseen held
+// content) the verdict is immediate.
 func (s *Sim) Quiescent() (bool, error) {
-	if s.heldUnseen() {
+	if s.fullSweep {
+		if s.heldUnseen() {
+			return false, nil
+		}
+		for _, n := range s.order {
+			ok, err := s.quiescentAt(n)
+			if err != nil || !ok {
+				return false, err
+			}
+			s.clearDirty(n)
+		}
+		return true, nil
+	}
+	if s.heldUnseenCount > 0 {
 		return false, nil
 	}
+	if s.dirtyCount == 0 {
+		return true, nil
+	}
 	for _, n := range s.order {
+		if !n.dirty {
+			continue
+		}
 		ok, err := s.quiescentAt(n)
 		if err != nil || !ok {
 			return false, err
 		}
+		s.clearDirty(n)
 	}
 	return true, nil
+}
+
+// clearDirty lowers n's dirty flag after a successful probe,
+// maintaining the global count.
+func (s *Sim) clearDirty(n *nodeRT) {
+	if n.dirty {
+		n.dirty = false
+		s.dirtyCount--
+	}
+}
+
+// SetFullProbeSweep disables (on=true) dirty-set quiescence: every
+// check probes every node and rescans the held queue, reproducing the
+// pre-dirty-set runtime's verdict procedure exactly. The verdicts are
+// provably identical either way — this knob exists so the
+// differential harness can machine-check that, and so the probe-count
+// ablation has a baseline. Not a semantics switch; trajectories are
+// unaffected.
+func (s *Sim) SetFullProbeSweep(on bool) { s.fullSweep = on }
+
+// DirtyNodes returns the current size of the quiescence dirty set:
+// the number of nodes whose cached verdict is invalid.
+func (s *Sim) DirtyNodes() int { return s.dirtyCount }
+
+// ProbeCount returns the total number of quiescence verdict probes
+// (quiescentAt calls) executed so far across all nodes — the
+// dirty-set experiment's headline counter: on sparse workloads it
+// grows like the traffic, not like rounds × n. In the parallel
+// runtime the count is a pure function of the trajectory (every
+// dirty node is probed each check, with no cross-shard
+// short-circuit), so it is identical for every Workers setting.
+func (s *Sim) ProbeCount() int64 {
+	var p int64
+	for _, n := range s.order {
+		p += n.probes
+	}
+	return p
 }
 
 // heldUnseen reports whether a message parked at a severed channel
@@ -658,6 +908,11 @@ func (s *Sim) heldUnseen() bool {
 // calls it concurrently for distinct nodes between rounds, when
 // nothing mutates those sets.
 func (s *Sim) quiescentAt(n *nodeRT) (bool, error) {
+	// One verdict probe per call: counting here (not per hypothetical
+	// delivery) keeps the counter deterministic — the inner loops
+	// early-exit over map-ordered known sets, so their call counts
+	// depend on iteration order even though the verdict does not.
+	n.probes++
 	if n.clean {
 		// Only the facts that became known since the last full probe
 		// need checking; the cached successes remain valid because the
@@ -762,19 +1017,25 @@ func (s *Sim) Clone() *Sim {
 		Drops: s.Drops, Duplicates: s.Duplicates,
 		Crashes: s.Crashes, Held: s.Held,
 		CoalesceDuplicates: s.CoalesceDuplicates,
+		allRel:             s.allRel,
+		fullSweep:          s.fullSweep,
 	}
 	for _, n := range s.order {
 		cn := &nodeRT{
 			v:        n.v,
 			idx:      n.idx,
-			state:    n.state.Clone(),
+			state:    s.cloneSharingAll(n.state),
 			buf:      append([]fact.Fact(nil), n.buf...),
 			known:    make(map[string]fact.Fact, len(n.known)),
 			rcvCache: map[string]*fact.Instance{},
 			clean:    n.clean,
+			dirty:    n.dirty,
+		}
+		if cn.dirty {
+			c.dirtyCount++
 		}
 		if n.persist != nil {
-			cn.persist = n.persist.Clone()
+			cn.persist = s.cloneSharingAll(n.persist)
 		}
 		for key, f := range n.known {
 			cn.known[key] = f

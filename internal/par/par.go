@@ -31,6 +31,16 @@ func StoreMin(a *atomic.Int64, i int64) {
 	}
 }
 
+// Cut returns the i-th of k contiguous balanced ranges of [0, n): the
+// half-open interval [i*n/k, (i+1)*n/k). The ranges tile [0, n)
+// exactly, differ in width by at most one, and — the property the
+// shard-resident runtime leans on — are never empty when k <= n. The
+// cut points depend only on (n, k), so any two callers slicing the
+// same domain agree on the geometry.
+func Cut(n, k, i int) (lo, hi int) {
+	return i * n / k, (i + 1) * n / k
+}
+
 // For runs f(0), ..., f(n-1) on up to workers goroutines (workers <= 0
 // means GOMAXPROCS) and returns the error of the smallest index whose
 // job failed, or nil. Jobs are handed out by an atomic counter, so an

@@ -48,3 +48,38 @@ func TestForEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCutTilesExactly: the k ranges tile [0, n) in order, widths
+// differ by at most one, and no range is empty when k <= n — the
+// geometry invariant the shard-resident runtime's mailbox routing
+// depends on.
+func TestCutTilesExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 1000} {
+		for k := 1; k <= n; k++ {
+			prev, minW, maxW := 0, n, 0
+			for i := 0; i < k; i++ {
+				lo, hi := Cut(n, k, i)
+				if lo != prev {
+					t.Fatalf("Cut(%d,%d,%d): lo=%d, want %d", n, k, i, lo, prev)
+				}
+				w := hi - lo
+				if w <= 0 {
+					t.Fatalf("Cut(%d,%d,%d): empty range [%d,%d)", n, k, i, lo, hi)
+				}
+				if w < minW {
+					minW = w
+				}
+				if w > maxW {
+					maxW = w
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("Cut(%d,%d,·): ranges end at %d, want %d", n, k, prev, n)
+			}
+			if maxW-minW > 1 {
+				t.Fatalf("Cut(%d,%d,·): widths range [%d,%d], want balanced", n, k, minW, maxW)
+			}
+		}
+	}
+}

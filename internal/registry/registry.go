@@ -78,6 +78,10 @@ func Transducers() map[string]Entry {
 			Build: dist.EvenCardinality,
 			Paper: "Corollary 8 (≥2 nodes)", Input: "S/1",
 		},
+		"gossip": {
+			Build: func() (*transducer.Transducer, error) { return dist.Gossip(), nil },
+			Paper: "E20 scaling workload (one-hop neighbourhood)", Input: "(none)",
+		},
 	}
 }
 

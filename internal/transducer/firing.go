@@ -456,7 +456,12 @@ func (f *Firing) Step(state, rcv *fact.Instance) (Effect, bool, error) {
 
 	if len(changed) == 0 {
 		// State content unchanged: every cache entry remains valid;
-		// only the state pointer moves.
+		// only the state pointer moves. The successor has the same
+		// content, so it can share the active-domain memo — without
+		// this, every no-op firing (the steady state of a quiescing
+		// network) drops the memo and the next firing rescans the
+		// whole state, which is O(|All|) per node per round.
+		eff.State.AdoptActiveDomain(state, nil)
 		f.state = eff.State
 		return eff, false, nil
 	}
