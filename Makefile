@@ -5,7 +5,7 @@ BENCHTIME ?= 300ms
 # configurations BENCH_columnar.json records).
 BENCH_SIZE ?= small
 
-.PHONY: build test race race-batch bench bench-raw bench-plan bench-scenarios bench-static bench-columnar bench-scale scale-gate scenarios fuzz vet lint check clean
+.PHONY: build test race race-batch bench bench-raw bench-plan bench-scenarios bench-static bench-columnar bench-scale bench-intern scale-gate intern-gate scenarios fuzz vet lint check clean
 
 build:
 	$(GO) build ./...
@@ -116,6 +116,28 @@ bench-scale:
 # multi-core host (CI's scale job does both).
 scale-gate:
 	$(GO) run ./cmd/scalegate -min-speedup 1.5 -require-multicore
+
+# bench-intern records the interning-dictionary ablation (E21:
+# single-lock NewDictShards(1) vs the sharded default at GOMAXPROCS
+# 1/2/4/8 on fresh-intern throughput, the intern-bound columnar e2e
+# leg, and the per-run reclaim measurement) to BENCH_intern.json. The
+# throughput rows only mean anything on a multi-core host — on 1 CPU
+# procs>1 times goroutines thrashing one core — so the committed
+# 1-CPU artifact is the determinism/regression leg and CI's
+# multi-core regeneration (gated by intern-gate) is the speedup leg.
+bench-intern:
+	$(GO) test -run xxx -bench 'E21Intern' -benchtime $(BENCHTIME) -timeout 1800s . > benchi.out
+	$(GO) run ./cmd/benchjson -label local < benchi.out > BENCH_intern.json
+	@rm -f benchi.out
+	@echo wrote BENCH_intern.json
+
+# intern-gate enforces the E21 acceptance criteria on the artifact:
+# sharded >= 2x single-lock intern throughput at procs=4 with
+# multi-core provenance, dropped per-run dictionary memory back at
+# baseline, zero leakage into the process-default dictionary. Run
+# after bench-intern on a multi-core host (CI's intern job does both).
+intern-gate:
+	$(GO) run ./cmd/interngate -min-speedup 2 -require-multicore
 
 # bench-static records the static-analyzer experiment (E18: the
 # polarity/stratification pass vs the semantic monotonicity sweep it

@@ -1,5 +1,5 @@
 // Benchmark harness for the experiment index of BENCHMARKS.md: one
-// bench per experiment E1-E16, each regenerating the validation of
+// bench per experiment E1-E21, each regenerating the validation of
 // one claim of the paper. Custom metrics report the quantities
 // tracked in BENCH_kernel.json: steps/op and msgs/op for run costs,
 // distinct outputs for consistency experiments, convergence
@@ -9,7 +9,10 @@ package declnet_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"declnet"
@@ -1048,4 +1051,127 @@ func BenchmarkE20Scale(b *testing.B) {
 			}
 		}
 	}
+}
+
+// heapInUse forces two GC cycles and returns the live heap — two, so
+// that objects whose death was only discovered by the first cycle
+// (finalizer-reachable, sync.Pool-cached) are gone by the reading.
+func heapInUse() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// BenchmarkE21Intern is the interning-dictionary ablation
+// (BENCHMARKS.md E21) behind the sharded `fact.Dict` handle: the same
+// dictionary code at shards=1 IS the old global-single-lock design
+// (one mutex serializes every fresh ID), so shards=1 vs shards=16 is
+// a true ablation, not a strawman.
+//
+//   - throughput/shards=S/procs=P: P goroutines (GOMAXPROCS pinned to
+//     P) intern a stream of fresh values into one dictionary — every
+//     op takes the fresh-assignment write path, the regime the
+//     single lock serializes. The acceptance gate (cmd/interngate)
+//     requires sharded >= 2x single-lock at procs=4 on a multi-core
+//     host.
+//   - e2e_project/shards=S: an intern-bound end-to-end run — a large
+//     two-way functional-graph join through the columnar batch
+//     pipeline, inputs rekeyed into a fresh per-run dictionary each
+//     iteration, so every input value and every surviving arena key
+//     of the ProjectInto output is freshly interned. Single-threaded:
+//     this leg bounds the sequential overhead sharding may add.
+//   - reclaim: the memory-lifetime half of the tentpole, as metrics:
+//     live_bytes (heap growth while a 100k-value per-run dictionary
+//     is live), retained_bytes (growth after dropping it, which the
+//     gate requires back at baseline), and default_dict_growth
+//     (InternedValues delta — per-run interning must never leak into
+//     the process-default dictionary).
+func BenchmarkE21Intern(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("throughput/shards=%d/procs=%d", shards, procs), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				d := declnet.NewDictShards(shards)
+				var worker atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					// Disjoint per-goroutine value streams: every Intern
+					// call assigns a fresh ID, none is a read hit.
+					prefix := "e21-" + strconv.FormatInt(worker.Add(1), 10) + "-"
+					buf := make([]byte, 0, len(prefix)+20)
+					var i int64
+					for pb.Next() {
+						buf = append(buf[:0], prefix...)
+						buf = strconv.AppendInt(buf, i, 36)
+						d.Intern(declnet.Value(buf))
+						i++
+					}
+				})
+			})
+		}
+	}
+
+	// Intern-bound end-to-end leg: large enough that the plan executor
+	// takes the columnar batch pipeline (threshold 4096) and the
+	// dictionary churn — n fresh input values plus every surviving
+	// output key — dominates.
+	const e2eN = 100_000
+	I := gen.Merge(gen.Functional("E", e2eN, 1), gen.Functional("F", e2eN, 2))
+	pairs := fo.MustQuery("pairs", []string{"x", "z"}, fo.MustParse("exists y (E(x, y) & F(y, z))"))
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("e2e_project/shards=%d/n=%d", shards, e2eN), func(b *testing.B) {
+			var out int
+			for i := 0; i < b.N; i++ {
+				d := declnet.NewDictShards(shards)
+				J := I.Rekey(d)
+				res, err := pairs.Eval(J)
+				if err != nil || res.Len() == 0 {
+					b.Fatalf("eval: %v (%d tuples)", err, res.Len())
+				}
+				out = res.Len()
+			}
+			b.ReportMetric(float64(out), "out_tuples")
+		})
+	}
+
+	b.Run("reclaim", func(b *testing.B) {
+		const values = 100_000
+		var live, retained, defaultGrowth float64
+		for i := 0; i < b.N; i++ {
+			baseHeap := heapInUse()
+			baseDefault := declnet.InternedValues()
+			var liveHeap uint64
+			func() {
+				d := declnet.NewDict()
+				r := d.NewRelation(1)
+				buf := make([]byte, 0, 24)
+				for j := 0; j < values; j++ {
+					buf = append(buf[:0], "reclaim-"...)
+					buf = strconv.AppendInt(buf, int64(j), 10)
+					r.Add(declnet.Tuple{declnet.Value(buf)})
+				}
+				if r.Len() != values {
+					b.Fatalf("relation holds %d tuples, want %d", r.Len(), values)
+				}
+				liveHeap = heapInUse()
+				// Pin the dictionary and relation through the live-heap
+				// reading — without this the GC inside heapInUse is free
+				// to collect them early and the measurement reads zero.
+				runtime.KeepAlive(r)
+				runtime.KeepAlive(d)
+			}()
+			// The dictionary and the relation over it are now
+			// unreachable; a handle-based universe must be collectable.
+			afterHeap := heapInUse()
+			live = float64(int64(liveHeap) - int64(baseHeap))
+			retained = float64(int64(afterHeap) - int64(baseHeap))
+			defaultGrowth = float64(declnet.InternedValues() - baseDefault)
+		}
+		b.ReportMetric(live, "live_bytes")
+		b.ReportMetric(retained, "retained_bytes")
+		b.ReportMetric(defaultGrowth, "default_dict_growth")
+		b.ReportMetric(values, "dict_values")
+	})
 }

@@ -114,6 +114,14 @@ func WhileTransducer(p *iwhile.Program, in ifact.Schema) (*itransducer.Transduce
 	return idist.WhileTransducer(p, in)
 }
 
+// Dict is the interning-dictionary handle (see the root declnet
+// package). Every construction here is dictionary-agnostic: a
+// transducer's queries derive their output dictionary from the
+// instance they are evaluated on, so the same transducer value runs
+// against the process-default dictionary or any per-run one
+// (run.Options.Dict) without rebuilding.
+type Dict = ifact.Dict
+
 // Collected reconstructs, from one node's state, the fragment of the
 // global input the node has gathered through a replication substrate;
 // tagged selects the Multicast/CollectThenCompute naming scheme over

@@ -134,6 +134,15 @@ func main() {
 	flag.Parse()
 
 	rep := Report{Label: *label, Workers: *workers, Scenario: *scenario, Size: *size, Scale: *scale, Provenance: provenance()}
+	if rep.Provenance.GitDirty {
+		// Loud, not fatal: a dirty-tree artifact is fine as scratch but
+		// must not be committed — its git_commit does not identify the
+		// benchmarked source. The flag is already recorded in the JSON;
+		// this makes it visible in the terminal that produced the file.
+		fmt.Fprintln(os.Stderr,
+			"benchjson: WARNING: worktree has uncommitted changes — provenance records git_dirty=true;",
+			"regenerate at a clean commit before committing this artifact")
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -1,0 +1,137 @@
+// Command interngate enforces the E21 interning acceptance criteria
+// on a BENCH_intern.json artifact: sharded interning must beat the
+// single-lock baseline by at least -min-speedup (default 2x) on
+// concurrent intern throughput at -procs (default 4), and the
+// reclaim measurement must show a dropped per-run dictionary's memory
+// back at baseline. CI runs it after regenerating the artifact on a
+// multi-core runner:
+//
+//	make bench-intern
+//	go run ./cmd/interngate -min-speedup 2 -require-multicore
+//
+// Like cmd/scalegate, the gate reads the artifact, not the benchmark
+// output, so what is enforced is exactly what is recorded. Under
+// -require-multicore the provenance block must carry num_cpu > 1: on
+// a 1-CPU host the procs>1 throughput rows time goroutines thrashing
+// one core, so the committed baseline from a 1-CPU dev host is the
+// determinism/regression leg, never the speedup leg.
+//
+// Exit status: 0 when every gate holds, 1 with a diagnostic when one
+// does not (missing rows, 1-CPU provenance under -require-multicore,
+// speedup below the floor, memory retained after drop, or per-run
+// interning leaking into the process-default dictionary).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// report mirrors the cmd/benchjson document shape (decoded loosely:
+// only the fields the gate reads).
+type report struct {
+	Provenance struct {
+		NumCPU    int    `json:"num_cpu"`
+		GitCommit string `json:"git_commit"`
+		GitDirty  bool   `json:"git_dirty"`
+	} `json:"provenance"`
+	Results []struct {
+		Name    string             `json:"name"`
+		NsPerOp float64            `json:"ns_per_op"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"results"`
+}
+
+var throughputRe = regexp.MustCompile(`^BenchmarkE21Intern/throughput/shards=(\d+)/procs=(\d+)$`)
+
+func main() {
+	path := flag.String("artifact", "BENCH_intern.json", "BENCH_intern.json to gate")
+	minSpeedup := flag.Float64("min-speedup", 2, "required sharded vs single-lock intern-throughput ratio")
+	procs := flag.Int("procs", 4, "GOMAXPROCS tier of the compared throughput rows")
+	maxRetained := flag.Float64("max-retained", 1<<20, "largest post-drop heap growth (bytes) the reclaim gate accepts as \"baseline\"")
+	requireMulticore := flag.Bool("require-multicore", false, "fail unless the artifact's provenance records num_cpu > 1")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fail("read artifact: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fail("parse %s: %v", *path, err)
+	}
+
+	if *requireMulticore && rep.Provenance.NumCPU <= 1 {
+		fail("%s: provenance records num_cpu=%d — the speedup gate needs a multi-core host (the 1-CPU artifact is the determinism leg)",
+			*path, rep.Provenance.NumCPU)
+	}
+
+	// ns/op per (shards, procs) over the fresh-intern throughput rows.
+	ns := map[int]map[int]float64{}
+	maxShards := 0
+	for _, r := range rep.Results {
+		m := throughputRe.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		s, _ := strconv.Atoi(m[1])
+		p, _ := strconv.Atoi(m[2])
+		if ns[s] == nil {
+			ns[s] = map[int]float64{}
+		}
+		ns[s][p] = r.NsPerOp
+		if s > maxShards {
+			maxShards = s
+		}
+	}
+	if maxShards <= 1 {
+		fail("%s: no sharded throughput rows (BenchmarkE21Intern/throughput/shards=N>1/...)", *path)
+	}
+	base, okBase := ns[1][*procs]
+	sharded, okSharded := ns[maxShards][*procs]
+	if !okBase || !okSharded {
+		fail("%s: procs=%d rows missing for shards=1 or shards=%d", *path, *procs, maxShards)
+	}
+	speedup := base / sharded
+	fmt.Printf("interngate: shards=%d vs single lock at procs=%d: %.2fx (%.0f ns/op -> %.0f ns/op, num_cpu=%d, commit %s)\n",
+		maxShards, *procs, speedup, base, sharded, rep.Provenance.NumCPU, rep.Provenance.GitCommit)
+	if speedup < *minSpeedup {
+		fail("speedup %.2fx below the %.2fx floor", speedup, *minSpeedup)
+	}
+
+	// Reclaim gate: after dropping the per-run dictionary the heap must
+	// be back at baseline and the process-default dictionary untouched.
+	reclaimed := false
+	for _, r := range rep.Results {
+		if r.Name != "BenchmarkE21Intern/reclaim" {
+			continue
+		}
+		reclaimed = true
+		live := r.Metrics["live_bytes"]
+		retained := r.Metrics["retained_bytes"]
+		leak := r.Metrics["default_dict_growth"]
+		fmt.Printf("interngate: reclaim: %.0f bytes live -> %.0f retained after drop, default-dict growth %.0f values\n",
+			live, retained, leak)
+		if live <= 0 {
+			fail("reclaim row measured no live heap growth — the measurement is broken, not the reclaim")
+		}
+		if retained > *maxRetained {
+			fail("dropped per-run dictionary retained %.0f bytes (> %.0f): the run's universe is not collectable", retained, *maxRetained)
+		}
+		if leak != 0 {
+			fail("per-run interning grew the process-default dictionary by %.0f values", leak)
+		}
+	}
+	if !reclaimed {
+		fail("%s: no reclaim row (BenchmarkE21Intern/reclaim)", *path)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "interngate: "+format+"\n", args...)
+	os.Exit(1)
+}

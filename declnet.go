@@ -26,6 +26,31 @@ type (
 	Schema = fact.Schema
 )
 
+// Dict is an interning-dictionary handle: the mapping from Values to
+// the dense uint32 IDs all relational storage is keyed by. The
+// package-level constructors (NewInstance, NewRelation, FromFacts)
+// use one process-default dictionary — source-compatible with every
+// pre-handle caller — while per-run dictionaries (NewDict, threaded
+// through run.Options.Dict) isolate a run's interned universe so
+// dropping the handle reclaims it. Internally a Dict is sharded by
+// value hash: fresh-ID assignment contends per shard, and loads never
+// lock. Values interned in different Dicts are unrelated; mixing them
+// in one set operation is a checked error, with Instance.Rekey /
+// Relation.Rekey as the sanctioned re-encode path.
+type Dict = fact.Dict
+
+// NewDict returns a fresh, empty interning dictionary with the
+// default shard count.
+func NewDict() *Dict { return fact.NewDict() }
+
+// NewDictShards is NewDict with an explicit shard count (rounded up
+// to a power of two; 1 reproduces the historical single-lock design).
+func NewDictShards(n int) *Dict { return fact.NewDictShards(n) }
+
+// DefaultDict returns the process-default interning dictionary — the
+// one behind the package-level constructors and Intern.
+func DefaultDict() *Dict { return fact.DefaultDict() }
+
 // NewFact builds the fact rel(args...).
 func NewFact(rel string, args ...Value) Fact { return fact.NewFact(rel, args...) }
 
@@ -41,15 +66,18 @@ func NewRelation(arity int) *Relation { return fact.NewRelation(arity) }
 // Union returns a new instance containing the facts of both arguments.
 func Union(a, b *Instance) *Instance { return fact.Union(a, b) }
 
-// Intern pre-loads a value into the kernel's interning dictionary and
-// returns its dense ID. All relational storage is keyed by interned
-// IDs; loaders that generate values in a deterministic order can call
-// Intern up front to fix the ID assignment.
+// Intern pre-loads a value into the process-default interning
+// dictionary and returns its dense ID (it delegates to
+// DefaultDict().Intern; per-run dictionaries have the same method).
+// All relational storage is keyed by interned IDs; loaders that
+// generate values in a deterministic order can call Intern up front
+// to fix the ID assignment.
 func Intern(v Value) uint32 { return fact.Intern(v) }
 
-// InternedValues reports the current size of the interning dictionary
-// — the number of distinct values the process has ever stored in a
-// relation, a coarse gauge of the active universe.
+// InternedValues reports the current size of the process-default
+// interning dictionary — the number of distinct values the process
+// has ever stored in a relation through it, a coarse gauge of the
+// active universe. Per-run dictionaries report theirs via Dict.Len.
 func InternedValues() int { return fact.InternedValues() }
 
 // Query is a k-ary database query over some schema — the abstract

@@ -65,12 +65,20 @@
 // # The interned relational kernel
 //
 // Underneath the facades, storage and evaluation share one kernel
-// (internal/fact). Values are interned into dense uint32 IDs by a
-// process-global dictionary, tuples are keyed by their packed ID
-// sequences, and relations are hash sets over those keys with lazily
-// built per-column hash indexes; semi-naive fixpoints run on the
-// kernel's delta-relation type, and FO queries expose exact
-// semi-naive delta evaluation for their positive branches.
+// (internal/fact). Values are interned into uint32 IDs by an
+// interning dictionary (Dict) sharded by value hash — per-shard
+// mutexes serialize only fresh-ID assignment, reads never lock —
+// tuples are keyed by their packed ID sequences, and relations are
+// hash sets over those keys with lazily built per-column hash
+// indexes; semi-naive fixpoints run on the kernel's delta-relation
+// type, and FO queries expose exact semi-naive delta evaluation for
+// their positive branches. Every relation, instance, delta and batch
+// carries its owning *Dict and derived values inherit it; a
+// process-default dictionary (DefaultDict) keeps dictionary-unaware
+// code working unchanged, NewDict mints a private ID space whose
+// whole universe is reclaimed when the last handle is dropped, Rekey
+// re-encodes across dictionaries, and mixing dictionaries in a
+// mutating set operation is a checked error.
 //
 // # The compiled query-plan layer
 //
@@ -121,10 +129,14 @@
 // (state, Δ = delivered fact) for monotone/streaming transducers and
 // falls back to full evaluation for non-monotone ones — with effects
 // identical to the textbook transition either way. Intern pre-loads
-// values; InternedValues reports the dictionary size. The dictionary's
-// read path is lock-free (value→ID through a sync.Map, ID→value
-// through an atomically published slice), so concurrent shards never
-// contend on it.
+// values into the process-default dictionary; InternedValues reports
+// its size. Each dictionary shard's read path is lock-free (value→ID
+// through a sync.Map, ID→value through an atomically published
+// slice) and fresh-ID assignment locks only the shard the value
+// hashes to, so concurrent runtime shards neither contend on reads
+// nor funnel writes through one mutex; a per-run dictionary
+// (run.Options.Dict) removes cross-run sharing entirely and lets the
+// run's universe be collected when the run is dropped.
 //
 // # The shard-resident parallel runtime
 //
@@ -199,7 +211,7 @@
 // cmd/calmcheck, cmd/calmlint, cmd/repolint, cmd/dedalusrun) and five
 // runnable examples (examples/) exercise the public surface; the
 // benchmark suite in bench_test.go regenerates the experiment index
-// E1-E19 against the paper's claims (BENCHMARKS.md has the index,
+// E1-E21 against the paper's claims (BENCHMARKS.md has the index,
 // BENCH_kernel.json the measured trajectory, BENCH_parallel.json the
 // parallel-runtime numbers, BENCH_scenarios.json the fault-scenario
 // matrix, BENCH_plan.json the compiled query-plan ablation,

@@ -38,7 +38,7 @@ func (r Rel) Arity() int { return r.K }
 func (r Rel) Eval(I *fact.Instance) (*fact.Relation, error) {
 	rel := I.Relation(r.Name)
 	if rel == nil {
-		return fact.NewRelation(r.K), nil
+		return I.Dict().NewRelation(r.K), nil
 	}
 	if rel.Arity() != r.K {
 		return nil, fmt.Errorf("algebra: relation %s has arity %d, expression wants %d", r.Name, rel.Arity(), r.K)
@@ -58,7 +58,7 @@ func (Adom) Arity() int { return 1 }
 
 // Eval implements Expr.
 func (Adom) Eval(I *fact.Instance) (*fact.Relation, error) {
-	out := fact.NewRelation(1)
+	out := I.Dict().NewRelation(1)
 	for _, v := range I.ActiveDomain() {
 		out.Add(fact.Tuple{v})
 	}
@@ -137,7 +137,7 @@ func (s Select) Eval(I *fact.Instance) (*fact.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := fact.NewRelation(in.Arity())
+	out := in.Dict().NewRelation(in.Arity())
 	in.Each(func(t fact.Tuple) bool {
 		for _, c := range s.Conds {
 			if !c.holds(t) {
@@ -194,7 +194,7 @@ func (s Select) evalJoin(p Product, I *fact.Instance) (*fact.Relation, bool, err
 			args = append(args, c.Val)
 		}
 	}
-	out := fact.NewRelation(la + ra)
+	out := l.Dict().NewRelation(la + ra)
 	if err := pl.RunRels([]*fact.Relation{l, r}, args, out); err != nil {
 		return nil, true, err
 	}
@@ -331,7 +331,7 @@ func (p Project) Eval(I *fact.Instance) (*fact.Relation, error) {
 			return nil, fmt.Errorf("algebra: projection column %d out of range for arity %d", c, in.Arity())
 		}
 	}
-	out := fact.NewRelation(len(p.Cols))
+	out := in.Dict().NewRelation(len(p.Cols))
 	in.Each(func(t fact.Tuple) bool {
 		nt := make(fact.Tuple, len(p.Cols))
 		for i, c := range p.Cols {
@@ -367,7 +367,7 @@ func (p Product) Eval(I *fact.Instance) (*fact.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := fact.NewRelation(l.Arity() + r.Arity())
+	out := l.Dict().NewRelation(l.Arity() + r.Arity())
 	l.Each(func(lt fact.Tuple) bool {
 		r.Each(func(rt fact.Tuple) bool {
 			nt := make(fact.Tuple, 0, len(lt)+len(rt))
@@ -440,8 +440,8 @@ type Unit struct{}
 func (Unit) Arity() int { return 0 }
 
 // Eval implements Expr.
-func (Unit) Eval(*fact.Instance) (*fact.Relation, error) {
-	r := fact.NewRelation(0)
+func (Unit) Eval(I *fact.Instance) (*fact.Relation, error) {
+	r := I.Dict().NewRelation(0)
 	r.Add(fact.Tuple{})
 	return r, nil
 }
@@ -455,8 +455,8 @@ type Empty struct{ K int }
 func (e Empty) Arity() int { return e.K }
 
 // Eval implements Expr.
-func (e Empty) Eval(*fact.Instance) (*fact.Relation, error) {
-	return fact.NewRelation(e.K), nil
+func (e Empty) Eval(I *fact.Instance) (*fact.Relation, error) {
+	return I.Dict().NewRelation(e.K), nil
 }
 
 func (e Empty) String() string { return fmt.Sprintf("∅/%d", e.K) }

@@ -53,7 +53,7 @@ func SplitByRelation(I *fact.Instance, net *network.Network) dist.Partition {
 	nodes := net.Nodes()
 	p := dist.Partition{}
 	for _, v := range nodes {
-		p[v] = fact.NewInstance()
+		p[v] = I.Dict().NewInstance()
 	}
 	for i, rel := range I.RelNames() {
 		v := nodes[i%len(nodes)]
@@ -249,7 +249,7 @@ func CheckMonotone(tr *transducer.Transducer, chain []*fact.Instance) (*Monotone
 func GrowingChain(full *fact.Instance) []*fact.Instance {
 	facts := full.Facts()
 	chain := make([]*fact.Instance, 0, len(facts)+1)
-	cur := fact.NewInstance()
+	cur := full.Dict().NewInstance()
 	chain = append(chain, cur.Clone())
 	for _, f := range facts {
 		cur.AddFact(f)

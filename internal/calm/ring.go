@@ -145,7 +145,7 @@ func SimulateRing(tr *transducer.Transducer, I, J *fact.Instance, maxRounds int)
 		{"n1", "n2"}, {"n2", "n3"}, {"n3", "n4"}, {"n4", "n1"}, {"n2", "n4"},
 	}
 	rPrime := network.MustNetwork(nodes, edges)
-	diff := fact.NewInstance()
+	diff := J.Dict().NewInstance()
 	for _, f := range J.Facts() {
 		if !I.HasFact(f) {
 			diff.AddFact(f)

@@ -50,7 +50,7 @@ func Zoo() []ZooEntry {
 	emptinessCollect, err := dist.CollectThenCompute(fact.Schema{"S": 1},
 		query.NewFunc("emptiness", 0, []string{"S"}, false,
 			func(I *fact.Instance) (*fact.Relation, error) {
-				out := fact.NewRelation(0)
+				out := I.Dict().NewRelation(0)
 				if I.RelationOr("S", 1).Empty() {
 					out.Add(fact.Tuple{})
 				}

@@ -107,7 +107,7 @@ func (cr *compiledRule) fire(I *fact.Instance, pinLit int, delta *fact.Instance,
 	if pinLit >= 0 {
 		pin = cr.litAtom[pinLit]
 	}
-	out := fact.NewRelation(cr.arity)
+	out := I.Dict().NewRelation(cr.arity)
 	if err := cr.plan.Run(I, delta, pin, args, nil, out); err != nil {
 		return nil, fmt.Errorf("datalog: rule %s: %w", cr.rule, err)
 	}
@@ -145,7 +145,7 @@ func (cr *compiledRule) fireReference(I *fact.Instance, pinLit int, delta *fact.
 	if pinLit >= 0 {
 		pin = cr.litAtom[pinLit]
 	}
-	out := fact.NewRelation(cr.arity)
+	out := I.Dict().NewRelation(cr.arity)
 	if err := cr.plan.RunReference(I, delta, pin, args, nil, out); err != nil {
 		return nil, fmt.Errorf("datalog: rule %s: %w", cr.rule, err)
 	}

@@ -129,7 +129,7 @@ func evalStratumSemiNaive(crs []*compiledRule, inStratum map[string]bool, I *fac
 // ones already present) is returned as a fresh instance. This is the
 // operator the Theorem 6(5) transducer applies continuously.
 func (p *Program) TP(I *fact.Instance) (*fact.Instance, error) {
-	out := fact.NewInstance()
+	out := I.Dict().NewInstance()
 	for _, cr := range p.compiledRules() {
 		heads, err := cr.fire(I, -1, nil, nil)
 		if err != nil {

@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"testing"
+
+	"declnet/internal/fact"
+	"declnet/internal/network"
+)
+
+// TestDifferentialPerRunDict: for every zoo construction, every
+// channel scenario, sequential and Workers = 1, 2, 4, 8, a run over a
+// fresh per-run interning dictionary (RunOptions.Dict) is
+// bit-identical — output, steps, sends — to the same run over the
+// process-default dictionary. The per-run dictionary assigns
+// different numeric IDs by construction, so agreement proves the
+// whole runtime (sim, firing, plans, batch pipeline, channel models)
+// is a function of values, never of the ID space, and that the
+// ingress Rekey is lossless.
+func TestDifferentialPerRunDict(t *testing.T) {
+	specs := append([]string{""}, scenarioSpecs...)
+	workerGrid := []int{0, 1, 2, 4, 8}
+	if testing.Short() {
+		specs = []string{"", "lossy:30"}
+		workerGrid = []int{0, 4}
+	}
+	for _, e := range diffZoo(t) {
+		t.Run(e.name, func(t *testing.T) {
+			p := RoundRobinSplit(e.I, e.net)
+			for _, spec := range specs {
+				for _, workers := range workerGrid {
+					runOnce := func(dict *fact.Dict) (network.RunResult, error) {
+						opt := RunOptions{Seed: 7, Workers: workers, Channel: spec, Dict: dict}
+						sim, err := NewSim(e.net, e.tr, p, opt)
+						if err != nil {
+							return network.RunResult{}, err
+						}
+						if workers > 0 {
+							return sim.RunParallel(network.ParallelOptions{
+								Seed: 7, Workers: workers, MaxSteps: opt.maxSteps()})
+						}
+						return sim.Run(opt.scheduler(), opt.maxSteps())
+					}
+					ref, refErr := runOnce(nil)
+					perRun := fact.NewDict()
+					got, gotErr := runOnce(perRun)
+					if (refErr == nil) != (gotErr == nil) {
+						t.Fatalf("spec=%q workers=%d: dictionaries changed the verdict: default %v, per-run %v",
+							spec, workers, refErr, gotErr)
+					}
+					if refErr != nil {
+						// Scenario invalid for this topology (e.g. a crash
+						// schedule naming a node a 1-node network lacks);
+						// both runs must refuse identically, which they did.
+						continue
+					}
+					if got.Output.Dict() != perRun {
+						t.Fatalf("spec=%q workers=%d: output left the per-run dictionary", spec, workers)
+					}
+					if !got.Output.Equal(ref.Output) {
+						t.Errorf("spec=%q workers=%d: per-run dict output %s != default %s",
+							spec, workers, got.Output, ref.Output)
+					}
+					if got.Steps != ref.Steps || got.Sends != ref.Sends {
+						t.Errorf("spec=%q workers=%d: trajectory diverged: steps %d/%d sends %d/%d",
+							spec, workers, got.Steps, ref.Steps, got.Sends, ref.Sends)
+					}
+				}
+			}
+		})
+	}
+}

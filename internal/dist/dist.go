@@ -45,7 +45,7 @@ func (p Partition) Validate(I *fact.Instance, net *network.Network) error {
 	for _, v := range net.Nodes() {
 		nodeSet[v] = true
 	}
-	union := fact.NewInstance()
+	union := I.Dict().NewInstance()
 	for v, h := range p {
 		if !nodeSet[v] {
 			return fmt.Errorf("dist: partition assigns a fragment to unknown node %s", v)
@@ -61,7 +61,7 @@ func (p Partition) Validate(I *fact.Instance, net *network.Network) error {
 // Covers reports whether the fragments' union is exactly I: the
 // partition loses no fact and invents none.
 func (p Partition) Covers(I *fact.Instance) bool {
-	union := fact.NewInstance()
+	union := I.Dict().NewInstance()
 	for _, h := range p {
 		union.UnionWith(h)
 	}
@@ -83,7 +83,7 @@ func RoundRobinSplit(I *fact.Instance, net *network.Network) Partition {
 	nodes := net.Nodes()
 	p := make(Partition, len(nodes))
 	for _, v := range nodes {
-		p[v] = fact.NewInstance()
+		p[v] = I.Dict().NewInstance()
 	}
 	for i, f := range I.Facts() {
 		p[nodes[i%len(nodes)]].AddFact(f)
@@ -112,7 +112,7 @@ func RandomSplit(I *fact.Instance, net *network.Network, seed int64) Partition {
 	nodes := net.Nodes()
 	p := make(Partition, len(nodes))
 	for _, v := range nodes {
-		p[v] = fact.NewInstance()
+		p[v] = I.Dict().NewInstance()
 	}
 	for _, f := range I.Facts() {
 		p[nodes[r.Intn(len(nodes))]].AddFact(f)
@@ -147,9 +147,9 @@ const (
 // substrate of Multicast and CollectThenCompute, false for the
 // untagged flood of Flood and MonotoneStreaming.
 func Collected(state *fact.Instance, in fact.Schema, tagged bool) *fact.Instance {
-	out := fact.NewInstance()
+	out := state.Dict().NewInstance()
 	for rel, k := range in {
-		r := fact.NewRelation(k)
+		r := state.Dict().NewRelation(k)
 		r.UnionWith(state.RelationOr(rel, k))
 		if tagged {
 			state.RelationOr(rel+castMemSuffix, k+1).Each(func(t fact.Tuple) bool {

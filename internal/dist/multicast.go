@@ -169,7 +169,7 @@ func Multicast(in fact.Schema, out query.Query, outArity int) (*transducer.Trans
 	b.Ins(readyRel, query.NewFunc("ins:"+readyRel, 0,
 		[]string{cdoneMem, transducer.SysAll}, false,
 		func(I *fact.Instance) (*fact.Relation, error) {
-			r := fact.NewRelation(0)
+			r := I.Dict().NewRelation(0)
 			if allPairsDone(I) {
 				r.Add(fact.Tuple{})
 			}
@@ -224,7 +224,7 @@ func gatedOutput(in fact.Schema, q query.Query, outArity int) query.Query {
 				return complete
 			})
 			if !complete {
-				return fact.NewRelation(outArity), nil
+				return I.Dict().NewRelation(outArity), nil
 			}
 			return q.Eval(Collected(I, in, true))
 		})
@@ -239,7 +239,7 @@ func Emptiness() *transducer.Transducer {
 	tr, err := CollectThenCompute(fact.Schema{"S": 1},
 		query.NewFunc("emptiness", 0, []string{"S"}, false,
 			func(I *fact.Instance) (*fact.Relation, error) {
-				out := fact.NewRelation(0)
+				out := I.Dict().NewRelation(0)
 				if I.RelationOr("S", 1).Empty() {
 					out.Add(fact.Tuple{})
 				}
@@ -260,7 +260,7 @@ func EvenCardinality() (*transducer.Transducer, error) {
 	tr, err := CollectThenCompute(fact.Schema{"S": 1},
 		query.NewFunc("evenCardinality", 0, []string{"S"}, false,
 			func(I *fact.Instance) (*fact.Relation, error) {
-				out := fact.NewRelation(0)
+				out := I.Dict().NewRelation(0)
 				if I.RelationOr("S", 1).Len()%2 == 0 {
 					out.Add(fact.Tuple{})
 				}

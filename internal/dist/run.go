@@ -37,6 +37,16 @@ type RunOptions struct {
 	// Scheduler overrides the default fair random scheduler
 	// (sequential mode only).
 	Scheduler network.Scheduler
+	// Dict, when non-nil, is the per-run interning dictionary: the
+	// partition fragments are re-encoded into it on ingress (Rekey)
+	// and every piece of run state — node states, buffers, known
+	// sets, the output — interns its values there instead of in the
+	// process-default dictionary. Dropping every handle on the
+	// dictionary after the run (the sim, the output relation, the
+	// option struct) makes the run's whole interned universe
+	// collectable; the process-default dictionary only ever grows.
+	// nil preserves the historical process-wide ID space exactly.
+	Dict *fact.Dict
 	// Channel selects the channel model / fault scenario of the run by
 	// registry spec: "fair", "lossy[:PCT]", "dup[:PCT]",
 	// "partition[:EPOCH]", "crash[:NODE@STEP,...]". Empty keeps the
@@ -67,7 +77,22 @@ func (o RunOptions) scheduler() network.Scheduler {
 // (net, tr) on the given horizontal partition, with the options'
 // coalescing, tracing and channel model applied.
 func NewSim(net *network.Network, tr *transducer.Transducer, p Partition, opt RunOptions) (*network.Sim, error) {
-	sim, err := network.NewSim(net, tr, p)
+	if opt.Dict != nil {
+		// Ingress rekey: fragments built against any dictionary
+		// (typically the process default) are re-encoded into the
+		// per-run one, so the whole run universe lives — and dies —
+		// with opt.Dict.
+		rekeyed := make(Partition, len(p))
+		for v, h := range p {
+			if h != nil && h.Dict() != opt.Dict {
+				rekeyed[v] = h.Rekey(opt.Dict)
+			} else {
+				rekeyed[v] = h
+			}
+		}
+		p = rekeyed
+	}
+	sim, err := network.NewSimDict(net, tr, p, opt.Dict)
 	if err != nil {
 		return nil, err
 	}

@@ -117,7 +117,7 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 	}
 	storeNames := store.Names()
 	restrict := func(I *fact.Instance) *fact.Instance {
-		R := fact.NewInstance()
+		R := I.Dict().NewInstance()
 		for _, rel := range storeNames {
 			if r := I.Relation(rel); r != nil {
 				R.SetRelationOwned(rel, r) // shared: relations are never mutated in place
@@ -157,8 +157,8 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 		}
 	}
 
-	nullaryTrue := func(cond bool) *fact.Relation {
-		r := fact.NewRelation(0)
+	nullaryTrue := func(d *fact.Dict, cond bool) *fact.Relation {
+		r := d.NewRelation(0)
 		if cond {
 			r.Add(fact.Tuple{})
 		}
@@ -197,7 +197,7 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 						}
 					}
 					if idle {
-						return nullaryTrue(true), nil
+						return nullaryTrue(I.Dict(), true), nil
 					}
 				}
 				for _, e := range edges {
@@ -205,17 +205,17 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 						continue
 					}
 					if e.cond == nil {
-						return nullaryTrue(true), nil
+						return nullaryTrue(I.Dict(), true), nil
 					}
 					ok, err := fo.Holds(e.cond, restrict(I))
 					if err != nil {
 						return nil, err
 					}
 					if ok == e.want {
-						return nullaryTrue(true), nil
+						return nullaryTrue(I.Dict(), true), nil
 					}
 				}
-				return nullaryTrue(false), nil
+				return nullaryTrue(I.Dict(), false), nil
 			}))
 	}
 
@@ -226,7 +226,7 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 		i := i
 		b.Del(pcRel(i), query.NewFunc("del:"+pcRel(i), 0, []string{pcRel(i)}, false,
 			func(I *fact.Instance) (*fact.Relation, error) {
-				return nullaryTrue(atPC(I, i)), nil
+				return nullaryTrue(I.Dict(), atPC(I, i)), nil
 			}))
 	}
 
@@ -256,7 +256,7 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 						return instrs[i].assign.Q.Eval(restrict(I))
 					}
 				}
-				return fact.NewRelation(k), nil
+				return I.Dict().NewRelation(k), nil
 			}))
 		delReads := map[string]bool{rel: true}
 		for _, i := range sites {
@@ -269,7 +269,7 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 						return I.RelationOr(rel, k).Clone(), nil
 					}
 				}
-				return fact.NewRelation(k), nil
+				return I.Dict().NewRelation(k), nil
 			}))
 	}
 
@@ -278,7 +278,7 @@ func WhileTransducer(p *while.Program, in fact.Schema) (*transducer.Transducer, 
 		[]string{outRel, pcRel(halt)}, false,
 		func(I *fact.Instance) (*fact.Relation, error) {
 			if !atPC(I, halt) {
-				return fact.NewRelation(outArity), nil
+				return I.Dict().NewRelation(outArity), nil
 			}
 			return I.RelationOr(outRel, outArity).Clone(), nil
 		}))

@@ -18,6 +18,10 @@ import "encoding/binary"
 // A Batch is single-use scratch state for one plan execution; it is
 // not safe for concurrent use and holds no locks.
 type Batch struct {
+	// dict is the interning dictionary the batch's ID columns are
+	// encoded in: the dictionary of the relations joined in and of the
+	// sink projected into, all of which must agree (checked per op).
+	dict *Dict
 	n    int
 	cols [][]uint32 // by register; nil = register not yet bound
 }
@@ -72,9 +76,17 @@ const mergeMinRows = 1 << 13
 
 // NewBatch returns the unit batch (one row, no bound registers) over a
 // register file of the given size — the identity element the schedule
-// joins into.
-func NewBatch(numRegs int) *Batch {
-	return &Batch{n: 1, cols: make([][]uint32, numRegs)}
+// joins into — encoding IDs in the process-default dictionary.
+func NewBatch(numRegs int) *Batch { return newBatch(defaultDict, numRegs) }
+
+// NewBatchFor is NewBatch in the dictionary of the given sink: the
+// batch executor derives its ID space from where the output goes, so
+// a schedule evaluated over a per-run dictionary stays in it end to
+// end.
+func NewBatchFor(out Sink, numRegs int) *Batch { return newBatch(out.sinkDict(), numRegs) }
+
+func newBatch(d *Dict, numRegs int) *Batch {
+	return &Batch{dict: d, n: 1, cols: make([][]uint32, numRegs)}
 }
 
 // Len returns the number of rows in the batch.
@@ -94,7 +106,7 @@ func (b *Batch) clear() {
 // the value (it may flow to the head projection, exactly as the
 // tuple-at-a-time executor would intern it on output).
 func (b *Batch) BindConst(reg int, v Value) {
-	id := internValue(v)
+	id := b.dict.intern(v)
 	col := make([]uint32, b.n)
 	for i := range col {
 		col[i] = id
@@ -141,6 +153,7 @@ func (b *Batch) Join(op JoinOp, maxRows int) bool {
 		b.clear()
 		return true
 	}
+	mustShareDict(b.dict, rel.dict, "Batch.Join")
 	cv := rel.columns()
 
 	// Relation-side filter: constant and same-row column checks.
@@ -149,7 +162,7 @@ func (b *Batch) Join(op JoinOp, maxRows int) bool {
 		id  uint32
 	}, 0, len(op.ConstChecks))
 	for _, cc := range op.ConstChecks {
-		id, ok := lookupID(cc.V)
+		id, ok := b.dict.lookup(cc.V)
 		if !ok {
 			// The constant occurs in no relation: no row can match.
 			b.clear()
@@ -192,7 +205,7 @@ func (b *Batch) Join(op JoinOp, maxRows int) bool {
 		// crossed with every batch row.
 		var cand []int32
 		if op.ProbeCol >= 0 {
-			id, ok := lookupID(op.ProbeVal)
+			id, ok := b.dict.lookup(op.ProbeVal)
 			if !ok {
 				b.clear()
 				return true
@@ -313,7 +326,7 @@ func (b *Batch) termIDs(t BatchTerm) (col []uint32, id uint32, ok bool) {
 	if t.Reg >= 0 {
 		return b.cols[t.Reg], 0, true
 	}
-	id, ok = lookupID(t.V)
+	id, ok = b.dict.lookup(t.V)
 	return nil, id, ok
 }
 
@@ -364,12 +377,13 @@ func (b *Batch) FilterNotIn(rel *Relation, terms []BatchTerm) {
 	if b.n == 0 || rel == nil || len(rel.tuples) == 0 || rel.arity != len(terms) {
 		return
 	}
+	mustShareDict(b.dict, rel.dict, "Batch.FilterNotIn")
 	constID := make([]uint32, len(terms))
 	for j, tm := range terms {
 		if tm.Reg >= 0 {
 			continue
 		}
-		id, ok := lookupID(tm.V)
+		id, ok := b.dict.lookup(tm.V)
 		if !ok {
 			// The tuple contains a value in no relation: absent from
 			// rel for every row, so every row passes.
@@ -410,7 +424,7 @@ func (b *Batch) FilterGuard(fn func(regs []Value) (bool, error)) error {
 	for i := 0; i < b.n; i++ {
 		for r, col := range b.cols {
 			if col != nil {
-				scratch[r] = internedValue(col[i])
+				scratch[r] = b.dict.value(col[i])
 			}
 		}
 		ok, err := fn(scratch)
@@ -437,6 +451,7 @@ func (b *Batch) ProjectInto(head []BatchTerm, out Sink) {
 	if b.n == 0 {
 		return
 	}
+	mustShareDict(b.dict, out.sinkDict(), "Batch.ProjectInto")
 	if len(head) == 0 {
 		out.Add(Tuple{})
 		return
@@ -449,7 +464,7 @@ func (b *Batch) ProjectInto(head []BatchTerm, out Sink) {
 		}
 		// Head constants are interned: they become stored values,
 		// exactly as the scalar executor's out.Add would intern them.
-		id := internValue(h.V)
+		id := b.dict.intern(h.V)
 		col := make([]uint32, b.n)
 		for i := range col {
 			col[i] = id

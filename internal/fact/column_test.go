@@ -50,7 +50,7 @@ func TestColviewMaintenance(t *testing.T) {
 		t.Fatalf("incremental append missed: %d rows, want 3", cv.n)
 	}
 	idx := cv.index(0)
-	aID, _ := lookupID("a")
+	aID, _ := defaultDict.lookup("a")
 	if got := len(idx[aID]); got != 2 {
 		t.Fatalf("extended index has %d rows for a, want 2", got)
 	}

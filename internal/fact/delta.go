@@ -16,8 +16,9 @@ type Delta struct {
 }
 
 // NewDelta starts delta tracking over full, taking ownership of it.
+// The staging area lives in full's interning dictionary.
 func NewDelta(full *Instance) *Delta {
-	return &Delta{Full: full, staged: NewInstance()}
+	return &Delta{Full: full, staged: full.dict.NewInstance()}
 }
 
 // Stage records a fact derived in the current round. It reports
@@ -42,6 +43,7 @@ func (d *Delta) StageRelation(pred string, heads *Relation) {
 	if heads == nil || len(heads.tuples) == 0 {
 		return
 	}
+	mustShareDict(d.Full.dict, heads.dict, "StageRelation")
 	full := d.Full.rels[pred]
 	sr := d.staged.rels[pred]
 	dirty := false
@@ -52,7 +54,7 @@ func (d *Delta) StageRelation(pred string, heads *Relation) {
 			}
 		}
 		if sr == nil {
-			sr = NewRelation(heads.arity)
+			sr = d.Full.dict.NewRelation(heads.arity)
 			d.staged.rels[pred] = sr
 		} else if _, ok := sr.tuples[k]; ok {
 			continue
@@ -89,7 +91,7 @@ type deltaSink struct {
 // like Relation.Add's.
 func (s deltaSink) Add(t Tuple) bool {
 	var scratch [64]byte
-	k := packTuple(scratch[:0], t)
+	k := s.d.Full.dict.packTuple(scratch[:0], t)
 	if full := s.d.Full.rels[s.pred]; full != nil {
 		if _, ok := full.tuples[string(k)]; ok {
 			return false
@@ -97,7 +99,7 @@ func (s deltaSink) Add(t Tuple) bool {
 	}
 	sr := s.d.staged.rels[s.pred]
 	if sr == nil {
-		sr = NewRelation(s.arity)
+		sr = s.d.Full.dict.NewRelation(s.arity)
 		s.d.staged.rels[s.pred] = sr
 	} else if _, ok := sr.tuples[string(k)]; ok {
 		return false
@@ -118,7 +120,7 @@ func (s deltaSink) appendBatch(cols [][]uint32, n int) {
 	sr := s.d.staged.rels[s.pred]
 	fresh := sr == nil
 	if fresh {
-		sr = NewRelation(s.arity)
+		sr = s.d.Full.dict.NewRelation(s.arity)
 	}
 	before := len(sr.tuples)
 	batchAppend(sr, s.d.Full.rels[s.pred], cols, n)
@@ -139,6 +141,6 @@ func (d *Delta) Dirty() bool { return !d.staged.Empty() }
 func (d *Delta) Commit() *Instance {
 	delta := d.staged
 	d.Full.UnionWith(delta)
-	d.staged = NewInstance()
+	d.staged = d.Full.dict.NewInstance()
 	return delta
 }

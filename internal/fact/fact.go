@@ -19,6 +19,7 @@
 package fact
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,11 +35,18 @@ type Value string
 type Tuple []Value
 
 // Key returns a canonical encoding of the tuple usable as a map key:
-// the packed sequence of interned value IDs. No two distinct tuples
-// share a key (distinct arities give distinct key lengths; distinct
-// values give distinct IDs). Keys are only stable within a process.
-func (t Tuple) Key() string {
-	return string(packTuple(make([]byte, 0, 4*len(t)), t))
+// the packed sequence of interned value IDs, interned through the
+// process-default dictionary. No two distinct tuples share a key
+// (distinct arities give distinct key lengths; distinct values give
+// distinct IDs). Keys are only stable within a process and only
+// comparable within one dictionary — handle-threading callers use
+// KeyIn.
+func (t Tuple) Key() string { return t.KeyIn(defaultDict) }
+
+// KeyIn is Key over an explicit interning dictionary: the canonical
+// packed-ID encoding of the tuple under d.
+func (t Tuple) KeyIn(d *Dict) string {
+	return string(d.packTuple(make([]byte, 0, 4*len(t)), t))
 }
 
 // Less reports whether t orders before u column-wise by value (the
@@ -98,11 +106,16 @@ func NewFact(rel string, args ...Value) Fact {
 
 // Key returns a canonical encoding of the fact usable as a map key:
 // the interned ID of the relation name followed by the packed argument
-// IDs. Keys are only stable within a process.
-func (f Fact) Key() string {
+// IDs, interned through the process-default dictionary. Keys are only
+// stable within a process and only comparable within one dictionary —
+// handle-threading callers use KeyIn.
+func (f Fact) Key() string { return f.KeyIn(defaultDict) }
+
+// KeyIn is Key over an explicit interning dictionary.
+func (f Fact) KeyIn(d *Dict) string {
 	buf := make([]byte, 0, 4+4*len(f.Args))
-	buf = packTuple(buf, Tuple{Value(f.Rel)})
-	buf = packTuple(buf, f.Args)
+	buf = binary.BigEndian.AppendUint32(buf, d.intern(Value(f.Rel)))
+	buf = d.packTuple(buf, f.Args)
 	return string(buf)
 }
 
@@ -119,11 +132,17 @@ func (f Fact) String() string { return f.Rel + f.Args.String() }
 
 // Relation is a finite set of tuples of a fixed arity, stored as a
 // hash set over packed interned-ID keys. The zero value is not usable;
-// construct with NewRelation. Like the rest of the data model,
-// Relations are not safe for concurrent use: reads memoize (column
-// indexes, sorted order) in place. Only the interning dictionary is
-// shared safely across goroutines.
+// construct with NewRelation (process-default dictionary) or
+// Dict.NewRelation. Like the rest of the data model, Relations are not
+// safe for concurrent use: reads memoize (column indexes, sorted
+// order) in place. Only the interning dictionary is shared safely
+// across goroutines.
 type Relation struct {
+	// dict is the interning dictionary the relation's packed keys are
+	// encoded in. Every derived relation (Clone, Minus, Intersect,
+	// ApplyPermutationRel) inherits it; set operations across different
+	// dictionaries are checked errors (see mustShareDict).
+	dict   *Dict
 	arity  int
 	tuples map[string]Tuple
 
@@ -143,10 +162,20 @@ type Relation struct {
 	sorted []Tuple
 }
 
-// NewRelation returns an empty relation of the given arity.
-func NewRelation(arity int) *Relation {
-	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+// NewRelation returns an empty relation of the given arity over the
+// process-default dictionary.
+func NewRelation(arity int) *Relation { return defaultDict.NewRelation(arity) }
+
+// NewRelation returns an empty relation of the given arity interning
+// through d.
+func (d *Dict) NewRelation(arity int) *Relation {
+	return &Relation{dict: d, arity: arity, tuples: make(map[string]Tuple)}
 }
+
+// Dict returns the relation's interning dictionary — the handle every
+// derived relation must be built over. Evaluators thread it instead
+// of reaching for the process default.
+func (r *Relation) Dict() *Dict { return r.dict }
 
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
@@ -180,7 +209,7 @@ func (r *Relation) Add(t Tuple) bool {
 		panic(fmt.Sprintf("fact: adding %d-tuple to %d-ary relation", len(t), r.arity))
 	}
 	var scratch [64]byte
-	k := packTuple(scratch[:0], t)
+	k := r.dict.packTuple(scratch[:0], t)
 	if _, ok := r.tuples[string(k)]; ok {
 		return false
 	}
@@ -193,7 +222,7 @@ func (r *Relation) Add(t Tuple) bool {
 // inflationary transducers never delete).
 func (r *Relation) Remove(t Tuple) bool {
 	var scratch [64]byte
-	k, ok := packTupleLookup(scratch[:0], t)
+	k, ok := r.dict.packTupleLookup(scratch[:0], t)
 	if !ok {
 		return false
 	}
@@ -210,7 +239,7 @@ func (r *Relation) Remove(t Tuple) bool {
 // Contains reports whether the tuple is in the relation.
 func (r *Relation) Contains(t Tuple) bool {
 	var scratch [64]byte
-	k, ok := packTupleLookup(scratch[:0], t)
+	k, ok := r.dict.packTupleLookup(scratch[:0], t)
 	if !ok {
 		return false
 	}
@@ -226,7 +255,7 @@ func (r *Relation) Lookup(col int, v Value) []Tuple {
 	if col < 0 || col >= r.arity {
 		panic(fmt.Sprintf("fact: Lookup column %d out of range for arity %d", col, r.arity))
 	}
-	id, ok := lookupID(v)
+	id, ok := r.dict.lookup(v)
 	if !ok {
 		return nil
 	}
@@ -270,15 +299,39 @@ func (r *Relation) Each(fn func(Tuple) bool) {
 	}
 }
 
-// Clone returns a copy of the relation. Stored tuples are shared:
-// they are immutable by convention (Add stores a private copy and no
-// accessor exposes them for writing). Column indexes are not copied.
+// Clone returns a copy of the relation over the same dictionary.
+// Stored tuples are shared: they are immutable by convention (Add
+// stores a private copy and no accessor exposes them for writing).
+// Column indexes are not copied.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{arity: r.arity, tuples: make(map[string]Tuple, len(r.tuples))}
+	c := &Relation{dict: r.dict, arity: r.arity, tuples: make(map[string]Tuple, len(r.tuples))}
 	for k, t := range r.tuples {
 		c.tuples[k] = t
 	}
 	return c
+}
+
+// Rekey re-encodes the relation into the destination dictionary: every
+// stored tuple's values are re-interned through dst and the packed
+// keys rebuilt. It is the sanctioned path across dictionary
+// boundaries — serialization rendezvous, moving a per-run result into
+// a longer-lived dictionary — and it round-trips bit-identically:
+// rekeying back into the original dictionary reproduces the original
+// packed keys, because interning is idempotent per dictionary. A
+// same-dictionary Rekey degenerates to Clone.
+func (r *Relation) Rekey(dst *Dict) *Relation {
+	if dst == r.dict {
+		return r.Clone()
+	}
+	out := dst.NewRelation(r.arity)
+	for _, t := range r.tuples {
+		var scratch [64]byte
+		k := dst.packTuple(scratch[:0], t)
+		if _, ok := out.tuples[string(k)]; !ok {
+			out.addKeyed(string(k), t)
+		}
+	}
+	return out
 }
 
 // Seal pre-builds every lazily memoized read structure of the
@@ -316,7 +369,9 @@ func (r *Relation) Seal() {
 	cv.keyRun()
 }
 
-// UnionWith adds all tuples of s into r; s must have the same arity.
+// UnionWith adds all tuples of s into r; s must have the same arity
+// and the same interning dictionary (keys move between the relations
+// without re-encoding; use Rekey to cross dictionaries).
 func (r *Relation) UnionWith(s *Relation) {
 	if s == nil {
 		return
@@ -324,6 +379,7 @@ func (r *Relation) UnionWith(s *Relation) {
 	if s.arity != r.arity {
 		panic("fact: union of relations with different arities")
 	}
+	mustShareDict(r.dict, s.dict, "UnionWith")
 	for k, t := range s.tuples {
 		if _, ok := r.tuples[k]; !ok {
 			r.addKeyed(k, t)
@@ -331,9 +387,13 @@ func (r *Relation) UnionWith(s *Relation) {
 	}
 }
 
-// Minus returns r \ s as a new relation.
+// Minus returns r \ s as a new relation over r's dictionary; r and s
+// must share a dictionary.
 func (r *Relation) Minus(s *Relation) *Relation {
-	out := NewRelation(r.arity)
+	out := r.dict.NewRelation(r.arity)
+	if s != nil {
+		mustShareDict(r.dict, s.dict, "Minus")
+	}
 	for k, t := range r.tuples {
 		if s == nil {
 			out.tuples[k] = t
@@ -346,12 +406,14 @@ func (r *Relation) Minus(s *Relation) *Relation {
 	return out
 }
 
-// Intersect returns r ∩ s as a new relation.
+// Intersect returns r ∩ s as a new relation over r's dictionary; r
+// and s must share a dictionary.
 func (r *Relation) Intersect(s *Relation) *Relation {
-	out := NewRelation(r.arity)
+	out := r.dict.NewRelation(r.arity)
 	if s == nil {
 		return out
 	}
+	mustShareDict(r.dict, s.dict, "Intersect")
 	for k, t := range r.tuples {
 		if _, ok := s.tuples[k]; ok {
 			out.tuples[k] = t
@@ -361,12 +423,20 @@ func (r *Relation) Intersect(s *Relation) *Relation {
 }
 
 // Equal reports whether r and s contain exactly the same tuples.
+// Unlike the mutating set operations, comparing across dictionaries
+// is well-defined (sets of value tuples, not sets of keys), so a
+// cross-dictionary Equal re-encodes probe keys instead of erroring —
+// the differential harnesses compare per-run-dictionary outputs
+// against process-default ones through exactly this path.
 func (r *Relation) Equal(s *Relation) bool {
 	if s == nil {
 		return r.Len() == 0
 	}
 	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
 		return false
+	}
+	if r.dict != s.dict {
+		return r.subsetRekeyed(s)
 	}
 	for k := range r.tuples {
 		if _, ok := s.tuples[k]; !ok {
@@ -376,13 +446,35 @@ func (r *Relation) Equal(s *Relation) bool {
 	return true
 }
 
-// SubsetOf reports whether every tuple of r is in s.
+// SubsetOf reports whether every tuple of r is in s. Like Equal it is
+// cross-dictionary safe.
 func (r *Relation) SubsetOf(s *Relation) bool {
 	if s == nil {
 		return r.Len() == 0
 	}
+	if r.dict != s.dict {
+		return r.subsetRekeyed(s)
+	}
 	for k := range r.tuples {
 		if _, ok := s.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetRekeyed is the cross-dictionary membership sweep: each of r's
+// stored tuples is re-encoded under s's dictionary (lookup-only — a
+// value never interned in s's dictionary proves absence) and probed
+// against s's key set.
+func (r *Relation) subsetRekeyed(s *Relation) bool {
+	var scratch [64]byte
+	for _, t := range r.tuples {
+		k, ok := s.dict.packTupleLookup(scratch[:0], t)
+		if !ok {
+			return false
+		}
+		if _, ok := s.tuples[string(k)]; !ok {
 			return false
 		}
 	}

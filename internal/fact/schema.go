@@ -88,8 +88,13 @@ func (s Schema) String() string {
 }
 
 // Instance is a database instance: an assignment of finite relations
-// to relation names, equivalently a finite set of facts.
+// to relation names, equivalently a finite set of facts. Every stored
+// relation is encoded in the instance's interning dictionary; derived
+// instances (Clone, Restrict, ShallowClone, ApplyPermutation) inherit
+// it, and installing a relation from a different dictionary is a
+// checked error.
 type Instance struct {
+	dict *Dict
 	rels map[string]*Relation
 
 	// adom memoizes ActiveDomain (sorted) and its membership set;
@@ -110,18 +115,41 @@ func (i *Instance) dirty() {
 	i.relNames = nil
 }
 
-// NewInstance returns an empty instance.
-func NewInstance() *Instance {
-	return &Instance{rels: make(map[string]*Relation)}
+// NewInstance returns an empty instance over the process-default
+// dictionary.
+func NewInstance() *Instance { return defaultDict.NewInstance() }
+
+// NewInstance returns an empty instance interning through d.
+func (d *Dict) NewInstance() *Instance {
+	return &Instance{dict: d, rels: make(map[string]*Relation)}
 }
 
-// FromFacts builds an instance from a list of facts.
-func FromFacts(facts ...Fact) *Instance {
-	i := NewInstance()
+// FromFacts builds an instance from a list of facts over the
+// process-default dictionary.
+func FromFacts(facts ...Fact) *Instance { return defaultDict.FromFacts(facts...) }
+
+// FromFacts builds an instance from a list of facts interning
+// through d.
+func (d *Dict) FromFacts(facts ...Fact) *Instance {
+	i := d.NewInstance()
 	for _, f := range facts {
 		i.AddFact(f)
 	}
 	return i
+}
+
+// Dict returns the instance's interning dictionary — the handle every
+// derived relation and instance must be built over.
+func (i *Instance) Dict() *Dict { return i.dict }
+
+// Rekey re-encodes the instance into the destination dictionary (see
+// Relation.Rekey). A same-dictionary Rekey degenerates to Clone.
+func (i *Instance) Rekey(dst *Dict) *Instance {
+	out := dst.NewInstance()
+	for n, r := range i.rels {
+		out.rels[n] = r.Rekey(dst)
+	}
+	return out
 }
 
 // Relation returns the relation stored under rel, or nil if absent.
@@ -136,29 +164,32 @@ func (i *Instance) RelationOr(rel string, arity int) *Relation {
 	if r, ok := i.rels[rel]; ok {
 		return r
 	}
-	return NewRelation(arity)
+	return i.dict.NewRelation(arity)
 }
 
 // SetRelation installs (a clone of) r under rel, replacing any
-// previous relation.
+// previous relation. r must share the instance's dictionary.
 func (i *Instance) SetRelation(rel string, r *Relation) {
 	i.dirty()
 	if r == nil {
 		delete(i.rels, rel)
 		return
 	}
+	mustShareDict(i.dict, r.dict, "SetRelation")
 	i.rels[rel] = r.Clone()
 }
 
 // SetRelationOwned installs r under rel without copying; the caller
 // transfers ownership and must not mutate r afterwards. It is the
-// allocation-free counterpart of SetRelation for hot paths.
+// allocation-free counterpart of SetRelation for hot paths. r must
+// share the instance's dictionary.
 func (i *Instance) SetRelationOwned(rel string, r *Relation) {
 	i.dirty()
 	if r == nil {
 		delete(i.rels, rel)
 		return
 	}
+	mustShareDict(i.dict, r.dict, "SetRelationOwned")
 	i.rels[rel] = r
 }
 
@@ -168,7 +199,7 @@ func (i *Instance) SetRelationOwned(rel string, r *Relation) {
 // transducer transition uses it to avoid copying the untouched input
 // and system relations on every step.
 func (i *Instance) ShallowClone() *Instance {
-	c := NewInstance()
+	c := i.dict.NewInstance()
 	for n, r := range i.rels {
 		c.rels[n] = r
 	}
@@ -183,7 +214,7 @@ func (i *Instance) AddFact(f Fact) bool {
 	i.dirty()
 	r, ok := i.rels[f.Rel]
 	if !ok {
-		r = NewRelation(len(f.Args))
+		r = i.dict.NewRelation(len(f.Args))
 		i.rels[f.Rel] = r
 	}
 	return r.Add(f.Args)
@@ -249,20 +280,23 @@ func (i *Instance) RelNames() []string {
 	return i.relNames
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy over the same dictionary.
 func (i *Instance) Clone() *Instance {
-	c := NewInstance()
+	c := i.dict.NewInstance()
 	for n, r := range i.rels {
 		c.rels[n] = r.Clone()
 	}
 	return c
 }
 
-// UnionWith adds all facts of o into i.
+// UnionWith adds all facts of o into i; o must share i's dictionary
+// (keys move between the instances without re-encoding; use Rekey to
+// cross dictionaries).
 func (i *Instance) UnionWith(o *Instance) {
 	if o == nil {
 		return
 	}
+	mustShareDict(i.dict, o.dict, "UnionWith")
 	i.dirty()
 	for n, r := range o.rels {
 		mine, ok := i.rels[n]
@@ -284,7 +318,7 @@ func Union(a, b *Instance) *Instance {
 // Restrict returns the sub-instance of i containing only relations
 // declared in the schema.
 func (i *Instance) Restrict(s Schema) *Instance {
-	out := NewInstance()
+	out := i.dict.NewInstance()
 	for n, r := range i.rels {
 		if s.Has(n) {
 			out.rels[n] = r.Clone()
@@ -437,9 +471,9 @@ func (i *Instance) String() string {
 // values not in the map are left fixed. Used to check genericity of
 // queries (condition (ii) of the paper's query definition).
 func (i *Instance) ApplyPermutation(h map[Value]Value) *Instance {
-	out := NewInstance()
+	out := i.dict.NewInstance()
 	for n, r := range i.rels {
-		nr := NewRelation(r.Arity())
+		nr := i.dict.NewRelation(r.Arity())
 		r.Each(func(t Tuple) bool {
 			nt := make(Tuple, len(t))
 			for j, v := range t {
@@ -457,9 +491,10 @@ func (i *Instance) ApplyPermutation(h map[Value]Value) *Instance {
 	return out
 }
 
-// ApplyPermutationRel returns h(R) for a relation.
+// ApplyPermutationRel returns h(R) for a relation, over r's
+// dictionary.
 func ApplyPermutationRel(r *Relation, h map[Value]Value) *Relation {
-	out := NewRelation(r.Arity())
+	out := r.dict.NewRelation(r.Arity())
 	r.Each(func(t Tuple) bool {
 		nt := make(Tuple, len(t))
 		for j, v := range t {

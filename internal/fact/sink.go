@@ -32,6 +32,11 @@ type Sink interface {
 	// column per output position), deduplicating against the sink's
 	// existing contents. Columns must have at least n entries.
 	appendBatch(cols [][]uint32, n int)
+
+	// sinkDict returns the interning dictionary the sink's IDs decode
+	// in; batch executors derive their ID space from it (NewBatchFor)
+	// and verify it before handing over raw columns.
+	sinkDict() *Dict
 }
 
 // batchProbeMin is the batch size below which batchAppend skips the
@@ -55,6 +60,12 @@ func (r *Relation) appendBatch(cols [][]uint32, n int) {
 	batchAppend(r, nil, cols, n)
 }
 
+// sinkDict implements Sink for Relation.
+func (r *Relation) sinkDict() *Dict { return r.dict }
+
+// sinkDict implements Sink for deltaSink.
+func (s deltaSink) sinkDict() *Dict { return s.d.Full.dict }
+
 // batchAppend appends rows [0,n) of cols into dst, skipping rows
 // already present in dst or in exclude (when non-nil) — the columnar
 // counterpart of an Add loop. Within-batch duplicates fall to one
@@ -65,6 +76,9 @@ func (r *Relation) appendBatch(cols [][]uint32, n int) {
 func batchAppend(dst *Relation, exclude *Relation, cols [][]uint32, n int) {
 	if n == 0 {
 		return
+	}
+	if exclude != nil {
+		mustShareDict(dst.dict, exclude.dict, "batch append")
 	}
 	w := dst.arity
 	if len(cols) != w {
@@ -98,7 +112,7 @@ func batchAppend(dst *Relation, exclude *Relation, cols [][]uint32, n int) {
 			t := Tuple(slab[:w:w])
 			slab = slab[w:]
 			for c := 0; c < w; c++ {
-				t[c] = internedValue(cols[c][i])
+				t[c] = dst.dict.value(cols[c][i])
 			}
 			dst.addKeyed(string(scratch), t)
 		}
@@ -171,7 +185,7 @@ func probeAppend(dst *Relation, exclude *Relation, cols [][]uint32, n int) {
 		t := Tuple(slab[:w:w])
 		slab = slab[w:]
 		for c := 0; c < w; c++ {
-			t[c] = internedValue(cols[c][i])
+			t[c] = dst.dict.value(cols[c][i])
 		}
 		dst.addKeyed(k, t)
 	}
@@ -271,7 +285,7 @@ func (r *Relation) insertRows(cols [][]uint32, sel []int32) {
 		t := Tuple(slab[:w:w])
 		slab = slab[w:]
 		for c := 0; c < w; c++ {
-			t[c] = internedValue(cols[c][p])
+			t[c] = r.dict.value(cols[c][p])
 		}
 		r.tuples[k] = t
 		for c, m := range r.idx {

@@ -10,7 +10,7 @@ import (
 // them), bypassing the join pipeline — the unit seam for ProjectInto
 // and the batch-append sink.
 func testBatch(cols ...[]Value) *Batch {
-	b := &Batch{cols: make([][]uint32, len(cols))}
+	b := &Batch{dict: defaultDict, cols: make([][]uint32, len(cols))}
 	for c, col := range cols {
 		if c == 0 {
 			b.n = len(col)
@@ -19,7 +19,7 @@ func testBatch(cols ...[]Value) *Batch {
 		}
 		ids := make([]uint32, len(col))
 		for i, v := range col {
-			ids[i] = internValue(v)
+			ids[i] = defaultDict.intern(v)
 		}
 		b.cols[c] = ids
 	}
@@ -197,7 +197,7 @@ func TestBatchAppendDifferential(t *testing.T) {
 				idCols[c] = make([]uint32, cfg.n)
 				for i := 0; i < cfg.n; i++ {
 					cols[c][i] = val()
-					idCols[c][i] = internValue(cols[c][i])
+					idCols[c][i] = defaultDict.intern(cols[c][i])
 				}
 			}
 			batchAppend(dst, exclude, idCols, cfg.n)
@@ -246,7 +246,7 @@ func TestBatchAppendRemoveReAdd(t *testing.T) {
 			idCols[c] = make([]uint32, n)
 			for i := 0; i < n; i++ {
 				cols[c][i] = val()
-				idCols[c][i] = internValue(cols[c][i])
+				idCols[c][i] = defaultDict.intern(cols[c][i])
 			}
 		}
 		return cols, idCols
@@ -281,7 +281,7 @@ func TestBatchAppendRemoveReAdd(t *testing.T) {
 			reIDs[c] = make([]uint32, len(half))
 			for i, tu := range half {
 				reCols[c][i] = tu[c]
-				reIDs[c][i] = internValue(tu[c])
+				reIDs[c][i] = defaultDict.intern(tu[c])
 			}
 		}
 		batchAppend(dst, nil, reIDs, len(half))
@@ -309,7 +309,7 @@ func TestDeltaSinkDifferential(t *testing.T) {
 			idCols[c] = make([]uint32, n)
 			for i := 0; i < n; i++ {
 				cols[c][i] = val()
-				idCols[c][i] = internValue(cols[c][i])
+				idCols[c][i] = defaultDict.intern(cols[c][i])
 			}
 		}
 		dSink.Sink("r", 2).appendBatch(idCols, n)

@@ -1,0 +1,41 @@
+package fo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"declnet/internal/fact"
+)
+
+// TestDifferentialCorpusQueriesPerRunDict replays the fuzz corpus
+// through the evaluator twice per instance — once over the
+// process-default interning dictionary and once over a fresh per-run
+// dictionary (the instance rekeyed into it) — and requires
+// value-identical outputs. ID assignments differ between the two
+// dictionaries by construction (independent shard slots), so this is
+// the proof that no evaluator result depends on the numeric ID space,
+// only on the values it encodes.
+func TestDifferentialCorpusQueriesPerRunDict(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 21))
+	vals := []fact.Value{"a", "b", "c"}
+	for qi, q := range corpusQueries(t) {
+		for trial := 0; trial < 10; trial++ {
+			I := randomInstanceFor(rng, q, vals)
+			want, err := q.Eval(I)
+			if err != nil {
+				continue
+			}
+			perRun := I.Rekey(fact.NewDict())
+			got, err := q.Eval(perRun)
+			if err != nil {
+				t.Fatalf("query %d (%s): per-run dict eval errored: %v", qi, q, err)
+			}
+			if got.Dict() != perRun.Dict() {
+				t.Fatalf("query %d (%s): output left the per-run dictionary", qi, q)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("query %d (%s) on %v:\ndefault dict %v\nper-run dict %v", qi, q, I, want, got)
+			}
+		}
+	}
+}

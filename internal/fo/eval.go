@@ -163,7 +163,7 @@ func (q *Query) String() string {
 func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
 	if q.branches != nil {
 		adomOf := adomMemo(I)
-		out := fact.NewRelation(len(q.Head))
+		out := I.Dict().NewRelation(len(q.Head))
 		for _, b := range q.branches {
 			if err := q.evalBranch(b, I, adomOf, out); err != nil {
 				return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
@@ -171,7 +171,7 @@ func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
 		}
 		return out, nil
 	}
-	out := fact.NewRelation(len(q.Head))
+	out := I.Dict().NewRelation(len(q.Head))
 	if err := q.enumerate(I, I.ActiveDomain(), q.Body, out); err != nil {
 		return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
 	}
@@ -183,7 +183,7 @@ func (q *Query) Eval(I *fact.Instance) (*fact.Relation, error) {
 // identical to Eval; it exists for the fast-path ablation benchmark
 // and the differential tests.
 func (q *Query) EvalGeneric(I *fact.Instance) (*fact.Relation, error) {
-	out := fact.NewRelation(len(q.Head))
+	out := I.Dict().NewRelation(len(q.Head))
 	if err := q.enumerate(I, I.ActiveDomain(), q.Body, out); err != nil {
 		return nil, fmt.Errorf("fo: query %s: %w", q.Name, err)
 	}

@@ -372,7 +372,7 @@ func (q *Query) CanDelta() bool { return q.deltaOK }
 // in full, which is a superset of their new derivations and a subset
 // of Eval(full) — exact either way. It implements query.DeltaEvaluable.
 func (q *Query) EvalDelta(full, delta *fact.Instance) (*fact.Relation, error) {
-	out := fact.NewRelation(len(q.Head))
+	out := full.Dict().NewRelation(len(q.Head))
 	if !q.deltaOK || delta == nil || delta.Empty() {
 		return out, nil
 	}
@@ -424,7 +424,7 @@ func (q *Query) EvalReference(I *fact.Instance) (*fact.Relation, error) {
 		return q.EvalGeneric(I)
 	}
 	adomOf := adomMemo(I)
-	out := fact.NewRelation(len(q.Head))
+	out := I.Dict().NewRelation(len(q.Head))
 	for _, b := range q.branches {
 		if b.p == nil {
 			if err := q.enumerate(I, adomOf(), b.formula(), out); err != nil {

@@ -88,10 +88,26 @@ func TestNoDictFacadeAndTestsExempt(t *testing.T) {
 		t.Fatalf("_test files must be exempt, got %v", diags)
 	}
 	// The same calls from a library path ARE findings (differential
-	// control for the two exemptions above).
+	// control for the two exemptions above): 2 accessors + 3
+	// constructors.
 	_, diags = runFixture(t, NoDict(), "testdata/nodict/facade.go", "internal/foo/facade.go")
+	if len(diags) != 5 {
+		t.Fatalf("library path should yield 5 findings, got %v", diags)
+	}
+}
+
+func TestNoDictRunFacade(t *testing.T) {
+	// Under the run facade, dictionary constructors are exempt (per-run
+	// dictionaries enter the stack through run.Options.Dict) but the
+	// process-default accessors are still findings.
+	_, diags := runFixture(t, NoDict(), "testdata/nodict/facade.go", "run/run.go")
 	if len(diags) != 2 {
-		t.Fatalf("library path should yield 2 findings, got %v", diags)
+		t.Fatalf("run facade should yield exactly the 2 accessor findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "process-default") {
+			t.Errorf("unexpected run-facade finding: %s", d)
+		}
 	}
 }
 

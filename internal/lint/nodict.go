@@ -10,11 +10,20 @@ import (
 // internPkgPath is the import path of the interning dictionary's home.
 const internPkgPath = "declnet/internal/fact"
 
-// dictFuncs are the exported accessors of the process-global interning
+// dictFuncs are the exported accessors of the process-default interning
 // dictionary. They exist for the root facade (declnet.Intern /
 // declnet.InternedValues, used by input loaders and benchmarks) — no
 // library package may mint IDs or gauge the dictionary directly.
 var dictFuncs = map[string]bool{"Intern": true, "InternedValues": true}
+
+// dictCtors are the dictionary handle constructors (fact.NewDict,
+// fact.NewDictShards) and the process-default shim (fact.DefaultDict).
+// Handles flow by inheritance — every derived relation and instance
+// carries its source's Dict — so only the facades that start a value
+// universe may construct one: the repo-root facade, the run facade
+// (whose Options.Dict is how per-run dictionaries enter the stack),
+// and _test files.
+var dictCtors = map[string]bool{"NewDict": true, "NewDictShards": true, "DefaultDict": true}
 
 // NoDict confines the interning dictionary:
 //
@@ -27,10 +36,17 @@ var dictFuncs = map[string]bool{"Intern": true, "InternedValues": true}
 //     must manipulate values through relations; direct ID minting
 //     bypasses the dictionary's publication protocol and couples
 //     callers to the global ID space.
+//  3. fact.NewDict / fact.NewDictShards / fact.DefaultDict may be
+//     called only from the repo-root facade, the run facade package
+//     (run/), and _test files. Dictionary handles propagate by
+//     inheritance (Relation.Dict, Instance.Dict, Sink dictionaries);
+//     a library package minting its own Dict — or grabbing the
+//     process-default one — silently forks the ID space and defeats
+//     both the cross-dict checks and per-run reclamation.
 func NoDict() *Analyzer {
 	return &Analyzer{
 		Name: "nodict",
-		Doc:  "interning dictionary internals stay confined to internal/fact and the root facade",
+		Doc:  "interning dictionary internals stay confined to internal/fact and the facades",
 		Run:  runNoDict,
 	}
 }
@@ -55,32 +71,47 @@ func runNoDict(p *Pkg) []Diagnostic {
 			return true
 		})
 
-		// Rule 2: accessor calls outside the facade / tests.
+		// Rules 2 and 3: accessor and constructor calls outside the
+		// facades / tests.
 		if strings.HasSuffix(f.Path, "_test.go") || strings.HasPrefix(f.Path, "internal/fact/") {
 			continue
 		}
 		if !strings.Contains(f.Path, "/") {
 			continue // repo-root facade package (declnet.go, doc.go, bench files)
 		}
+		runFacade := strings.HasPrefix(f.Path, "run/")
 		local := importName(f.AST, internPkgPath)
 		if local == "" {
 			continue
 		}
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || !dictFuncs[sel.Sel.Name] {
+			if !ok {
 				return true
+			}
+			accessor, ctor := dictFuncs[sel.Sel.Name], dictCtors[sel.Sel.Name]
+			if !accessor && !ctor {
+				return true
+			}
+			if ctor && runFacade {
+				return true // run facade starts per-run dictionaries
 			}
 			id, ok := sel.X.(*ast.Ident)
 			if !ok || id.Name != local {
 				return true
 			}
+			msg := fmt.Sprintf(
+				"fact.%s touches the process-default interning dictionary; only the root declnet facade and _test files may (go through relations instead)",
+				sel.Sel.Name)
+			if ctor {
+				msg = fmt.Sprintf(
+					"fact.%s constructs an interning dictionary; only the root facade, the run facade and _test files may (receive the Dict by inheritance instead)",
+					sel.Sel.Name)
+			}
 			diags = append(diags, Diagnostic{
-				Pos:  position(p.Fset, sel.Pos(), f.Path),
-				Code: "nodict",
-				Message: fmt.Sprintf(
-					"fact.%s touches the global interning dictionary; only the root declnet facade and _test files may (go through relations instead)",
-					sel.Sel.Name),
+				Pos:     position(p.Fset, sel.Pos(), f.Path),
+				Code:    "nodict",
+				Message: msg,
 			})
 			return true
 		})

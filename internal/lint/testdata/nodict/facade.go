@@ -1,6 +1,8 @@
-// The same accessor calls checked under a repo-root logical path
-// (facade.go): the declnet facade is the one non-test place allowed to
-// touch the dictionary, so this file must produce zero findings.
+// The same accessor and constructor calls checked under a repo-root
+// logical path (facade.go): the declnet facade is the one non-test
+// place allowed to touch the process-default dictionary, so this file
+// must produce zero findings there. Checked under run/run.go only the
+// constructors are exempt — see TestNoDictRunFacade.
 package fixture
 
 import "declnet/internal/fact"
@@ -8,3 +10,9 @@ import "declnet/internal/fact"
 func Intern(v fact.Value) uint32 { return fact.Intern(v) }
 
 func InternedValues() int { return fact.InternedValues() }
+
+func NewDict() *fact.Dict { return fact.NewDict() }
+
+func NewDictShards(n int) *fact.Dict { return fact.NewDictShards(n) }
+
+func DefaultDict() *fact.Dict { return fact.DefaultDict() }

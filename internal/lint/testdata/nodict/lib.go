@@ -1,6 +1,7 @@
 // The nodict fixture, checked under the logical path
 // internal/foo/lib.go — a library package calling the dictionary
-// accessors directly, plus a squatter on the reserved identifier.
+// accessors and constructors directly, plus a squatter on the
+// reserved identifier.
 package fixture
 
 import "declnet/internal/fact"
@@ -8,6 +9,12 @@ import "declnet/internal/fact"
 func bad(v fact.Value) {
 	_ = fact.Intern(v)        // want `interning dictionary`
 	_ = fact.InternedValues() // want `interning dictionary`
+}
+
+func badCtor() {
+	_ = fact.NewDict()        // want `constructs an interning dictionary`
+	_ = fact.NewDictShards(4) // want `constructs an interning dictionary`
+	_ = fact.DefaultDict()    // want `constructs an interning dictionary`
 }
 
 func squatter() int {

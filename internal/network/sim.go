@@ -46,6 +46,13 @@ type Sim struct {
 
 	out *fact.Relation
 
+	// dict is the interning dictionary every piece of run state — node
+	// states, buffers, known sets, the output relation — is encoded in.
+	// Derived from the partition fragments (or given explicitly via
+	// NewSimDict); dropping the Sim of a per-run dictionary makes the
+	// whole run universe collectable.
+	dict *fact.Dict
+
 	// channel is the bound channel model (see SetChannel). nil keeps
 	// the default FairLossless semantics on the zero-overhead fast
 	// path that predates the channel layer — bit-identical schedules,
@@ -125,6 +132,10 @@ type heldMsg struct {
 // concurrently without locks.
 type nodeRT struct {
 	v fact.Value
+	// dict is the owning Sim's interning dictionary (copied here so
+	// node-local hot paths — fact keys, receive-instance caching —
+	// never chase the Sim pointer).
+	dict *fact.Dict
 	// idx is the node's position in the network's sorted node order:
 	// the stable index channel models and parallel PCG streams key on.
 	idx int
@@ -221,20 +232,50 @@ type TraceEvent struct {
 // empty memory and an empty message buffer. Nodes absent from the
 // partition start with empty input.
 func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*fact.Instance) (*Sim, error) {
+	return NewSimDict(net, tr, partition, nil)
+}
+
+// NewSimDict is NewSim over an explicit interning dictionary: all run
+// state (node states, buffers, known sets, output) is encoded in dict,
+// and every partition fragment must already live in it — the dist
+// layer rekeys fragments on ingress (see dist.RunOptions.Dict). A nil
+// dict derives one from the partition fragments, falling back to the
+// process-default dictionary, which reproduces the historical
+// process-wide ID space exactly.
+func NewSimDict(net *Network, tr *transducer.Transducer, partition map[fact.Value]*fact.Instance, dict *fact.Dict) (*Sim, error) {
+	if dict == nil {
+		for _, h := range partition {
+			if h != nil {
+				dict = h.Dict()
+				break
+			}
+		}
+	}
+	var out *fact.Relation
+	if dict != nil {
+		out = dict.NewRelation(tr.Schema.OutArity)
+	} else {
+		out = fact.NewRelation(tr.Schema.OutArity)
+		dict = out.Dict()
+	}
 	s := &Sim{
 		Net:   net,
 		Tr:    tr,
 		nodes: map[fact.Value]*nodeRT{},
-		out:   fact.NewRelation(tr.Schema.OutArity),
+		out:   out,
+		dict:  dict,
 	}
 	nodes := net.Nodes()
 	nodeSet := map[fact.Value]bool{}
 	for _, v := range nodes {
 		nodeSet[v] = true
 	}
-	for v := range partition {
+	for v, h := range partition {
 		if !nodeSet[v] {
 			return nil, fmt.Errorf("network: partition assigns input to unknown node %s", v)
+		}
+		if h != nil && h.Dict() != dict {
+			return nil, fmt.Errorf("network: partition fragment at %s interned in a different dictionary (rekey it with Instance.Rekey, or let dist.RunOptions.Dict do it)", v)
 		}
 	}
 	// One All relation for the whole network, sealed (all lazy read
@@ -246,7 +287,7 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 	// replace memory relations on a shallow clone) and sealed reads
 	// memoize nothing, so concurrent shard workers can evaluate against
 	// it freely.
-	allRel := fact.NewRelation(1)
+	allRel := dict.NewRelation(1)
 	for _, w := range nodes {
 		allRel.Add(fact.Tuple{w})
 	}
@@ -257,12 +298,12 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 	// Id), and each node only merges in its fragment's values. Without
 	// this every node's first firing rescans its whole state —
 	// including the n-tuple All — which is O(n^2) across the network.
-	allBase := fact.NewInstance()
+	allBase := dict.NewInstance()
 	allBase.SetRelationOwned(transducer.SysAll, allRel)
 	allBase.ActiveDomain()
 	var extra []fact.Value
 	for _, v := range nodes {
-		st := fact.NewInstance()
+		st := dict.NewInstance()
 		if h := partition[v]; h != nil {
 			if err := h.Conforms(tr.Schema.In); err != nil {
 				return nil, fmt.Errorf("network: partition at %s: %w", v, err)
@@ -284,6 +325,7 @@ func NewSim(net *Network, tr *transducer.Transducer, partition map[fact.Value]*f
 		st.AdoptActiveDomain(allBase, extra)
 		n := &nodeRT{
 			v:        v,
+			dict:     dict,
 			idx:      len(s.order),
 			state:    st,
 			known:    map[string]fact.Fact{},
@@ -332,6 +374,10 @@ func (s *Sim) BufferedFacts() int {
 // Output returns the accumulated output relation out(ρ) so far (a
 // clone).
 func (s *Sim) Output() *fact.Relation { return s.out.Clone() }
+
+// Dict returns the interning dictionary the sim's run state is
+// encoded in.
+func (s *Sim) Dict() *fact.Dict { return s.dict }
 
 // Heartbeat performs a heartbeat transition at node v: the node
 // transitions without reading any message.
@@ -402,7 +448,7 @@ func (s *Sim) SetChannel(m channel.Model) {
 // per-node O(1) counterpart of Instance.Clone for states that embed
 // the O(n) All relation.
 func (s *Sim) cloneSharingAll(st *fact.Instance) *fact.Instance {
-	c := fact.NewInstance()
+	c := s.dict.NewInstance()
 	for _, nm := range st.RelNames() {
 		if nm == transducer.SysAll && st.Relation(nm) == s.allRel {
 			c.SetRelationOwned(nm, s.allRel)
@@ -552,7 +598,7 @@ func (n *nodeRT) sentFacts(snd *fact.Instance) ([]fact.Fact, []string) {
 	facts := snd.Facts()
 	keys := make([]string, len(facts))
 	for i, f := range facts {
-		keys[i] = f.Key()
+		keys[i] = f.KeyIn(n.dict)
 	}
 	memo = &sndCache{rels: make(map[string]*fact.Relation, len(names)), facts: facts, keys: keys}
 	for _, nm := range names {
@@ -565,11 +611,11 @@ func (n *nodeRT) sentFacts(snd *fact.Instance) ([]fact.Fact, []string) {
 // rcvFor returns the (shared, read-only) single-fact receive instance
 // for f, cached by interned fact key.
 func (n *nodeRT) rcvFor(f fact.Fact) *fact.Instance {
-	key := f.Key()
+	key := f.KeyIn(n.dict)
 	if i, ok := n.rcvCache[key]; ok {
 		return i
 	}
-	i := fact.FromFacts(f)
+	i := n.dict.FromFacts(f)
 	n.rcvCache[key] = i
 	return i
 }
@@ -983,7 +1029,7 @@ func (s *Sim) probe(n *nodeRT, rcv *fact.Instance) (bool, error) {
 		}
 		ok := true
 		sr.R.Each(func(t fact.Tuple) bool {
-			key := fact.Fact{Rel: sr.Rel, Args: t}.Key()
+			key := fact.Fact{Rel: sr.Rel, Args: t}.KeyIn(s.dict)
 			for _, w := range n.nbrs {
 				if _, known := w.known[key]; !known {
 					ok = false
@@ -1012,6 +1058,7 @@ func (s *Sim) Clone() *Sim {
 		Net: s.Net, Tr: s.Tr,
 		nodes: map[fact.Value]*nodeRT{},
 		out:   s.out.Clone(),
+		dict:  s.dict,
 		Steps: s.Steps, Heartbeats: s.Heartbeats,
 		Deliveries: s.Deliveries, Sends: s.Sends,
 		Drops: s.Drops, Duplicates: s.Duplicates,
@@ -1023,6 +1070,7 @@ func (s *Sim) Clone() *Sim {
 	for _, n := range s.order {
 		cn := &nodeRT{
 			v:        n.v,
+			dict:     n.dict,
 			idx:      n.idx,
 			state:    s.cloneSharingAll(n.state),
 			buf:      append([]fact.Fact(nil), n.buf...),

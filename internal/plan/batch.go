@@ -207,7 +207,7 @@ func (p *Plan) runBatch(s *schedule, args []fact.Value, guard GuardFunc,
 	if len(args) != len(p.spec.Inputs) {
 		return true, fmt.Errorf("plan %s: got %d args for %d input registers", p.spec.Name, len(args), len(p.spec.Inputs))
 	}
-	b := fact.NewBatch(p.spec.NumRegs)
+	b := fact.NewBatchFor(out, p.spec.NumRegs)
 	for i, r := range p.spec.Inputs {
 		b.BindConst(r, args[i])
 	}

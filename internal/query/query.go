@@ -107,8 +107,8 @@ func (e Empty) Arity() int { return e.K }
 func (e Empty) Rels() []string { return nil }
 
 // Eval implements Query.
-func (e Empty) Eval(*fact.Instance) (*fact.Relation, error) {
-	return fact.NewRelation(e.K), nil
+func (e Empty) Eval(I *fact.Instance) (*fact.Relation, error) {
+	return I.Dict().NewRelation(e.K), nil
 }
 
 // SyntacticallyMonotone implements Query; the constant-empty query is
@@ -185,7 +185,7 @@ func UnionOf(arity int, rels ...string) Func {
 	names := append([]string(nil), rels...)
 	return NewFunc(fmt.Sprintf("union:%v", names), arity, names, true,
 		func(I *fact.Instance) (*fact.Relation, error) {
-			out := fact.NewRelation(arity)
+			out := I.Dict().NewRelation(arity)
 			for _, r := range names {
 				out.UnionWith(I.RelationOr(r, arity))
 			}

@@ -253,6 +253,9 @@ func (f *Firing) evalAll(state, rcv *fact.Instance) ([]*fact.Relation, error) {
 
 func (f *Firing) resultOr(results []*fact.Relation, idx, arity int) *fact.Relation {
 	if idx < 0 {
+		if f.state != nil {
+			return f.state.Dict().NewRelation(arity)
+		}
 		return fact.NewRelation(arity)
 	}
 	return results[idx]
@@ -261,7 +264,7 @@ func (f *Firing) resultOr(results []*fact.Relation, idx, arity int) *fact.Relati
 // effect assembles the full transition effect from the per-query
 // results. It performs no cache maintenance.
 func (f *Firing) effect(state *fact.Instance, results []*fact.Relation) Effect {
-	snd := fact.NewInstance()
+	snd := state.Dict().NewInstance()
 	for i := range f.queries {
 		fq := &f.queries[i]
 		if fq.kind == 's' {
@@ -442,7 +445,7 @@ func (f *Firing) Step(state, rcv *fact.Instance) (Effect, bool, error) {
 		}
 		if changed == nil {
 			changed = map[string]bool{}
-			added = fact.NewInstance()
+			added = state.Dict().NewInstance()
 		}
 		changed[e.rel] = true
 		add := now.Minus(old)

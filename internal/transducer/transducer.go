@@ -196,7 +196,7 @@ func (t *Transducer) Step(state *fact.Instance, rcv *fact.Instance) (Effect, err
 		}
 	}
 
-	snd := fact.NewInstance()
+	snd := iPrime.Dict().NewInstance()
 	for _, rel := range sortedRels(t.Schema.Msg) {
 		q := t.Snd[rel]
 		if q == nil {
@@ -217,8 +217,8 @@ func (t *Transducer) Step(state *fact.Instance, rcv *fact.Instance) (Effect, err
 	next := state.ShallowClone()
 	for _, rel := range sortedRels(t.Schema.Mem) {
 		arity := t.Schema.Mem[rel]
-		ins := fact.NewRelation(arity)
-		del := fact.NewRelation(arity)
+		ins := iPrime.Dict().NewRelation(arity)
+		del := iPrime.Dict().NewRelation(arity)
 		if q := t.Ins[rel]; q != nil {
 			r, err := q.Eval(iPrime)
 			if err != nil {

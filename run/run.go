@@ -227,6 +227,19 @@ func ParseChannel(spec string) (ChannelScenario, error) { return iregistry.Parse
 // Options configures a run.
 type Options = idist.RunOptions
 
+// Dict is the interning-dictionary handle Options.Dict accepts: a
+// per-run value universe. A run executed with Options{Dict: run.NewDict()}
+// re-encodes its partition fragments into the dictionary on ingress
+// and interns every run-local value there; dropping every handle
+// after the run (sim, output, options) makes the run's universe
+// collectable. Leaving Options.Dict nil keeps the process-default
+// dictionary — the historical process-wide ID space.
+type Dict = ifact.Dict
+
+// NewDict returns a fresh per-run interning dictionary for
+// Options.Dict.
+func NewDict() *Dict { return ifact.NewDict() }
+
 // NewSim builds the initial configuration of the transducer network
 // (net, tr) on the given partition: node v starts with its fragment,
 // Id(v), All, empty memory and an empty buffer.
