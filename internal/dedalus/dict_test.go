@@ -1,0 +1,49 @@
+package dedalus
+
+import (
+	"testing"
+
+	"declnet/internal/datalog"
+	"declnet/internal/fact"
+)
+
+// TestRunPerRunDict: a run over temporal input interned in a per-run
+// dictionary yields slices owned by that dictionary and value-identical
+// to the same run over the process default — the evaluator adopts the
+// input's ID space instead of panicking on cross-dict unions.
+func TestRunPerRunDict(t *testing.T) {
+	p := MustNew(
+		I(Atom("p", "X"), datalog.Pos("p", datalog.V("X"))),
+		D(Atom("q", "X"), datalog.Pos("p", datalog.V("X"))),
+	)
+	in := TemporalInput{
+		0: fact.FromFacts(ff("p", "a")),
+		2: fact.FromFacts(ff("p", "b")),
+	}
+	want, err := p.Run(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := fact.NewDict()
+	perIn := TemporalInput{}
+	for ts, h := range in {
+		perIn[ts] = h.Rekey(d)
+	}
+	got, err := p.Run(perIn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConvergedAt != want.ConvergedAt || len(got.Slices) != len(want.Slices) {
+		t.Fatalf("trajectory diverged: converged %d/%d, %d/%d slices",
+			got.ConvergedAt, want.ConvergedAt, len(got.Slices), len(want.Slices))
+	}
+	for i := range want.Slices {
+		if got.Slices[i].Dict() != d {
+			t.Fatalf("slice %d left the per-run dictionary", i)
+		}
+		if !got.Slices[i].Equal(want.Slices[i]) {
+			t.Fatalf("slice %d: per-run dict %v != default %v", i, got.Slices[i], want.Slices[i])
+		}
+	}
+}

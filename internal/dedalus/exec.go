@@ -20,6 +20,13 @@ type Exec struct {
 	t         int
 	scheduled map[int]*fact.Instance
 
+	// dict is the interning dictionary every slice of this evaluator
+	// lives in, adopted from the first non-nil input instance (nil
+	// until then: slices use the process default). One evaluator, one
+	// ID space — callers feeding per-run-dict temporal input get
+	// per-run-dict slices back.
+	dict *fact.Dict
+
 	prevSlice *fact.Instance
 	prevSeed  *fact.Instance
 	// quiet reports that the last Step changed nothing relative to the
@@ -41,6 +48,15 @@ func NewExec(p *Program, seed int64, maxAsyncDelay int) *Exec {
 	}
 }
 
+// newSlice builds an empty instance in the evaluator's dictionary
+// (the process default until an input dictionary is adopted).
+func (e *Exec) newSlice() *fact.Instance {
+	if e.dict != nil {
+		return e.dict.NewInstance()
+	}
+	return fact.NewInstance()
+}
+
 // T returns the next timestamp to be evaluated.
 func (e *Exec) T() int { return e.t }
 
@@ -53,7 +69,10 @@ func (e *Exec) Quiet() bool { return e.quiet }
 // returns the completed slice (deductive fixpoint included).
 func (e *Exec) Step(extraEDB *fact.Instance) (*fact.Instance, error) {
 	t := e.t
-	seed := fact.NewInstance()
+	if e.dict == nil && extraEDB != nil {
+		e.dict = extraEDB.Dict()
+	}
+	seed := e.newSlice()
 	if s := e.scheduled[t]; s != nil {
 		seed.UnionWith(s)
 		delete(e.scheduled, t)
@@ -87,7 +106,7 @@ func (e *Exec) Step(extraEDB *fact.Instance) (*fact.Instance, error) {
 		}
 		for _, h := range heads {
 			if e.scheduled[target] == nil {
-				e.scheduled[target] = fact.NewInstance()
+				e.scheduled[target] = e.newSlice()
 			}
 			e.scheduled[target].AddFact(h)
 		}
